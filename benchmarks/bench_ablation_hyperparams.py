@@ -1,0 +1,29 @@
+"""Section 4 design-choice ablation: minimal-path bias threshold and feedback rule.
+
+Sweeps the source-router threshold ``q_thld1`` and compares the two feedback
+variants (on-policy vs the literal Q-routing row-minimum) under adversarial
+traffic, where the differences matter most.
+"""
+
+import os
+
+from repro.experiments import ablation_hyperparams
+from repro.stats.report import format_table
+
+
+def test_ablation_hyperparams(benchmark, run_once, scale):
+    full = bool(os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"))
+    thresholds = (0.0, 0.2, 0.5) if full else (0.2, 0.5)
+    modes = ("onpolicy", "greedy")
+
+    rows = run_once(
+        benchmark, ablation_hyperparams, scale, "ADV+1", None, thresholds, modes
+    )
+
+    print("\nSection 4 — Q-adaptive hyper-parameter ablation (ADV+1)\n" + format_table(rows))
+
+    assert len(rows) == len(thresholds) * len(modes)
+    for row in rows:
+        assert row["throughput"] >= 0.0
+        assert row["hops"] <= 5.0 + 1e-9
+    benchmark.extra_info["ablation_hyperparams"] = rows

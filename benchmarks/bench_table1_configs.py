@@ -1,0 +1,18 @@
+"""Table 1: Dragonfly configurations of the two evaluated systems."""
+
+from repro.experiments import table1_configurations
+from repro.stats.report import format_table
+
+
+def test_table1_configurations(benchmark, run_once):
+    rows = run_once(benchmark, table1_configurations)
+    print("\nTable 1 — Dragonfly configurations\n" + format_table(rows))
+    by_nodes = {row["N"]: row for row in rows}
+    # exact values reported in the paper
+    assert by_nodes[1056] == {
+        "N": 1056, "p": 4, "a": 8, "h": 4, "k": 15, "g": 33, "m": 264, "balanced": True,
+    }
+    assert by_nodes[2550] == {
+        "N": 2550, "p": 5, "a": 10, "h": 5, "k": 19, "g": 51, "m": 510, "balanced": True,
+    }
+    benchmark.extra_info["rows"] = rows

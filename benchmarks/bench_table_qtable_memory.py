@@ -1,0 +1,23 @@
+"""Tables 2-3: memory footprint of the original Q-table vs the two-level Q-table.
+
+The paper claims the two-level design halves the per-router memory of
+Q-routing's table on a balanced Dragonfly.
+"""
+
+from repro.experiments import table_qtable_memory
+from repro.stats.report import format_table
+from repro.topology.config import DragonflyConfig
+
+
+def test_qtable_memory_saving(benchmark, run_once):
+    configs = (
+        DragonflyConfig.small_72(),
+        DragonflyConfig.paper_1056(),
+        DragonflyConfig.paper_2550(),
+    )
+    rows = run_once(benchmark, table_qtable_memory, configs)
+    print("\nTables 2-3 — Q-table memory comparison\n" + format_table(rows))
+    for row in rows:
+        assert abs(row["saving_fraction"] - 0.5) < 1e-9, "balanced Dragonfly must save 50%"
+        assert row["two_level_rows"] * 2 == row["original_rows"]
+    benchmark.extra_info["rows"] = rows

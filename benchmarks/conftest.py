@@ -1,0 +1,66 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates the data behind one of the paper's tables or
+figures.  The default scale is deliberately small (a 72-node Dragonfly, a few
+tens of simulated microseconds) so that the complete harness finishes in
+minutes on a laptop; the *shape* of the results — which algorithm wins under
+which traffic pattern — is already visible at that scale.
+
+Environment variables:
+
+* ``REPRO_SCALE=reduced|paper-1056|paper-2550`` — use one of the larger presets;
+* ``REPRO_PAPER_SCALE=1`` — shorthand for the paper's 1,056-node system.
+
+The numbers produced at the default scale are recorded and compared against
+the paper in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+from repro.experiments.presets import BENCH_SCALE, ExperimentScale, default_scale  # noqa: E402
+
+#: fast default used when no environment override is present
+_FAST_BENCH_SCALE = BENCH_SCALE.with_overrides(
+    warmup_ns=12_000.0,
+    measure_ns=8_000.0,
+    convergence_ns=30_000.0,
+    ur_loads=(0.3, 0.6),
+    adv_loads=(0.15, 0.3),
+    ur_reference_load=0.5,
+    adv_reference_load=0.3,
+)
+
+
+def bench_scale() -> ExperimentScale:
+    """Scale used by the benchmarks (env-overridable, fast by default)."""
+    if os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"):
+        return default_scale()
+    return _FAST_BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+def _run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure-regeneration function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    """Fixture wrapper so benchmark modules need no cross-module imports."""
+    return _run_once

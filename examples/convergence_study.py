@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Convergence and dynamic-load behaviour of Q-adaptive (Figures 7 and 8).
+
+Part 1 starts Q-adaptive on an empty network and tracks the average packet
+latency over time under UR and ADV+1 traffic: the latency spike at start-up
+and the decay to a stable plateau is the multi-agent learning transient the
+paper reports in Figure 7.
+
+Part 2 changes the offered load mid-run (Figure 8) and tracks the delivered
+throughput, showing Q-adaptive re-adapting to the new operating point.
+
+Run:
+    python examples/convergence_study.py [horizon_us]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DragonflyConfig
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.stats.report import format_series
+from repro.traffic import LoadSchedule
+
+
+def convergence(pattern: str, load: float, horizon_us: float, config) -> None:
+    spec = ExperimentSpec(
+        config=config,
+        routing="Q-adp",
+        pattern=pattern,
+        offered_load=load,
+        sim_time_ns=horizon_us * 1_000.0,
+        warmup_ns=0.0,
+        stats_bin_ns=horizon_us * 1_000.0 / 20,
+        seed=3,
+    )
+    result = run_experiment(spec)
+    times, values = result.latency_timeline_us
+    print(format_series(f"{pattern} @ {load}", times, values, "time_us", "latency_us"))
+    if len(values) >= 4:
+        start = max(values[: len(values) // 4])
+        end = values[-1]
+        print(f"   peak-of-first-quarter -> final: {start:.2f} us -> {end:.2f} us\n")
+
+
+def dynamic_load(pattern: str, low: float, high: float, horizon_us: float, config) -> None:
+    step_ns = horizon_us * 1_000.0 / 2
+    spec = ExperimentSpec(
+        config=config,
+        routing="Q-adp",
+        pattern=pattern,
+        schedule=LoadSchedule.step(low, step_ns, high),
+        offered_load=None,
+        sim_time_ns=horizon_us * 1_000.0,
+        warmup_ns=0.0,
+        stats_bin_ns=horizon_us * 1_000.0 / 25,
+        seed=3,
+    )
+    result = run_experiment(spec)
+    times, values = result.throughput_timeline
+    print(format_series(
+        f"{pattern} load {low}->{high} (step at {step_ns / 1_000.0:.0f} us)",
+        times, values, "time_us", "throughput",
+    ))
+    print()
+
+
+def main() -> None:
+    horizon_us = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    config = DragonflyConfig.small_72()
+    print("=== Part 1: convergence from an empty network (Figure 7) ===\n")
+    convergence("UR", 0.5, horizon_us, config)
+    convergence("ADV+1", 0.3, horizon_us, config)
+
+    print("=== Part 2: adapting to a changing offered load (Figure 8) ===\n")
+    dynamic_load("UR", 0.3, 0.6, horizon_us * 2, config)
+    dynamic_load("ADV+4", 0.15, 0.3, horizon_us * 2, config)
+
+
+if __name__ == "__main__":
+    main()

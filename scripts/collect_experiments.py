@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Collect the reduced-scale headline numbers recorded in EXPERIMENTS.md.
+
+Runs the six routing algorithms under UR and ADV+1 at the reduced scale
+(72-node Dragonfly, 150 µs warm-up / learning + 50 µs measurement) and prints
+one table per pattern, plus a Q-adaptive convergence trace.  This is the
+script that produced the numbers quoted in EXPERIMENTS.md; re-run it to
+refresh them (about 10–15 minutes of CPU time).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.experiments.presets import PAPER_ALGORITHMS, REDUCED_SCALE
+from repro.stats.report import format_table
+
+CASES = (
+    ("UR", 0.5),
+    ("UR", 0.7),
+    ("ADV+1", 0.35),
+)
+
+
+def main() -> None:
+    scale = REDUCED_SCALE
+    rows = []
+    for pattern, load in CASES:
+        for algorithm in PAPER_ALGORITHMS:
+            spec = ExperimentSpec(
+                config=scale.config,
+                routing=algorithm,
+                pattern=pattern,
+                offered_load=load,
+                sim_time_ns=scale.sim_time_ns,
+                warmup_ns=scale.warmup_ns,
+                seed=scale.seed,
+                routing_kwargs={"params": scale.qadaptive_params} if algorithm == "Q-adp" else {},
+            )
+            started = time.time()
+            result = run_experiment(spec)
+            row = result.summary_row()
+            row["wall_s"] = round(time.time() - started, 1)
+            rows.append(row)
+            print(json.dumps(row), flush=True)
+    print()
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — Q-adaptive: multi-agent reinforcement-learning routing on Dragonfly.
+
+A from-scratch Python reproduction of *"Q-adaptive: A Multi-Agent
+Reinforcement Learning Based Routing on Dragonfly Network"* (HPDC 2021),
+including the flit-level Dragonfly network simulator it is evaluated on, all
+baseline routing algorithms (MIN, VALg, VALn, UGALg, UGALn, PAR, Q-routing),
+the traffic patterns of the evaluation, and the experiment harness that
+regenerates every figure of the paper.
+
+Quick start::
+
+    from repro import DragonflyConfig, DragonflyNetwork
+    from repro.core import QAdaptiveRouting
+    from repro.traffic import UniformRandomTraffic, TrafficGenerator
+
+    net = DragonflyNetwork(DragonflyConfig.small_72(), QAdaptiveRouting(), seed=1)
+    gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.5)
+    gen.start()
+    net.run(until=50_000.0)        # 50 µs
+    print(net.finalize().to_dict())
+"""
+
+from repro.network.network import DragonflyNetwork
+from repro.network.params import NetworkParams
+from repro.stats.collectors import RunStats
+from repro.topology.config import DragonflyConfig
+from repro.topology.dragonfly import DragonflyTopology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DragonflyConfig",
+    "DragonflyNetwork",
+    "DragonflyTopology",
+    "NetworkParams",
+    "RunStats",
+    "__version__",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: run single experiments or regenerate paper figures.
+
+Installed as the ``repro-sim`` console script (see ``pyproject.toml``); also
+usable as ``python -m repro.cli``.
+
+Examples
+--------
+Run one experiment and print its summary::
+
+    repro-sim run --routing Q-adp --pattern ADV+1 --load 0.3 --time-us 100
+
+Compare several algorithms under one pattern::
+
+    repro-sim compare --routing MIN VALn UGALn Q-adp --pattern UR --load 0.5
+
+Regenerate a paper artefact (table or figure) at a chosen scale::
+
+    repro-sim figure table1
+    repro-sim figure fig7 --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    ExperimentSpec,
+    ablation_hyperparams,
+    ablation_maxq,
+    figure5_sweep,
+    figure6_tail_latency,
+    figure7_convergence,
+    figure8_dynamic_load,
+    figure9_scaleup,
+    run_experiment,
+    table1_configurations,
+    table_qtable_memory,
+)
+from repro.experiments.presets import default_scale, scale_by_name
+from repro.stats.report import comparison_table, format_table
+from repro.topology.config import DragonflyConfig
+
+FIGURES = {
+    "table1": lambda scale: table1_configurations(),
+    "qtable-memory": lambda scale: table_qtable_memory(),
+    "fig5": figure5_sweep,
+    "fig6": figure6_tail_latency,
+    "fig7": figure7_convergence,
+    "fig8": figure8_dynamic_load,
+    "fig9": figure9_scaleup,
+    "ablation-maxq": ablation_maxq,
+    "ablation-hyperparams": ablation_hyperparams,
+}
+
+
+def _config_from_name(name: str) -> DragonflyConfig:
+    presets = {
+        "tiny": DragonflyConfig.tiny,
+        "small": DragonflyConfig.small_72,
+        "medium": DragonflyConfig.medium_342,
+        "paper-1056": DragonflyConfig.paper_1056,
+        "paper-2550": DragonflyConfig.paper_2550,
+    }
+    if name in presets:
+        return presets[name]()
+    try:
+        p, a, h = (int(x) for x in name.split(","))
+    except ValueError as exc:
+        raise SystemExit(
+            f"unknown config {name!r}: use one of {sorted(presets)} or 'p,a,h'"
+        ) from exc
+    return DragonflyConfig(p=p, a=a, h=h)
+
+
+def _build_spec(args: argparse.Namespace, routing: str) -> ExperimentSpec:
+    sim_time_ns = args.time_us * 1_000.0
+    warmup_ns = args.warmup_us * 1_000.0 if args.warmup_us is not None else sim_time_ns / 2
+    return ExperimentSpec(
+        config=_config_from_name(args.config),
+        routing=routing,
+        pattern=args.pattern,
+        offered_load=args.load,
+        sim_time_ns=sim_time_ns,
+        warmup_ns=warmup_ns,
+        seed=args.seed,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(_build_spec(args, args.routing[0]))
+    row = result.summary_row()
+    if args.json:
+        print(json.dumps(row, indent=2))
+    else:
+        print(format_table([row]))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = {}
+    for routing in args.routing:
+        result = run_experiment(_build_spec(args, routing))
+        rows[routing] = result.summary_row()
+    print(comparison_table(
+        rows, ["mean_latency_us", "p99_latency_us", "throughput", "mean_hops"]
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = scale_by_name(args.scale) if args.scale else default_scale()
+    fn = FIGURES[args.name]
+    data = fn(scale)
+    print(json.dumps(data, indent=2, default=str))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Q-adaptive Dragonfly routing reproduction — simulation driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, multi_routing: bool) -> None:
+        nargs = "+" if multi_routing else 1
+        p.add_argument("--routing", nargs=nargs, default=["Q-adp"] if not multi_routing else
+                       ["MIN", "Q-adp"],
+                       help="routing algorithm name(s): MIN, VALg, VALn, UGALg, UGALn, PAR, "
+                            "Q-adp, Q-routing")
+        p.add_argument("--pattern", default="UR",
+                       help="traffic pattern: UR, ADV+<i>, '3D Stencil', 'Many to Many', "
+                            "'Random Neighbors', Permutation, Hotspot")
+        p.add_argument("--load", type=float, default=0.5, help="offered load in (0, 1]")
+        p.add_argument("--config", default="small",
+                       help="tiny | small | medium | paper-1056 | paper-2550 | 'p,a,h'")
+        p.add_argument("--time-us", type=float, default=50.0, help="simulated time (µs)")
+        p.add_argument("--warmup-us", type=float, default=None,
+                       help="warm-up time (µs); default: half the simulated time")
+        p.add_argument("--seed", type=int, default=1)
+
+    run_p = sub.add_parser("run", help="run one experiment and print its summary")
+    add_common(run_p, multi_routing=False)
+    run_p.add_argument("--json", action="store_true", help="print the summary as JSON")
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run several algorithms under one pattern")
+    add_common(cmp_p, multi_routing=True)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper table/figure as JSON")
+    fig_p.add_argument("name", choices=sorted(FIGURES))
+    fig_p.add_argument("--scale", default=None,
+                       help="bench | reduced | paper-1056 | paper-2550 (default: env-selected)")
+    fig_p.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Shared machinery of the table-based multi-agent RL routing algorithms.
+
+Both Q-routing (Boyan & Littman) and the paper's Q-adaptive routing follow the
+same cooperative independent-learner protocol:
+
+1. every router owns a private value table estimating delivery times;
+2. when router *x* forwards a packet to neighbour *y* through port *q*, it
+   tags the packet with ``(x, row, q, arrival_time_at_x)``;
+3. when *y* makes its own forwarding (or ejection) decision for that packet it
+   computes the reward ``r`` — the packet travelling time from *x* to *y* —
+   and its best remaining estimate ``Q_y`` (zero if *y* is the destination
+   router), and sends ``r + Q_y`` back to *x*;
+4. *x* folds the target into its table with the hysteretic update of
+   Equation 3.
+
+The feedback travels against the link direction, so it is applied after the
+reverse-link latency — mimicking a value piggy-backed on credit/control flits,
+which is how the paper argues the scheme needs no extra bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.hysteretic import HystereticParams
+from repro.core.qtable import _PortQTable
+from repro.network.packet import Packet
+from repro.network.router import Router
+from repro.routing.base import RoutingAlgorithm
+
+
+class TabularMarlRouting(RoutingAlgorithm):
+    """Base class for Q-routing / Q-adaptive: owns the tables and the feedback loop."""
+
+    def __init__(
+        self,
+        hysteretic: HystereticParams,
+        learning_enabled: bool = True,
+        feedback_mode: str = "greedy",
+    ) -> None:
+        super().__init__()
+        if feedback_mode not in ("greedy", "onpolicy"):
+            raise ValueError("feedback_mode must be 'greedy' or 'onpolicy'")
+        self.hysteretic = hysteretic
+        self.learning_enabled = learning_enabled
+        #: "greedy" sends min-over-row (Q-routing's "smallest Q-value");
+        #: "onpolicy" sends the Q-value of the port actually selected, which
+        #: reflects the constrained (mostly minimal) behaviour of downstream
+        #: routers more accurately.
+        self.feedback_mode = feedback_mode
+        self.tables: List[_PortQTable] = []
+        self.feedback_sent = 0
+        self.feedback_applied = 0
+        #: when True, feedback is applied immediately instead of after the
+        #: reverse-link latency (useful for deterministic unit tests)
+        self.instant_feedback = False
+
+    # ------------------------------------------------------- subclass contract
+    def _build_table(self, router_id: int) -> _PortQTable:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _row_for(self, packet: Packet) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- wiring
+    def _setup(self) -> None:
+        self.tables = [self._build_table(r) for r in self.topo.all_routers()]
+
+    def table(self, router_id: int) -> _PortQTable:
+        """Value table of one router (inspection / tests)."""
+        return self.tables[router_id]
+
+    def total_table_memory_bytes(self) -> int:
+        """Router memory consumed by all value tables in the system."""
+        return sum(t.memory_bytes() for t in self.tables)
+
+    # -------------------------------------------------------------- RL updates
+    def route(self, router: Router, packet: Packet, in_port: int) -> int:
+        """Routing decision plus the feedback for the previous hop.
+
+        The paper's protocol sends the feedback *after* the next hop has been
+        selected ("After R_y selects next hop, its smallest Q-value Q_y and a
+        reward r will be sent back to R_x"), so the decision is made first and
+        the feedback value can optionally reflect the selected port
+        (``feedback_mode="onpolicy"``).
+        """
+        if packet.dst_router == router.id:
+            out_port = self.topo.host_port_of_node(packet.dst_node)
+        else:
+            out_port = self.decide(router, packet, in_port)
+        self._send_feedback(router, packet, in_port, out_port)
+        return out_port
+
+    def _send_feedback(self, router: Router, packet: Packet, in_port: int,
+                       out_port: int) -> None:
+        """Send the pending feedback of the previous hop back to its router."""
+        feedback = packet.qfeedback
+        if feedback is None or not self.learning_enabled:
+            return
+        packet.qfeedback = None
+        prev_router, row, column, prev_arrival_ns = feedback
+        reward = packet.router_arrival_ns - prev_arrival_ns
+        if router.id == packet.dst_router:
+            q_next = 0.0
+        elif self.feedback_mode == "onpolicy" and out_port >= self.topo.p:
+            q_next = self.tables[router.id].value(row, out_port)
+        else:
+            q_next = self.tables[router.id].min_value(row)
+        target = reward + q_next
+        self.feedback_sent += 1
+        if self.instant_feedback:
+            self._apply_feedback(prev_router, row, column, target)
+            return
+        reverse_latency = router.channels[in_port].latency_ns
+        self.network.sim.after(reverse_latency, self._apply_feedback,
+                               prev_router, row, column, target)
+
+    def _apply_feedback(self, router_id: int, row: int, column: int, target: float) -> None:
+        """Hysteretic update of one table entry (Equation 3)."""
+        table = self.tables[router_id]
+        current = table.values[row, column]
+        delta = target - current
+        rate = self.hysteretic.alpha if delta < 0.0 else self.hysteretic.beta
+        table.values[row, column] = current + rate * delta
+        table.updates += 1
+        self.feedback_applied += 1
+
+    def on_forward(self, router: Router, packet: Packet, in_port: int, out_port: int,
+                   now: float) -> None:
+        """Tag the packet so the next router can send feedback for this hop."""
+        if not self.learning_enabled or out_port < self.topo.p:
+            return  # ejection needs no further estimate
+        table = self.tables[router.id]
+        packet.qfeedback = (
+            router.id,
+            self._row_for(packet),
+            table.column_of_port(out_port),
+            packet.router_arrival_ns,
+        )
+
+    # ------------------------------------------------------------- diagnostics
+    def freeze(self) -> None:
+        """Stop learning (tables stay fixed); useful for ablations."""
+        self.learning_enabled = False
+
+    def unfreeze(self) -> None:
+        self.learning_enabled = True
+
+    def table_snapshot(self, router_id: Optional[int] = None):
+        """Copy of one router's table, or the mean Q-value per router when ``None``."""
+        if router_id is not None:
+            return self.tables[router_id].snapshot()
+        return [float(t.values.mean()) for t in self.tables]

@@ -1,0 +1,53 @@
+"""Action-selection policies used by Q-adaptive routing.
+
+Two ingredients (Section 4, Equation 2 and the flow chart of Figure 4):
+
+* the **ΔV threshold rule** biases the decision towards the minimal
+  forwarding port unless the best table entry is substantially better —
+  ``ΔV = (Q_min − Q_best) / Q_min`` is compared against a tunable threshold
+  (``q_thld1`` at the source router, ``q_thld2`` at the first
+  intermediate-group router);
+* **ε-greedy exploration** occasionally replaces the chosen port with a
+  random candidate so that under-estimated paths keep being sampled.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def delta_v(q_min_path: float, q_best_path: float) -> float:
+    """Relative advantage of the best path over the minimal path (Equation 2).
+
+    Positive when the best path looks faster than the minimal path.  A
+    non-positive ``Q_min`` (impossible for real delivery-time estimates, but
+    reachable transiently through aggressive updates) is treated as "no
+    advantage computable" and yields ``0.0`` so the minimal path wins.
+    """
+    if q_min_path <= 0.0:
+        return 0.0
+    return (q_min_path - q_best_path) / q_min_path
+
+
+def select_with_threshold(
+    min_path_port: int,
+    q_min_path: float,
+    best_path_port: int,
+    q_best_path: float,
+    threshold: float,
+) -> Tuple[int, float]:
+    """Apply Equation 2: pick the minimal port unless ΔV reaches ``threshold``.
+
+    Returns ``(temporary_port, delta_v_value)``.
+    """
+    advantage = delta_v(q_min_path, q_best_path)
+    if advantage < threshold:
+        return min_path_port, advantage
+    return best_path_port, advantage
+
+
+def epsilon_greedy(rng, chosen_port: int, candidate_ports: Sequence[int], epsilon: float) -> int:
+    """With probability ``epsilon`` return a random candidate, else ``chosen_port``."""
+    if epsilon > 0.0 and candidate_ports and rng.random() < epsilon:
+        return candidate_ports[rng.randrange(len(candidate_ports))]
+    return chosen_port

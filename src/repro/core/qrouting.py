@@ -1,0 +1,98 @@
+"""Original Q-routing (Boyan & Littman, 1993) adapted to Dragonfly.
+
+Q-routing keeps one row per destination *router* (an ``m × (k-p)`` table) and
+always forwards through the port with the smallest estimated delivery time,
+exploring with ε-greedy.  Applied naively to a Dragonfly it suffers from
+livelock and deadlock, so — as discussed in Section 2.3.2 of the paper — this
+implementation adds the *naive fix*: once a packet has taken ``maxQ``
+router-to-router hops it is routed minimally to its destination, bounding the
+path length to ``maxQ + 3`` hops (and the VC demand accordingly).
+
+This algorithm exists as the learning baseline / ablation: the paper shows
+there is no single ``maxQ`` value that works for both UR and ADV+i patterns,
+and that the per-destination-router table converges slowly on large systems
+because rarely used destinations hold stale values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.hysteretic import HystereticParams
+from repro.core.marl import TabularMarlRouting
+from repro.core.policy import epsilon_greedy
+from repro.core.qtable import QRoutingTable
+from repro.network.packet import Packet
+from repro.network.router import Router
+from repro.topology.dragonfly import DragonflyTopology
+
+
+@dataclass(frozen=True)
+class QRoutingParams:
+    """Hyper-parameters of the Q-routing baseline.
+
+    ``beta=None`` uses a single learning rate (the original algorithm);
+    setting it enables the same hysteretic update Q-adaptive uses.
+    """
+
+    alpha: float = 0.2
+    beta: Optional[float] = None
+    epsilon: float = 0.001
+    max_q: int = 5
+    #: see :class:`repro.core.qadaptive.QAdaptiveParams.feedback`
+    feedback: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.max_q < 0:
+            raise ValueError("max_q must be non-negative")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {self.epsilon}")
+        if self.feedback not in ("greedy", "onpolicy"):
+            raise ValueError("feedback must be 'greedy' or 'onpolicy'")
+
+    def hysteretic(self) -> HystereticParams:
+        beta = self.alpha if self.beta is None else self.beta
+        return HystereticParams(self.alpha, beta)
+
+
+class QRoutingAlgorithm(TabularMarlRouting):
+    """Q-routing with the naive ``maxQ`` hop threshold (the paper's baseline)."""
+
+    name = "Q-routing"
+
+    def __init__(self, params: Optional[QRoutingParams] = None, **overrides) -> None:
+        if params is None:
+            params = QRoutingParams(**overrides)
+        elif overrides:
+            raise ValueError("pass either a QRoutingParams instance or keyword overrides")
+        self.params = params
+        super().__init__(hysteretic=params.hysteretic(), feedback_mode=params.feedback)
+        self.forced_minimal = 0
+        self.greedy_decisions = 0
+
+    def max_hops(self, topo: DragonflyTopology) -> int:
+        return self.params.max_q + 3
+
+    # ------------------------------------------------------------------ tables
+    def _build_table(self, router_id: int) -> QRoutingTable:
+        table = QRoutingTable(router_id, self.topo)
+        table.initialize_uncongested(self.network.params.timing())
+        return table
+
+    def _row_for(self, packet: Packet) -> int:
+        return packet.dst_router
+
+    # ----------------------------------------------------------------- routing
+    def decide(self, router: Router, packet: Packet, in_port: int) -> int:
+        if packet.hops >= self.params.max_q:
+            # Naive livelock/deadlock fix: fall back to minimal routing.
+            self.forced_minimal += 1
+            return self.minimal_port(router, packet)
+        table = self.tables[router.id]
+        row = packet.dst_router
+        best_port, _ = table.best_port(row)
+        self.greedy_decisions += 1
+        return epsilon_greedy(
+            self.rng, best_port, list(self.topo.non_host_ports), self.params.epsilon
+        )

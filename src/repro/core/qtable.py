@@ -1,0 +1,195 @@
+"""Q-tables: the original Q-routing table and the paper's two-level Q-table.
+
+Both tables map a *row* (what the packet is) and a *column* (a candidate
+output port) to an estimated delivery time in nanoseconds.  Columns cover the
+``k - p`` network ports of a router (local + global); host ports never appear
+because a router only consults the table for packets that still have to
+travel.
+
+* The **original Q-routing table** (Table 2) has one row per destination
+  *router*: ``m × (k - p)`` entries.
+* The **two-level Q-table** (Table 3) has one row per *(destination group,
+  source node index)* pair: ``(g · p) × (k - p)`` entries.  For a balanced
+  Dragonfly (``a = 2p``) this is exactly half the rows — the 50 % memory
+  saving claimed by the paper — and rows are shared by all destinations in a
+  group, which keeps them fresh even for rarely used destinations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.config import DragonflyConfig
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.paths import LinkTiming, min_time_router_to_group, uncongested_delivery_time
+
+
+class _PortQTable:
+    """Shared implementation: a dense (rows × network-ports) value table."""
+
+    def __init__(self, num_rows: int, topo: DragonflyTopology, value_bytes: int = 8) -> None:
+        self.topo = topo
+        self.first_port = topo.p
+        self.num_ports = topo.k - topo.p
+        self.num_rows = num_rows
+        self.value_bytes = value_bytes
+        self.values = np.zeros((num_rows, self.num_ports), dtype=np.float64)
+        self.updates = 0
+
+    # ------------------------------------------------------------ port <-> col
+    def column_of_port(self, port: int) -> int:
+        col = port - self.first_port
+        if col < 0 or col >= self.num_ports:
+            raise ValueError(f"port {port} has no Q-table column (host port?)")
+        return col
+
+    def port_of_column(self, col: int) -> int:
+        if col < 0 or col >= self.num_ports:
+            raise ValueError(f"column {col} out of range")
+        return col + self.first_port
+
+    # ------------------------------------------------------------------ access
+    def value(self, row: int, port: int) -> float:
+        return float(self.values[row, self.column_of_port(port)])
+
+    def set_value(self, row: int, port: int, value: float) -> None:
+        self.values[row, self.column_of_port(port)] = value
+
+    def min_value(self, row: int) -> float:
+        """Smallest estimated delivery time of the row (the row's Q_y)."""
+        return float(self.values[row].min())
+
+    def best_port(self, row: int, candidate_ports: Optional[Sequence[int]] = None
+                  ) -> Tuple[int, float]:
+        """Port with the smallest Q-value of ``row`` (restricted to ``candidate_ports``)."""
+        row_values = self.values[row]
+        if candidate_ports is None:
+            col = int(row_values.argmin())
+            return self.port_of_column(col), float(row_values[col])
+        best_port = -1
+        best_value = float("inf")
+        for port in candidate_ports:
+            value = row_values[port - self.first_port]
+            if value < best_value:
+                best_value = float(value)
+                best_port = port
+        return best_port, best_value
+
+    def apply_delta(self, row: int, port: int, delta: float) -> None:
+        """Add ``delta`` to one entry (used by the hysteretic update)."""
+        self.values[row, self.column_of_port(port)] += delta
+        self.updates += 1
+
+    # ------------------------------------------------------------------ memory
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_rows, self.num_ports)
+
+    def memory_bytes(self) -> int:
+        """Router memory needed to hold this table at ``value_bytes`` per entry."""
+        return self.num_rows * self.num_ports * self.value_bytes
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the value matrix (for convergence diagnostics / tests)."""
+        return self.values.copy()
+
+
+class QRoutingTable(_PortQTable):
+    """Original Q-routing table: one row per destination router (Table 2)."""
+
+    def __init__(self, router_id: int, topo: DragonflyTopology, value_bytes: int = 8) -> None:
+        super().__init__(topo.num_routers, topo, value_bytes)
+        self.router_id = router_id
+
+    def row_for(self, dst_router: int) -> int:
+        return dst_router
+
+    def initialize_uncongested(self, timing: LinkTiming) -> None:
+        """Initialise every entry to the congestion-free minimal delivery time."""
+        topo = self.topo
+        eject = timing.hop_time(topo.port_type(0))
+        local = timing.hop_time(topo.port_type(topo.p))
+        glob = timing.hop_time(topo.port_type(topo.k - 1))
+        src_id = self.router_id
+        for col in range(self.num_ports):
+            port = self.port_of_column(col)
+            neighbor, _ = topo.neighbor_of(src_id, port)
+            first = local if topo.is_local_port(port) else glob
+            n_group = topo.group_of_router(neighbor)
+            for dest in range(topo.num_routers):
+                d_group = topo.group_of_router(dest)
+                if neighbor == dest:
+                    remaining = 0.0
+                elif n_group == d_group:
+                    remaining = local
+                else:
+                    remaining = 0.0
+                    if topo.global_port_to_group(neighbor, d_group) is None:
+                        remaining += local
+                    remaining += glob
+                    if topo.gateway_router(d_group, n_group) != dest:
+                        remaining += local
+                self.values[dest, col] = first + remaining + eject
+
+
+class TwoLevelQTable(_PortQTable):
+    """The paper's two-level Q-table: rows indexed by (destination group, source node)."""
+
+    def __init__(self, router_id: int, topo: DragonflyTopology, value_bytes: int = 8) -> None:
+        super().__init__(topo.g * topo.p, topo, value_bytes)
+        self.router_id = router_id
+
+    def row_for(self, dst_group: int, src_node_local: int) -> int:
+        """Row of a packet generated on node-local index ``src_node_local`` heading
+        to ``dst_group`` (``row = dst_group * p + src_node_local``)."""
+        return dst_group * self.topo.p + src_node_local
+
+    def initialize_uncongested(self, timing: LinkTiming) -> None:
+        """Initialise every entry to the congestion-free delivery time via that port.
+
+        Section 5.1: "Q-values are initialized to the theoretical packet
+        delivery time without any congestion through a minimal routing path."
+        All ``p`` source-node rows of a destination group start identical; they
+        diverge as learning differentiates per-source congestion.
+        """
+        topo = self.topo
+        p = topo.p
+        for col in range(self.num_ports):
+            port = self.port_of_column(col)
+            for group in range(topo.g):
+                estimate = uncongested_delivery_time(topo, self.router_id, port, group, timing)
+                for node_local in range(p):
+                    self.values[group * p + node_local, col] = estimate
+
+
+def qtable_memory_comparison(config: DragonflyConfig, value_bytes: int = 8) -> Dict[str, float]:
+    """Memory footprint of the two table designs for one router (Tables 2 vs 3).
+
+    Returns per-router sizes in bytes plus the relative saving of the
+    two-level design (0.5 for a balanced Dragonfly).
+    """
+    cols = config.radix - config.p
+    original_rows = config.num_routers
+    two_level_rows = config.num_groups * config.p
+    original = original_rows * cols * value_bytes
+    two_level = two_level_rows * cols * value_bytes
+    return {
+        "columns": cols,
+        "original_rows": original_rows,
+        "two_level_rows": two_level_rows,
+        "original_bytes": original,
+        "two_level_bytes": two_level,
+        "saving_fraction": 1.0 - two_level / original,
+        "system_original_bytes": original * config.num_routers,
+        "system_two_level_bytes": two_level * config.num_routers,
+    }
+
+
+__all__ = [
+    "QRoutingTable",
+    "TwoLevelQTable",
+    "qtable_memory_comparison",
+    "min_time_router_to_group",
+]

@@ -1,0 +1,95 @@
+"""Event records and the event calendar used by the simulator.
+
+Events are ordered by ``(time, sequence)``; the monotonically increasing
+sequence number makes ordering stable for simultaneous events, which keeps
+simulations bit-for-bit reproducible regardless of heap tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`repro.engine.simulator.Simulator.at` /
+    ``after`` and can be cancelled with :meth:`cancel`.  Cancelled events stay
+    in the heap but are skipped when popped (lazy deletion), which is cheaper
+    than re-heapifying.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.1f}ns #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """A stable binary-heap event calendar."""
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
+        """Insert a callback at absolute ``time`` and return its handle."""
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event without removing it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debugging aid
+        return iter(sorted(e for e in self._heap if not e.cancelled))

@@ -1,0 +1,132 @@
+"""Simulation kernel: a wall clock plus an event calendar.
+
+Typical use::
+
+    sim = Simulator()
+    sim.after(10.0, callback, arg1, arg2)
+    sim.run(until=1_000.0)
+
+Components hold a reference to the shared :class:`Simulator` and schedule
+their own callbacks; the kernel knows nothing about networks or routers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling errors (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock in nanoseconds.
+    """
+
+    __slots__ = ("_queue", "_now", "_events_processed", "_running")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._queue = EventQueue()
+        self._now = float(start_time)
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (useful for profiling/tests)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still in the calendar."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+    def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} ns: clock is already at {self._now} ns"
+            )
+        return self._queue.push(time, callback, args)
+
+    def after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} ns")
+        return self._queue.push(self._now + delay, callback, args)
+
+    # ---------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the clock is advanced to
+            ``until`` on return).  ``None`` runs until the calendar is empty.
+        max_events:
+            Optional safety limit on the number of events executed in this
+            call.
+
+        Returns
+        -------
+        float
+            The simulation time on return.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        executed = 0
+        queue = self._queue
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = queue.peek_time()
+                if next_time is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = queue.pop()
+                if event is None:  # pragma: no cover - defensive
+                    break
+                self._now = event.time
+                event.callback(*event.args)
+                executed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one event. Returns ``False`` if the calendar is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.callback(*event.args)
+        self._events_processed += 1
+        return True
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Drop all pending events and rewind the clock."""
+        self._queue.clear()
+        self._now = float(start_time)
+        self._events_processed = 0

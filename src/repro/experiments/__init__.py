@@ -1,0 +1,49 @@
+"""Experiment harness: presets, single-run driver, and per-figure reproduction."""
+
+from repro.experiments.figures import (
+    ablation_hyperparams,
+    ablation_maxq,
+    figure5_sweep,
+    figure6_tail_latency,
+    figure7_convergence,
+    figure8_dynamic_load,
+    figure9_scaleup,
+    table1_configurations,
+    table_qtable_memory,
+)
+from repro.experiments.harness import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+    run_load_sweep,
+)
+from repro.experiments.presets import (
+    BENCH_SCALE,
+    PAPER_SCALE_1056,
+    PAPER_SCALE_2550,
+    REDUCED_SCALE,
+    ExperimentScale,
+    default_scale,
+)
+
+__all__ = [
+    "BENCH_SCALE",
+    "ExperimentResult",
+    "ExperimentScale",
+    "ExperimentSpec",
+    "PAPER_SCALE_1056",
+    "PAPER_SCALE_2550",
+    "REDUCED_SCALE",
+    "ablation_hyperparams",
+    "ablation_maxq",
+    "default_scale",
+    "figure5_sweep",
+    "figure6_tail_latency",
+    "figure7_convergence",
+    "figure8_dynamic_load",
+    "figure9_scaleup",
+    "run_experiment",
+    "run_load_sweep",
+    "table1_configurations",
+    "table_qtable_memory",
+]

@@ -1,0 +1,405 @@
+"""Reproduction of every table and figure of the paper's evaluation.
+
+Each function regenerates the data series behind one table/figure and returns
+plain dictionaries (JSON-friendly) so benchmarks, examples and EXPERIMENTS.md
+can print or compare them.  The mapping to the paper:
+
+====================== ==========================================================
+function               paper artefact
+====================== ==========================================================
+``table1_configurations``  Table 1 (Dragonfly configurations)
+``table_qtable_memory``    Tables 2–3 (Q-table vs two-level Q-table memory)
+``figure5_sweep``          Figure 5 (latency / throughput / hops vs offered load)
+``figure6_tail_latency``   Figure 6 (latency distribution, mean/p95/p99)
+``figure7_convergence``    Figure 7 (convergence from an empty network)
+``figure8_dynamic_load``   Figure 8 (throughput under varying offered load)
+``figure9_scaleup``        Figure 9 (scale-up case study, five patterns)
+``ablation_maxq``          Section 2.3.2 discussion (naive Q-routing maxQ)
+``ablation_hyperparams``   Section 4 design choices (thresholds, feedback rule)
+====================== ==========================================================
+
+All functions take an :class:`~repro.experiments.presets.ExperimentScale`;
+the default (``BENCH_SCALE`` unless ``REPRO_PAPER_SCALE=1``) keeps run times
+reasonable for pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.qtable import qtable_memory_comparison
+from repro.experiments.harness import ExperimentResult, ExperimentSpec, run_experiment
+from repro.experiments.presets import (
+    PAPER_ALGORITHMS,
+    ExperimentScale,
+    default_scale,
+)
+from repro.stats.summary import fraction_below, summarize_latencies
+from repro.topology.config import DragonflyConfig
+from repro.traffic import LoadSchedule
+
+
+# --------------------------------------------------------------------- tables
+def table1_configurations(
+    configs: Optional[Sequence[DragonflyConfig]] = None,
+) -> List[Dict[str, object]]:
+    """Rows of Table 1: derived sizes of the evaluated Dragonfly systems."""
+    if configs is None:
+        configs = (DragonflyConfig.paper_1056(), DragonflyConfig.paper_2550())
+    return [config.describe() for config in configs]
+
+
+def table_qtable_memory(
+    configs: Optional[Sequence[DragonflyConfig]] = None,
+) -> List[Dict[str, object]]:
+    """Per-router memory of the original vs two-level Q-table (Tables 2–3)."""
+    if configs is None:
+        configs = (DragonflyConfig.paper_1056(), DragonflyConfig.paper_2550())
+    rows = []
+    for config in configs:
+        row: Dict[str, object] = {"N": config.num_nodes}
+        row.update(qtable_memory_comparison(config))
+        rows.append(row)
+    return rows
+
+
+# ------------------------------------------------------------------- figure 5
+def _qadaptive_kwargs(scale: ExperimentScale, scaleup: bool = False) -> Dict[str, Dict]:
+    params = scale.qadaptive_scaleup_params if scaleup else scale.qadaptive_params
+    return {"Q-adp": {"params": params}}
+
+
+def figure5_sweep(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    loads_by_pattern: Optional[Dict[str, Sequence[float]]] = None,
+) -> Dict[str, Dict[str, Dict[str, List[float]]]]:
+    """Figure 5: latency, throughput and hop count vs offered load.
+
+    Returns ``{pattern: {algorithm: {"loads", "latency_us", "throughput",
+    "hops"}}}`` — the nine panels of Figure 5 are the three metrics of the
+    three patterns.
+    """
+    scale = scale or default_scale()
+    algorithms = list(algorithms or PAPER_ALGORITHMS)
+    patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
+    routing_kwargs = _qadaptive_kwargs(scale)
+
+    results: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
+    for pattern in patterns:
+        loads = list(
+            (loads_by_pattern or {}).get(
+                pattern, scale.ur_loads if pattern.upper() == "UR" else scale.adv_loads
+            )
+        )
+        per_pattern: Dict[str, Dict[str, List[float]]] = {}
+        for algorithm in algorithms:
+            series = {"loads": loads, "latency_us": [], "throughput": [], "hops": []}
+            for load in loads:
+                spec = ExperimentSpec(
+                    config=scale.config,
+                    routing=algorithm,
+                    pattern=pattern,
+                    offered_load=load,
+                    sim_time_ns=scale.sim_time_ns,
+                    warmup_ns=scale.warmup_ns,
+                    seed=scale.seed,
+                    routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+                )
+                result = run_experiment(spec)
+                series["latency_us"].append(result.mean_latency_us)
+                series["throughput"].append(result.throughput)
+                series["hops"].append(result.mean_hops)
+            per_pattern[algorithm] = series
+        results[pattern] = per_pattern
+    return results
+
+
+# ------------------------------------------------------------------- figure 6
+def _distribution_row(result: ExperimentResult) -> Dict[str, float]:
+    summary = summarize_latencies(result.latencies_ns).as_microseconds()
+    summary["mean_hops"] = result.mean_hops
+    summary["throughput"] = result.throughput
+    summary["fraction_below_2us"] = fraction_below(result.latencies_ns, 2_000.0)
+    return summary
+
+
+def figure6_tail_latency(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    loads: Optional[Dict[str, float]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 6: packet latency distribution at a fixed load per pattern.
+
+    The paper fixes UR at load 0.8 and ADV+i at 0.45; the scaled presets use
+    their own reference loads.  Returns ``{pattern: {algorithm: summary}}``
+    where each summary holds mean / median / p95 / p99 / quartiles /
+    whiskers (µs) plus the fraction of packets below 2 µs.
+    """
+    scale = scale or default_scale()
+    algorithms = list(algorithms or PAPER_ALGORITHMS)
+    patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
+    routing_kwargs = _qadaptive_kwargs(scale)
+
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for pattern in patterns:
+        if loads and pattern in loads:
+            load = loads[pattern]
+        elif pattern.upper() == "UR":
+            load = scale.ur_reference_load
+        else:
+            load = scale.adv_reference_load
+        per_pattern: Dict[str, Dict[str, float]] = {}
+        for algorithm in algorithms:
+            spec = ExperimentSpec(
+                config=scale.config,
+                routing=algorithm,
+                pattern=pattern,
+                offered_load=load,
+                sim_time_ns=scale.sim_time_ns,
+                warmup_ns=scale.warmup_ns,
+                seed=scale.seed,
+                routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+            )
+            result = run_experiment(spec)
+            row = _distribution_row(result)
+            row["offered_load"] = load
+            per_pattern[algorithm] = row
+        results[pattern] = per_pattern
+    return results
+
+
+# ------------------------------------------------------------------- figure 7
+def figure7_convergence(
+    scale: Optional[ExperimentScale] = None,
+    cases: Optional[Sequence[Tuple[str, float]]] = None,
+    bin_ns: float = 5_000.0,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 7: Q-adaptive latency over time, starting from an empty network.
+
+    Returns ``{"<pattern> load <L>": {"time_us": [...], "latency_us": [...]}}``.
+    """
+    scale = scale or default_scale()
+    if cases is None:
+        cases = (
+            ("UR", round(scale.ur_reference_load / 2, 3)),
+            ("UR", scale.ur_reference_load),
+            ("ADV+1", round(scale.adv_reference_load / 2, 3)),
+            ("ADV+4", round(scale.adv_reference_load / 2, 3)),
+            ("ADV+1", scale.adv_reference_load),
+            ("ADV+4", scale.adv_reference_load),
+        )
+    curves: Dict[str, Dict[str, List[float]]] = {}
+    for pattern, load in cases:
+        spec = ExperimentSpec(
+            config=scale.config,
+            routing="Q-adp",
+            pattern=pattern,
+            offered_load=load,
+            sim_time_ns=scale.convergence_ns,
+            warmup_ns=0.0,
+            seed=scale.seed,
+            stats_bin_ns=bin_ns,
+            routing_kwargs={"params": scale.qadaptive_params},
+        )
+        result = run_experiment(spec)
+        times, values = result.latency_timeline_us
+        curves[f"{pattern} load {load}"] = {
+            "time_us": [float(t) for t in times],
+            "latency_us": [float(v) for v in values],
+            "final_latency_us": float(values[-1]) if len(values) else float("nan"),
+        }
+    return curves
+
+
+# ------------------------------------------------------------------- figure 8
+def figure8_dynamic_load(
+    scale: Optional[ExperimentScale] = None,
+    cases: Optional[Sequence[Tuple[str, float, float]]] = None,
+    bin_ns: float = 5_000.0,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 8: system throughput while the offered load steps up or down.
+
+    Each case is ``(pattern, initial_load, new_load)``; the load changes at
+    ``scale.convergence_ns`` and the run lasts twice that long.  Returns the
+    binned throughput time series per case.
+    """
+    scale = scale or default_scale()
+    if cases is None:
+        ur_hi, ur_lo = scale.ur_reference_load, round(scale.ur_reference_load / 2, 3)
+        adv_hi, adv_lo = scale.adv_reference_load, round(scale.adv_reference_load / 2, 3)
+        cases = (
+            ("UR", ur_lo, ur_hi),
+            ("UR", ur_hi, ur_lo),
+            ("ADV+4", adv_lo, adv_hi),
+            ("ADV+4", adv_hi, adv_lo),
+        )
+    curves: Dict[str, Dict[str, List[float]]] = {}
+    for pattern, initial, new in cases:
+        step_time = scale.convergence_ns
+        schedule = LoadSchedule.step(initial, step_time, new)
+        spec = ExperimentSpec(
+            config=scale.config,
+            routing="Q-adp",
+            pattern=pattern,
+            schedule=schedule,
+            offered_load=None,
+            sim_time_ns=2 * scale.convergence_ns,
+            warmup_ns=0.0,
+            seed=scale.seed,
+            stats_bin_ns=bin_ns,
+            routing_kwargs={"params": scale.qadaptive_params},
+        )
+        result = run_experiment(spec)
+        times, values = result.throughput_timeline
+        curves[f"{pattern} {initial}->{new}"] = {
+            "time_us": [float(t) for t in times],
+            "throughput": [float(v) for v in values],
+            "step_time_us": step_time / 1_000.0,
+            "final_throughput": float(values[-1]) if len(values) else float("nan"),
+        }
+    return curves
+
+
+# ------------------------------------------------------------------- figure 9
+def figure9_scaleup(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    load: Optional[float] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 9: latency distributions on the scale-up system, five patterns.
+
+    Patterns default to the paper's set (UR, ADV+1, 3D Stencil, Many to Many,
+    Random Neighbors) run on ``scale.scaleup_config`` with the Section 6
+    hyper-parameters.
+    """
+    scale = scale or default_scale()
+    algorithms = list(algorithms or PAPER_ALGORITHMS)
+    patterns = list(
+        patterns or ("UR", "ADV+1", "3D Stencil", "Many to Many", "Random Neighbors")
+    )
+    routing_kwargs = _qadaptive_kwargs(scale, scaleup=True)
+
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for pattern in patterns:
+        if load is not None:
+            pattern_load = load
+        elif pattern.upper().startswith("ADV"):
+            pattern_load = scale.adv_reference_load
+        else:
+            pattern_load = scale.ur_reference_load
+        per_pattern: Dict[str, Dict[str, float]] = {}
+        for algorithm in algorithms:
+            spec = ExperimentSpec(
+                config=scale.scaleup_config,
+                routing=algorithm,
+                pattern=pattern,
+                offered_load=pattern_load,
+                sim_time_ns=scale.sim_time_ns,
+                warmup_ns=scale.warmup_ns,
+                seed=scale.seed,
+                routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+            )
+            result = run_experiment(spec)
+            row = _distribution_row(result)
+            row["offered_load"] = pattern_load
+            per_pattern[algorithm] = row
+        results[pattern] = per_pattern
+    return results
+
+
+# ------------------------------------------------------------------ ablations
+def ablation_maxq(
+    scale: Optional[ExperimentScale] = None,
+    maxq_values: Sequence[int] = (1, 3, 5, 7),
+    patterns: Optional[Sequence[str]] = None,
+    load: Optional[float] = None,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Section 2.3.2: naive Q-routing with a maxQ hop threshold.
+
+    Demonstrates that no single maxQ value works for both UR and ADV+i, which
+    motivates the Q-adaptive design.  Returns
+    ``{pattern: {maxQ: {"latency_us", "throughput", "hops"}}}``.
+    """
+    scale = scale or default_scale()
+    patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for pattern in patterns:
+        pattern_load = load
+        if pattern_load is None:
+            pattern_load = (
+                scale.ur_reference_load if pattern.upper() == "UR" else scale.adv_reference_load
+            )
+        per_pattern: Dict[int, Dict[str, float]] = {}
+        for maxq in maxq_values:
+            spec = ExperimentSpec(
+                config=scale.config,
+                routing="Q-routing",
+                pattern=pattern,
+                offered_load=pattern_load,
+                sim_time_ns=scale.sim_time_ns,
+                warmup_ns=scale.warmup_ns,
+                seed=scale.seed,
+                routing_kwargs={"max_q": maxq},
+            )
+            result = run_experiment(spec)
+            per_pattern[maxq] = {
+                "latency_us": result.mean_latency_us,
+                "throughput": result.throughput,
+                "hops": result.mean_hops,
+                "offered_load": pattern_load,
+            }
+        results[pattern] = per_pattern
+    return results
+
+
+def ablation_hyperparams(
+    scale: Optional[ExperimentScale] = None,
+    pattern: str = "ADV+1",
+    load: Optional[float] = None,
+    q_thld1_values: Sequence[float] = (0.0, 0.2, 0.5),
+    feedback_modes: Sequence[str] = ("onpolicy", "greedy"),
+) -> List[Dict[str, float]]:
+    """Section 4 design knobs: minimal-path bias threshold and feedback rule."""
+    scale = scale or default_scale()
+    if load is None:
+        load = scale.adv_reference_load if pattern.upper().startswith("ADV") \
+            else scale.ur_reference_load
+    base = scale.qadaptive_params
+    rows: List[Dict[str, float]] = []
+    for feedback in feedback_modes:
+        for thld1 in q_thld1_values:
+            params = type(base)(
+                alpha=base.alpha,
+                beta=base.beta,
+                epsilon=base.epsilon,
+                q_thld1=thld1,
+                q_thld2=base.q_thld2,
+                feedback=feedback,
+            )
+            spec = ExperimentSpec(
+                config=scale.config,
+                routing="Q-adp",
+                pattern=pattern,
+                offered_load=load,
+                sim_time_ns=scale.sim_time_ns,
+                warmup_ns=scale.warmup_ns,
+                seed=scale.seed,
+                routing_kwargs={"params": params},
+            )
+            result = run_experiment(spec)
+            rows.append(
+                {
+                    "feedback": feedback,
+                    "q_thld1": thld1,
+                    "pattern": pattern,
+                    "offered_load": load,
+                    "latency_us": result.mean_latency_us,
+                    "throughput": result.throughput,
+                    "hops": result.mean_hops,
+                }
+            )
+    return rows

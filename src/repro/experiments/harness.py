@@ -1,0 +1,206 @@
+"""Single-experiment driver and load sweeps.
+
+``run_experiment`` builds a network + traffic generator from an
+:class:`ExperimentSpec`, runs it, and returns an :class:`ExperimentResult`
+bundling the aggregate statistics, the raw latency sample, and the binned
+time series needed by the convergence / dynamic-load figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.network import DragonflyNetwork
+from repro.network.params import NetworkParams
+from repro.routing import make_routing
+from repro.stats.collectors import RunStats
+from repro.topology.config import DragonflyConfig
+from repro.traffic import LoadSchedule, TrafficGenerator, make_pattern
+
+
+@dataclass
+class ExperimentSpec:
+    """Complete description of one simulation run."""
+
+    config: DragonflyConfig
+    routing: str = "MIN"
+    pattern: str = "UR"
+    offered_load: Optional[float] = 0.5
+    schedule: Optional[LoadSchedule] = None
+    sim_time_ns: float = 50_000.0
+    warmup_ns: float = 25_000.0
+    seed: int = 1
+    routing_kwargs: Dict = field(default_factory=dict)
+    pattern_kwargs: Dict = field(default_factory=dict)
+    network_params: Optional[NetworkParams] = None
+    arrival: str = "exponential"
+    stats_bin_ns: float = 2_000.0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.schedule is not None:
+            self.offered_load = None
+        if self.offered_load is None and self.schedule is None:
+            raise ValueError("an experiment needs an offered_load or a load schedule")
+        if self.warmup_ns > self.sim_time_ns:
+            raise ValueError("warmup_ns cannot exceed sim_time_ns")
+
+    @property
+    def display_name(self) -> str:
+        if self.label:
+            return self.label
+        load = self.offered_load if self.offered_load is not None else "dyn"
+        return f"{self.routing}/{self.pattern}@{load}"
+
+    def with_overrides(self, **kwargs) -> "ExperimentSpec":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    spec: ExperimentSpec
+    stats: RunStats
+    latencies_ns: np.ndarray
+    hops: np.ndarray
+    latency_timeline_us: Tuple[np.ndarray, np.ndarray]
+    throughput_timeline: Tuple[np.ndarray, np.ndarray]
+    routing_diagnostics: Dict
+    wall_time_s: float
+
+    # ------------------------------------------------------------ convenience
+    @property
+    def mean_latency_us(self) -> float:
+        return self.stats.mean_latency_ns / 1_000.0
+
+    @property
+    def p95_latency_us(self) -> float:
+        return self.stats.latency.p95 / 1_000.0
+
+    @property
+    def p99_latency_us(self) -> float:
+        return self.stats.latency.p99 / 1_000.0
+
+    @property
+    def throughput(self) -> float:
+        return self.stats.throughput
+
+    @property
+    def mean_hops(self) -> float:
+        return self.stats.mean_hops
+
+    def summary_row(self) -> Dict[str, float]:
+        """Flat dictionary used by the report tables and EXPERIMENTS.md."""
+        return {
+            "routing": self.spec.routing,
+            "pattern": self.spec.pattern,
+            "offered_load": self.spec.offered_load,
+            "mean_latency_us": round(self.mean_latency_us, 3),
+            "p95_latency_us": round(self.p95_latency_us, 3),
+            "p99_latency_us": round(self.p99_latency_us, 3),
+            "throughput": round(self.throughput, 4),
+            "mean_hops": round(self.mean_hops, 3),
+            "measured_packets": self.stats.measured_packets,
+        }
+
+
+def build_network(spec: ExperimentSpec) -> Tuple[DragonflyNetwork, TrafficGenerator]:
+    """Instantiate the network and the traffic generator described by ``spec``."""
+    routing = make_routing(spec.routing, **spec.routing_kwargs)
+    network = DragonflyNetwork(
+        spec.config,
+        routing,
+        params=spec.network_params,
+        seed=spec.seed,
+        warmup_ns=spec.warmup_ns,
+        stats_bin_ns=spec.stats_bin_ns,
+    )
+    pattern = make_pattern(spec.pattern, **spec.pattern_kwargs)
+    generator = TrafficGenerator(
+        network,
+        pattern,
+        offered_load=spec.offered_load,
+        schedule=spec.schedule,
+        arrival=spec.arrival,
+    )
+    return network, generator
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one experiment to completion and collect its results."""
+    network, generator = build_network(spec)
+    generator.start()
+    started = time.perf_counter()
+    network.run(until=spec.sim_time_ns)
+    wall = time.perf_counter() - started
+    stats = network.finalize()
+
+    collector = network.collector
+    latency_times = collector.latency_series.bin_times() / 1_000.0
+    latency_means = collector.latency_series.means() / 1_000.0
+    throughput_times = collector.delivery_series.bin_times() / 1_000.0
+    throughput_values = collector.throughput_series()
+
+    diagnostics: Dict = {}
+    routing = network.routing
+    if hasattr(routing, "decision_counts"):
+        diagnostics.update(routing.decision_counts())
+    if hasattr(routing, "total_table_memory_bytes"):
+        diagnostics["table_memory_bytes"] = routing.total_table_memory_bytes()
+    for attr in ("minimal_decisions", "nonminimal_decisions", "reevaluations",
+                 "diverted_packets", "forced_minimal"):
+        if hasattr(routing, attr):
+            diagnostics[attr] = getattr(routing, attr)
+
+    return ExperimentResult(
+        spec=spec,
+        stats=stats,
+        latencies_ns=collector.latency_array_ns(),
+        hops=collector.hops_array(),
+        latency_timeline_us=(latency_times, latency_means),
+        throughput_timeline=(throughput_times, throughput_values),
+        routing_diagnostics=diagnostics,
+        wall_time_s=wall,
+    )
+
+
+def run_load_sweep(
+    config: DragonflyConfig,
+    algorithms: Sequence[str],
+    pattern: str,
+    loads: Sequence[float],
+    warmup_ns: float,
+    measure_ns: float,
+    seed: int = 1,
+    routing_kwargs: Optional[Dict[str, Dict]] = None,
+    network_params: Optional[NetworkParams] = None,
+) -> Dict[str, List[ExperimentResult]]:
+    """Sweep offered load for several algorithms under one traffic pattern.
+
+    Returns ``{algorithm: [result_per_load]}`` in the order of ``loads``; this
+    is the data behind each column of Figure 5.
+    """
+    routing_kwargs = routing_kwargs or {}
+    results: Dict[str, List[ExperimentResult]] = {}
+    for algorithm in algorithms:
+        per_load: List[ExperimentResult] = []
+        for load in loads:
+            spec = ExperimentSpec(
+                config=config,
+                routing=algorithm,
+                pattern=pattern,
+                offered_load=load,
+                sim_time_ns=warmup_ns + measure_ns,
+                warmup_ns=warmup_ns,
+                seed=seed,
+                routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+                network_params=network_params,
+            )
+            per_load.append(run_experiment(spec))
+        results[algorithm] = per_load
+    return results

@@ -1,0 +1,158 @@
+"""Experiment scale presets.
+
+The paper evaluates a 1,056-node and a 2,550-node Dragonfly over measurement
+windows of 100 µs after convergence.  A pure-Python flit-level simulation of
+those systems is possible with this package but takes hours per data point,
+so the harness ships three scales:
+
+* ``BENCH_SCALE`` — the default for the pytest benchmarks: a 72-node balanced
+  Dragonfly, short windows.  Every figure's *code path* runs end to end in
+  minutes; trends (who wins under which pattern) are already visible.
+* ``REDUCED_SCALE`` — the scale used to produce EXPERIMENTS.md: the same
+  72-node system with windows long enough for Q-adaptive to converge.
+* ``PAPER_SCALE_1056`` / ``PAPER_SCALE_2550`` — the exact Table 1 systems and
+  Section 5/6 windows; select with the environment variable
+  ``REPRO_PAPER_SCALE=1`` (budget: hours to days of CPU time).
+
+Offered-load points are scaled alongside the topology: the 72-node system
+saturates earlier than the 1,056-node one (fewer parallel local links), so
+the sweep covers the same *regimes* (uncongested → near saturation) rather
+than the same absolute loads.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.qadaptive import QAdaptiveParams
+from repro.topology.config import DragonflyConfig
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Everything that depends on how big an experiment should be."""
+
+    name: str
+    config: DragonflyConfig
+    scaleup_config: DragonflyConfig
+    warmup_ns: float
+    measure_ns: float
+    convergence_ns: float
+    ur_loads: Tuple[float, ...]
+    adv_loads: Tuple[float, ...]
+    ur_reference_load: float
+    adv_reference_load: float
+    qadaptive_params: QAdaptiveParams = field(default_factory=QAdaptiveParams)
+    qadaptive_scaleup_params: QAdaptiveParams = field(
+        default_factory=QAdaptiveParams.paper_2550
+    )
+    seed: int = 1
+
+    @property
+    def sim_time_ns(self) -> float:
+        return self.warmup_ns + self.measure_ns
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "config": self.config.describe(),
+            "scaleup_config": self.scaleup_config.describe(),
+            "warmup_us": self.warmup_ns / 1_000.0,
+            "measure_us": self.measure_ns / 1_000.0,
+            "convergence_us": self.convergence_ns / 1_000.0,
+            "ur_loads": list(self.ur_loads),
+            "adv_loads": list(self.adv_loads),
+            "seed": self.seed,
+        }
+
+
+#: Smallest scale: used by the pytest benchmarks so the whole harness runs quickly.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    config=DragonflyConfig.small_72(),
+    scaleup_config=DragonflyConfig.medium_342(),
+    warmup_ns=30_000.0,
+    measure_ns=20_000.0,
+    convergence_ns=60_000.0,
+    ur_loads=(0.2, 0.5, 0.7),
+    adv_loads=(0.1, 0.25, 0.35),
+    ur_reference_load=0.6,
+    adv_reference_load=0.3,
+)
+
+#: Scale used to produce EXPERIMENTS.md (long enough for Q-adaptive to converge).
+REDUCED_SCALE = ExperimentScale(
+    name="reduced",
+    config=DragonflyConfig.small_72(),
+    scaleup_config=DragonflyConfig.medium_342(),
+    warmup_ns=150_000.0,
+    measure_ns=50_000.0,
+    convergence_ns=250_000.0,
+    ur_loads=(0.1, 0.3, 0.5, 0.7, 0.8),
+    adv_loads=(0.1, 0.2, 0.3, 0.4),
+    ur_reference_load=0.7,
+    adv_reference_load=0.35,
+)
+
+#: The paper's 1,056-node system and Section 5.1 hyper-parameters.
+PAPER_SCALE_1056 = ExperimentScale(
+    name="paper-1056",
+    config=DragonflyConfig.paper_1056(),
+    scaleup_config=DragonflyConfig.paper_2550(),
+    warmup_ns=500_000.0,
+    measure_ns=100_000.0,
+    convergence_ns=800_000.0,
+    ur_loads=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+    adv_loads=(0.05, 0.15, 0.25, 0.35, 0.45, 0.5),
+    ur_reference_load=0.8,
+    adv_reference_load=0.45,
+    qadaptive_params=QAdaptiveParams.paper_1056(),
+)
+
+#: The paper's 2,550-node scale-up system (Section 6).
+PAPER_SCALE_2550 = PAPER_SCALE_1056.with_overrides(
+    name="paper-2550",
+    config=DragonflyConfig.paper_2550(),
+    scaleup_config=DragonflyConfig.paper_2550(),
+    qadaptive_params=QAdaptiveParams.paper_2550(),
+)
+
+_SCALES: Dict[str, ExperimentScale] = {
+    "bench": BENCH_SCALE,
+    "reduced": REDUCED_SCALE,
+    "paper-1056": PAPER_SCALE_1056,
+    "paper-2550": PAPER_SCALE_2550,
+}
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    """Look up a scale preset by name."""
+    key = name.strip().lower()
+    if key not in _SCALES:
+        raise ValueError(f"unknown scale {name!r}; known: {sorted(_SCALES)}")
+    return _SCALES[key]
+
+
+def default_scale(env: Optional[Dict[str, str]] = None) -> ExperimentScale:
+    """Scale selected by the environment.
+
+    ``REPRO_SCALE=<name>`` picks a named preset; the shorthand
+    ``REPRO_PAPER_SCALE=1`` selects the 1,056-node paper scale.  The default
+    is ``BENCH_SCALE``.
+    """
+    environment = os.environ if env is None else env
+    explicit = environment.get("REPRO_SCALE")
+    if explicit:
+        return scale_by_name(explicit)
+    if environment.get("REPRO_PAPER_SCALE") in ("1", "true", "yes"):
+        return PAPER_SCALE_1056
+    return BENCH_SCALE
+
+
+#: Routing algorithms compared throughout the paper's evaluation, in plot order.
+PAPER_ALGORITHMS: Sequence[str] = ("MIN", "VALn", "UGALg", "UGALn", "PAR", "Q-adp")

@@ -1,0 +1,88 @@
+"""Credit-based flow-control bookkeeping.
+
+Each sender keeps, for every output port, one credit counter per virtual
+channel of the downstream input buffer.  A packet may only be forwarded when
+the counter of its target VC is positive; the counter is decremented on
+forward and incremented again when the downstream router frees the slot and
+returns a credit (after the reverse-link latency).  This is the lossless
+flow control used by Cray Aries class routers, as described in Section 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class OutputCredits:
+    """Credit counters of one output port (one counter per VC).
+
+    Parameters
+    ----------
+    num_vcs:
+        Number of virtual channels of the downstream input port.
+    capacity:
+        Buffer depth (initial credits) per VC.  ``None`` models an always
+        consuming sink — e.g. a NIC ejection queue — that never exhausts.
+    """
+
+    __slots__ = ("num_vcs", "capacity", "_credits", "_infinite")
+
+    def __init__(self, num_vcs: int, capacity: Optional[int]) -> None:
+        if num_vcs < 1:
+            raise ValueError("num_vcs must be at least 1")
+        if capacity is not None and capacity < 1:
+            raise ValueError("credit capacity must be at least 1 (or None for unlimited)")
+        self.num_vcs = num_vcs
+        self.capacity = capacity
+        self._infinite = capacity is None
+        self._credits: List[int] = [0 if self._infinite else capacity] * num_vcs
+
+    # ------------------------------------------------------------------ query
+    def available(self, vc: int) -> bool:
+        """True when at least one credit is available on ``vc``."""
+        return self._infinite or self._credits[vc] > 0
+
+    def count(self, vc: int) -> int:
+        """Remaining credits on ``vc`` (unbounded ports report their capacity as 0 used)."""
+        if self._infinite:
+            return 0
+        return self._credits[vc]
+
+    def used(self, vc: int) -> int:
+        """Credits currently in use (i.e. downstream occupancy estimate) on ``vc``."""
+        if self._infinite:
+            return 0
+        return self.capacity - self._credits[vc]
+
+    def total_used(self) -> int:
+        """Credits in use summed over all VCs of this port."""
+        if self._infinite:
+            return 0
+        return self.capacity * self.num_vcs - sum(self._credits)
+
+    def total_available(self) -> int:
+        if self._infinite:
+            return self.num_vcs  # nominal, only used for diagnostics
+        return sum(self._credits)
+
+    # ----------------------------------------------------------------- update
+    def take(self, vc: int) -> None:
+        """Consume one credit on ``vc`` (forwarding a packet)."""
+        if self._infinite:
+            return
+        if self._credits[vc] <= 0:
+            raise RuntimeError(f"credit underflow on vc {vc}")
+        self._credits[vc] -= 1
+
+    def put(self, vc: int) -> None:
+        """Return one credit on ``vc`` (downstream freed a buffer slot)."""
+        if self._infinite:
+            return
+        if self._credits[vc] >= self.capacity:
+            raise RuntimeError(f"credit overflow on vc {vc}: more returns than takes")
+        self._credits[vc] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._infinite:
+            return f"OutputCredits(vcs={self.num_vcs}, capacity=inf)"
+        return f"OutputCredits(vcs={self.num_vcs}, capacity={self.capacity}, free={self._credits})"

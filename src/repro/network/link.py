@@ -1,0 +1,56 @@
+"""Point-to-point channel descriptors.
+
+A :class:`Channel` describes one direction of a link as seen from a sender
+port: the entity on the far side, the input port it should be delivered to,
+and the propagation latency.  Channels carry no state — serialization and
+buffering are modelled by the sender (router output port) and the receiver
+(input VC buffers) respectively — so they are cheap to store per port.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.topology.dragonfly import PortType
+
+
+class Endpoint(Protocol):
+    """Anything that can terminate a channel (routers and NICs)."""
+
+    def receive_packet(self, packet, port: int, vc: int) -> None:  # pragma: no cover
+        ...
+
+    def credit_return(self, port: int, vc: int) -> None:  # pragma: no cover
+        ...
+
+
+class Channel:
+    """One direction of a physical link, as seen from the sending port.
+
+    Attributes
+    ----------
+    endpoint:
+        The receiving entity (a :class:`~repro.network.router.Router` or a
+        :class:`~repro.network.nic.Nic`).
+    remote_port:
+        The input port of ``endpoint`` this channel feeds.
+    latency_ns:
+        Propagation latency of the link.
+    port_type:
+        Link class (host / local / global) of the sending port, kept for
+        statistics and congestion queries.
+    """
+
+    __slots__ = ("endpoint", "remote_port", "latency_ns", "port_type")
+
+    def __init__(self, endpoint, remote_port: int, latency_ns: float, port_type: PortType):
+        self.endpoint = endpoint
+        self.remote_port = remote_port
+        self.latency_ns = latency_ns
+        self.port_type = port_type
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel(to={self.endpoint!r}, port={self.remote_port}, "
+            f"latency={self.latency_ns}ns, type={self.port_type.value})"
+        )

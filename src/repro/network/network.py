@@ -1,0 +1,211 @@
+"""Wiring of a complete Dragonfly system: routers, NICs, links, routing, stats.
+
+:class:`DragonflyNetwork` is the main entry point of the simulation layer.  It
+builds every router and NIC for a :class:`~repro.topology.config.DragonflyConfig`,
+connects them according to the topology, attaches a routing algorithm and a
+statistics collector, and exposes packet creation/injection plus ``run``.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    from repro import DragonflyConfig, DragonflyNetwork, NetworkParams
+    from repro.routing import MinimalRouting
+    from repro.traffic import UniformRandomTraffic, TrafficGenerator
+
+    net = DragonflyNetwork(DragonflyConfig.small_72(), MinimalRouting(), seed=1)
+    gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.5)
+    gen.start()
+    net.run(until=20_000.0)          # 20 µs
+    print(net.finalize().to_dict())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.rng import RngFactory
+from repro.engine.simulator import Simulator
+from repro.network.credits import OutputCredits
+from repro.network.link import Channel
+from repro.network.nic import Nic
+from repro.network.packet import Packet
+from repro.network.params import NetworkParams
+from repro.network.router import Router
+from repro.stats.collectors import RunStats, StatsCollector
+from repro.topology.config import DragonflyConfig
+from repro.topology.dragonfly import DragonflyTopology, PortType
+
+
+class DragonflyNetwork:
+    """A simulated Dragonfly system bound to one routing algorithm.
+
+    Parameters
+    ----------
+    config:
+        Topology size (p, a, h).
+    routing:
+        A routing algorithm instance (see :mod:`repro.routing` and
+        :mod:`repro.core`).  The algorithm is attached to this network and
+        must not be shared with another live network.
+    params:
+        Hardware parameters; defaults to the paper's Section 5.1 values.
+    seed:
+        Root seed for every random stream of the run.
+    warmup_ns:
+        Packets generated before this time are excluded from the measurement
+        window (they still flow through the network and appear in the time
+        series).
+    stats_bin_ns:
+        Width of the time-series bins used for convergence / dynamic-load plots.
+    """
+
+    def __init__(
+        self,
+        config: DragonflyConfig,
+        routing,
+        params: Optional[NetworkParams] = None,
+        seed: int = 0,
+        warmup_ns: float = 0.0,
+        stats_bin_ns: float = 1_000.0,
+    ) -> None:
+        self.config = config
+        self.topo = DragonflyTopology(config)
+        base_params = params if params is not None else NetworkParams()
+        num_vcs = base_params.num_vcs
+        if num_vcs is None:
+            num_vcs = routing.required_vcs(self.topo)
+        self.params = base_params.with_num_vcs(num_vcs)
+        self.routing = routing
+        self.sim = Simulator()
+        self.rng = RngFactory(seed)
+        self.seed = seed
+        self.collector = StatsCollector(
+            warmup_ns=warmup_ns,
+            bin_ns=stats_bin_ns,
+            num_nodes=self.topo.num_nodes,
+            node_bandwidth_bytes_per_ns=self.params.link_bandwidth_bytes_per_ns,
+        )
+        self._packet_counter = 0
+        self.routers: List[Router] = []
+        self.nics: List[Nic] = []
+        self._build()
+        routing.attach(self)
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        topo, params, sim = self.topo, self.params, self.sim
+        num_vcs = params.num_vcs
+        self.routers = [Router(r, topo, params, sim, num_vcs) for r in topo.all_routers()]
+        self.nics = [Nic(n, params, sim) for n in topo.all_nodes()]
+
+        for router in self.routers:
+            # Router-to-router links (local and global).
+            for port in topo.non_host_ports:
+                neighbor = topo.neighbor_of(router.id, port)
+                assert neighbor is not None
+                port_type = topo.port_type(port)
+                channel = Channel(
+                    self.routers[neighbor[0]],
+                    neighbor[1],
+                    params.link_latency_ns(port_type),
+                    port_type,
+                )
+                credits = OutputCredits(num_vcs, params.vc_buffer_packets)
+                router.connect(port, channel, credits)
+            # Host (ejection) links towards the attached NICs.
+            for host_port in topo.host_ports:
+                node = topo.node_at(router.id, host_port)
+                channel = Channel(
+                    self.nics[node], 0, params.host_link_latency_ns, PortType.HOST
+                )
+                credits = OutputCredits(num_vcs, params.ejection_credits)
+                router.connect(host_port, channel, credits)
+            router.attach_routing(self.routing)
+
+        for nic in self.nics:
+            router_id = topo.router_of_node(nic.node)
+            host_port = topo.host_port_of_node(nic.node)
+            channel = Channel(
+                self.routers[router_id], host_port, params.host_link_latency_ns, PortType.HOST
+            )
+            credits = OutputCredits(num_vcs, params.vc_buffer_packets)
+            nic.connect(channel, credits)
+            nic.on_delivery = self.collector.record_delivery
+
+    # --------------------------------------------------------------- accessors
+    @property
+    def num_nodes(self) -> int:
+        return self.topo.num_nodes
+
+    @property
+    def num_routers(self) -> int:
+        return self.topo.num_routers
+
+    def router(self, router_id: int) -> Router:
+        return self.routers[router_id]
+
+    def nic(self, node: int) -> Nic:
+        return self.nics[node]
+
+    # ------------------------------------------------------------ packet flow
+    def create_packet(self, src_node: int, dst_node: int, now: Optional[float] = None) -> Packet:
+        """Build (and account) a new packet; the caller injects it via the NIC."""
+        if src_node == dst_node:
+            raise ValueError("source and destination node must differ")
+        topo = self.topo
+        if now is None:
+            now = self.sim.now
+        packet = Packet(
+            pid=self._packet_counter,
+            src_node=src_node,
+            dst_node=dst_node,
+            src_router=topo.router_of_node(src_node),
+            dst_router=topo.router_of_node(dst_node),
+            src_group=topo.group_of_node(src_node),
+            dst_group=topo.group_of_node(dst_node),
+            src_node_local=topo.node_local_index(src_node),
+            size_bytes=self.params.packet_bytes,
+            create_time_ns=now,
+        )
+        if self.params.record_paths:
+            packet.path = []
+        self._packet_counter += 1
+        self.collector.record_generated(packet)
+        return packet
+
+    def send(self, src_node: int, dst_node: int) -> Packet:
+        """Convenience: create a packet now and queue it at the source NIC."""
+        packet = self.create_packet(src_node, dst_node)
+        self.nics[src_node].inject(packet)
+        return packet
+
+    # ---------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Advance the simulation (time in nanoseconds)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def drain(self, extra_ns: float = 1_000_000.0) -> float:
+        """Run until every in-flight packet is delivered (bounded by ``extra_ns``)."""
+        return self.sim.run(until=self.sim.now + extra_ns)
+
+    def finalize(self) -> RunStats:
+        """Aggregate statistics of the run so far."""
+        return self.collector.finalize(self.sim.now)
+
+    # ------------------------------------------------------------- diagnostics
+    def packets_in_flight(self) -> int:
+        """Packets generated but not yet delivered (network + source queues)."""
+        return self.collector.generated - self.collector.delivered
+
+    def buffered_packets(self) -> int:
+        """Packets currently held in router buffers (excludes source queues)."""
+        return sum(router.buffered_packets() for router in self.routers)
+
+    def source_queued_packets(self) -> int:
+        """Packets still waiting in NIC source queues."""
+        return sum(nic.queue_length for nic in self.nics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DragonflyNetwork nodes={self.num_nodes} routers={self.num_routers} "
+            f"routing={getattr(self.routing, 'name', self.routing.__class__.__name__)}>"
+        )

@@ -1,0 +1,132 @@
+"""Network interface of a compute node: injection and ejection.
+
+The NIC holds the source queue of generated packets and injects them into the
+host port of its router, subject to the host-link serialization rate and the
+credits of the router's host input buffer.  On the receive side it simply
+records the delivery (the ejection queue is modelled as always-consuming, so
+the network itself is the only bottleneck — the standard open-loop evaluation
+setup used by the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.network.credits import OutputCredits
+from repro.network.link import Channel
+from repro.network.packet import Packet
+from repro.network.params import NetworkParams
+
+
+class Nic:
+    """Injection/ejection engine of one compute node."""
+
+    __slots__ = (
+        "node",
+        "params",
+        "sim",
+        "channel",
+        "credits",
+        "busy_until",
+        "inject_queue",
+        "on_delivery",
+        "injected_packets",
+        "delivered_packets",
+        "dropped_packets",
+        "_retry_pending",
+        "serialization_ns",
+    )
+
+    def __init__(self, node: int, params: NetworkParams, sim) -> None:
+        self.node = node
+        self.params = params
+        self.sim = sim
+        self.channel: Optional[Channel] = None
+        self.credits: Optional[OutputCredits] = None
+        self.busy_until = 0.0
+        self.inject_queue: Deque[Packet] = deque()
+        self.on_delivery: Optional[Callable[[Packet, float], None]] = None
+        self.injected_packets = 0
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+        self._retry_pending = False
+        self.serialization_ns = params.serialization_ns
+
+    # ----------------------------------------------------------------- wiring
+    def connect(self, channel: Channel, router_credits: OutputCredits) -> None:
+        """Attach the host link towards this node's router."""
+        self.channel = channel
+        self.credits = router_credits
+
+    # -------------------------------------------------------------- injection
+    @property
+    def queue_length(self) -> int:
+        """Packets waiting in the source queue (not yet on the wire)."""
+        return len(self.inject_queue)
+
+    def can_accept(self) -> bool:
+        """Whether the source queue has room for another generated packet."""
+        limit = self.params.injection_queue_packets
+        return limit is None or len(self.inject_queue) < limit
+
+    def inject(self, packet: Packet) -> bool:
+        """Queue a freshly generated packet; returns False if the queue is full."""
+        if not self.can_accept():
+            self.dropped_packets += 1
+            return False
+        self.inject_queue.append(packet)
+        self._try_inject()
+        return True
+
+    def _try_inject(self) -> None:
+        now = self.sim.now
+        while self.inject_queue:
+            if self.busy_until > now:
+                self._schedule_retry(self.busy_until)
+                return
+            if not self.credits.available(0):
+                # Wait for the router to return a credit; credit_return() retries.
+                return
+            packet = self.inject_queue.popleft()
+            ser = self.serialization_ns
+            self.busy_until = now + ser
+            self.credits.take(0)
+            packet.inject_time_ns = now
+            if packet.path is not None:
+                packet.path.append(-1)  # sentinel marking the injection point
+            self.injected_packets += 1
+            self.sim.after(
+                ser + self.channel.latency_ns,
+                self.channel.endpoint.receive_packet,
+                packet,
+                self.channel.remote_port,
+                0,
+            )
+            now = self.sim.now  # unchanged, loop exits through the busy check
+
+    def _schedule_retry(self, at_time: float) -> None:
+        if self._retry_pending:
+            return
+        self._retry_pending = True
+        self.sim.at(at_time, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_pending = False
+        self._try_inject()
+
+    def credit_return(self, port: int, vc: int) -> None:
+        """The router freed a slot of its host input buffer."""
+        self.credits.put(vc)
+        self._try_inject()
+
+    # --------------------------------------------------------------- ejection
+    def receive_packet(self, packet: Packet, port: int, vc: int) -> None:
+        """Final delivery of a packet to this node."""
+        packet.deliver_time_ns = self.sim.now
+        self.delivered_packets += 1
+        if self.on_delivery is not None:
+            self.on_delivery(packet, self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic node={self.node} queued={len(self.inject_queue)}>"

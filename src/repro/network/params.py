@@ -1,0 +1,125 @@
+"""Hardware parameters of the simulated network.
+
+Defaults follow Section 5.1 of the paper: 128-byte single-flit packets,
+4 GB/s links, 30 ns local and 300 ns global link latency (1:10 ratio), and
+VC buffers of 20 packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.topology.dragonfly import DragonflyTopology, PortType
+from repro.topology.paths import LinkTiming
+
+
+@dataclass
+class NetworkParams:
+    """Tunable hardware parameters (all times in nanoseconds).
+
+    Attributes
+    ----------
+    packet_bytes:
+        Size of a single-flit packet.  The paper evaluates single-flit 128 B
+        packets so that flow control does not interfere with routing.
+    link_bandwidth_bytes_per_ns:
+        Link bandwidth; 4 GB/s == 4 bytes/ns.
+    local_link_latency_ns / global_link_latency_ns / host_link_latency_ns:
+        Propagation latency per link type.
+    vc_buffer_packets:
+        Input-buffer depth per (port, VC) in packets; also the credit count
+        granted to the upstream sender.
+    num_vcs:
+        Number of virtual channels per port.  ``None`` lets the routing
+        algorithm choose the count it needs for deadlock freedom.
+    injection_queue_packets:
+        Source-queue capacity of a NIC.  ``None`` means unbounded (the paper
+        measures an open-loop offered load, so generated packets are never
+        dropped; they wait at the source and show up as latency).
+    ejection_credits:
+        Credits of a router's host (ejection) port.  ``None`` means unlimited,
+        i.e. the NIC always drains the network — the standard assumption that
+        keeps the network the only bottleneck.
+    record_paths:
+        When True every packet records the list of routers it visited
+        (useful in tests, costly in large runs).
+    """
+
+    packet_bytes: int = 128
+    link_bandwidth_bytes_per_ns: float = 4.0
+    local_link_latency_ns: float = 30.0
+    global_link_latency_ns: float = 300.0
+    host_link_latency_ns: float = 10.0
+    vc_buffer_packets: int = 20
+    num_vcs: Optional[int] = None
+    injection_queue_packets: Optional[int] = None
+    ejection_credits: Optional[int] = None
+    record_paths: bool = False
+
+    def __post_init__(self) -> None:
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        if self.link_bandwidth_bytes_per_ns <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.vc_buffer_packets < 1:
+            raise ValueError("vc_buffer_packets must be at least 1")
+        if self.num_vcs is not None and self.num_vcs < 1:
+            raise ValueError("num_vcs must be at least 1 when specified")
+
+    # --------------------------------------------------------------- derived
+    @property
+    def serialization_ns(self) -> float:
+        """Time to push one packet onto a link (packet size / bandwidth)."""
+        return self.packet_bytes / self.link_bandwidth_bytes_per_ns
+
+    @property
+    def node_injection_rate_pkts_per_ns(self) -> float:
+        """Packets per nanosecond a node can inject at offered load 1.0."""
+        return 1.0 / self.serialization_ns
+
+    def link_latency_ns(self, port_type: PortType) -> float:
+        """Propagation latency of the link behind a port of ``port_type``."""
+        if port_type is PortType.LOCAL:
+            return self.local_link_latency_ns
+        if port_type is PortType.GLOBAL:
+            return self.global_link_latency_ns
+        return self.host_link_latency_ns
+
+    def timing(self) -> LinkTiming:
+        """Per-hop timing constants for path-time estimation / Q-table init."""
+        return LinkTiming(
+            serialization_ns=self.serialization_ns,
+            local_latency_ns=self.local_link_latency_ns,
+            global_latency_ns=self.global_link_latency_ns,
+            host_latency_ns=self.host_link_latency_ns,
+        )
+
+    def with_num_vcs(self, num_vcs: int) -> "NetworkParams":
+        """Copy of these parameters with ``num_vcs`` resolved."""
+        return replace(self, num_vcs=num_vcs)
+
+    # ---------------------------------------------------------------- presets
+    @classmethod
+    def paper(cls, **overrides) -> "NetworkParams":
+        """The exact Section 5.1 configuration (also the dataclass defaults)."""
+        return cls(**overrides)
+
+    @classmethod
+    def fast_test(cls, **overrides) -> "NetworkParams":
+        """Smaller buffers / shorter latencies for quick unit tests."""
+        defaults = dict(
+            vc_buffer_packets=4,
+            local_link_latency_ns=10.0,
+            global_link_latency_ns=50.0,
+            host_link_latency_ns=5.0,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+def total_injection_bandwidth_bytes_per_ns(
+    params: NetworkParams, topo: DragonflyTopology
+) -> float:
+    """System-wide injection bandwidth (denominator of offered load / throughput)."""
+    return params.link_bandwidth_bytes_per_ns * topo.num_nodes

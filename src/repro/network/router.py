@@ -1,0 +1,235 @@
+"""Input-queued Dragonfly router with virtual channels and credit flow control.
+
+Model
+-----
+* One buffer (FIFO of packets) per *(input port, VC)* pair, ``vc_buffer_packets``
+  deep; the upstream sender holds matching credits and never overruns it.
+* The routing decision for a packet is made **once**, when the packet reaches
+  the head of its input VC buffer — this matches hardware, where the route
+  computation stage operates on the head flit.
+* Each output port serializes one packet at a time
+  (``packet_bytes / bandwidth`` nanoseconds per packet); propagation latency
+  is added on top before the packet shows up at the neighbour's input buffer.
+* A packet increments its VC index on every router-to-router hop, which makes
+  the channel dependency graph acyclic and the network deadlock free as long
+  as the routing algorithm's hop bound does not exceed the VC count.
+* When a packet leaves an input buffer, a credit is returned to the upstream
+  sender after the reverse-link latency.
+
+The router delegates all path selection to the attached routing algorithm via
+``routing.route(router, packet, in_port)`` and notifies it of forwards through
+``routing.on_forward`` (used by the RL algorithms for reward feedback).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.network.credits import OutputCredits
+from repro.network.link import Channel
+from repro.network.packet import Packet
+from repro.network.params import NetworkParams
+from repro.topology.dragonfly import DragonflyTopology
+
+
+class Router:
+    """One Dragonfly router (an independent agent in the MARL formulation)."""
+
+    __slots__ = (
+        "id",
+        "group",
+        "topo",
+        "params",
+        "sim",
+        "routing",
+        "num_vcs",
+        "channels",
+        "input_bufs",
+        "credits",
+        "out_busy_until",
+        "waiting",
+        "serialization_ns",
+        "forwarded_packets",
+        "ejected_packets",
+    )
+
+    def __init__(
+        self,
+        router_id: int,
+        topo: DragonflyTopology,
+        params: NetworkParams,
+        sim,
+        num_vcs: int,
+    ) -> None:
+        self.id = router_id
+        self.group = topo.group_of_router(router_id)
+        self.topo = topo
+        self.params = params
+        self.sim = sim
+        self.routing = None  # attached by the network after construction
+        self.num_vcs = num_vcs
+        self.serialization_ns = params.serialization_ns
+
+        k = topo.k
+        self.channels: List[Optional[Channel]] = [None] * k
+        self.input_bufs: List[List[Deque[Packet]]] = [
+            [deque() for _ in range(num_vcs)] for _ in range(k)
+        ]
+        # credits towards the entity downstream of each output port; host
+        # (ejection) ports are built with unlimited credits in connect().
+        self.credits: List[Optional[OutputCredits]] = [None] * k
+        self.out_busy_until: List[float] = [0.0] * k
+        # per output port: waiters (in_port, vc, packet) blocked on that port
+        self.waiting: List[Deque[Tuple[int, int, Packet]]] = [deque() for _ in range(k)]
+        self.forwarded_packets = 0
+        self.ejected_packets = 0
+
+    # ----------------------------------------------------------------- wiring
+    def connect(self, port: int, channel: Channel, downstream_credits: OutputCredits) -> None:
+        """Attach ``channel`` (and the matching credit counters) to ``port``."""
+        self.channels[port] = channel
+        self.credits[port] = downstream_credits
+
+    def attach_routing(self, routing) -> None:
+        self.routing = routing
+
+    # -------------------------------------------------------------- reception
+    def receive_packet(self, packet: Packet, in_port: int, vc: int) -> None:
+        """A packet finished traversing the link feeding ``in_port`` on ``vc``."""
+        buf = self.input_bufs[in_port][vc]
+        if self.params.vc_buffer_packets and len(buf) >= self.params.vc_buffer_packets:
+            # The upstream credit check makes this impossible; a failure here
+            # indicates a flow-control bug, so fail loudly instead of dropping.
+            raise RuntimeError(
+                f"router {self.id} input buffer overflow on port {in_port} vc {vc}"
+            )
+        packet.router_arrival_ns = self.sim.now
+        if packet.path is not None:
+            packet.path.append(self.id)
+        buf.append(packet)
+        if len(buf) == 1:
+            self._route_head(in_port, vc)
+
+    def credit_return(self, out_port: int, vc: int) -> None:
+        """The downstream of ``out_port`` freed one buffer slot on ``vc``."""
+        self.credits[out_port].put(vc)
+        self._serve_waiting(out_port)
+
+    # ------------------------------------------------------------ forwarding
+    def _route_head(self, in_port: int, vc: int) -> None:
+        packet = self.input_bufs[in_port][vc][0]
+        out_port = self.routing.route(self, packet, in_port)
+        packet.out_port = out_port
+        if self.topo.is_host_port(out_port):
+            packet.out_vc = 0
+        else:
+            packet.out_vc = min(packet.hops, self.num_vcs - 1)
+        self._try_forward(in_port, vc, packet)
+
+    def _try_forward(self, in_port: int, vc: int, packet: Packet) -> None:
+        out_port = packet.out_port
+        now = self.sim.now
+        if self.out_busy_until[out_port] > now or not self.credits[out_port].available(
+            packet.out_vc
+        ):
+            self.waiting[out_port].append((in_port, vc, packet))
+            return
+        self._forward(in_port, vc, packet)
+
+    def _forward(self, in_port: int, vc: int, packet: Packet) -> None:
+        """Move the head packet of ``(in_port, vc)`` onto its output link."""
+        now = self.sim.now
+        out_port = packet.out_port
+        out_vc = packet.out_vc
+        buf = self.input_bufs[in_port][vc]
+        assert buf and buf[0] is packet, "forwarding a packet that is not at its buffer head"
+        buf.popleft()
+
+        ser = self.serialization_ns
+        self.out_busy_until[out_port] = now + ser
+        self.credits[out_port].take(out_vc)
+
+        # Return a credit for the freed input slot to the upstream sender.
+        upstream = self.channels[in_port]
+        self.sim.after(
+            ser + upstream.latency_ns, upstream.endpoint.credit_return, upstream.remote_port, vc
+        )
+
+        # Notify the routing algorithm (RL algorithms register reward feedback here).
+        self.routing.on_forward(self, packet, in_port, out_port, now)
+
+        is_ejection = out_port < self.topo.p
+        if not is_ejection:
+            packet.hops += 1
+            self.forwarded_packets += 1
+        else:
+            self.ejected_packets += 1
+
+        channel = self.channels[out_port]
+        self.sim.after(
+            ser + channel.latency_ns,
+            channel.endpoint.receive_packet,
+            packet,
+            channel.remote_port,
+            out_vc,
+        )
+
+        # The output port frees after serialization; wake any waiters then.
+        self.sim.after(ser, self._serve_waiting, out_port)
+
+        # The next packet in this input VC becomes head: route it now.
+        if buf:
+            self._route_head(in_port, vc)
+
+    def _serve_waiting(self, out_port: int) -> None:
+        """Try to forward one eligible waiter of ``out_port`` (FIFO order)."""
+        waiters = self.waiting[out_port]
+        if not waiters:
+            return
+        if self.out_busy_until[out_port] > self.sim.now:
+            return
+        credits = self.credits[out_port]
+        scanned = 0
+        total = len(waiters)
+        while scanned < total and waiters:
+            in_port, vc, packet = waiters[0]
+            buf = self.input_bufs[in_port][vc]
+            if not buf or buf[0] is not packet:
+                # Stale entry (the packet was already forwarded): drop it.
+                waiters.popleft()
+                scanned += 1
+                continue
+            if credits.available(packet.out_vc):
+                waiters.popleft()
+                self._forward(in_port, vc, packet)
+                return
+            # Head waiter lacks credits on its VC; let waiters of other VCs pass.
+            waiters.rotate(-1)
+            scanned += 1
+
+    # ------------------------------------------------------------ congestion
+    def output_queue_length(self, out_port: int) -> int:
+        """Packets in this router currently waiting to use ``out_port``."""
+        return len(self.waiting[out_port])
+
+    def used_credits(self, out_port: int) -> int:
+        """Downstream buffer occupancy estimate (credits in use) of ``out_port``."""
+        return self.credits[out_port].total_used()
+
+    def port_congestion(self, out_port: int) -> int:
+        """Congestion estimate used by the adaptive baselines (Section 5.1).
+
+        "local output queue occupancy plus the used credit count": the number
+        of packets queued in this router for ``out_port`` plus the credits
+        already consumed (i.e. the estimated occupancy of the downstream
+        input buffer).
+        """
+        return self.output_queue_length(out_port) + self.used_credits(out_port)
+
+    def buffered_packets(self) -> int:
+        """Total packets currently buffered in this router (diagnostics)."""
+        return sum(len(buf) for port_bufs in self.input_bufs for buf in port_bufs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Router {self.id} group={self.group}>"

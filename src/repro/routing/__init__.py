@@ -1,0 +1,96 @@
+"""Dragonfly routing algorithms.
+
+Baselines implemented here (all evaluated in the paper):
+
+======== =============================================================
+name     algorithm
+======== =============================================================
+MIN      minimal routing
+VALg     Valiant routing through a random intermediate group
+VALn     Valiant routing through a random intermediate router
+UGALg    adaptive choice between MIN and a VALg candidate (source router)
+UGALn    adaptive choice between MIN and a VALn candidate (source router)
+PAR      UGALn plus one in-source-group re-evaluation
+======== =============================================================
+
+The learned algorithms (Q-adaptive, Q-routing) live in :mod:`repro.core` and
+are registered here as well so that :func:`make_routing` can build any
+algorithm from its paper name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.minimal import MinimalRouting
+from repro.routing.par import ParRouting
+from repro.routing.ugal import UgalGRouting, UgalNRouting
+from repro.routing.valiant import ValiantGlobalRouting, ValiantNodeRouting
+
+__all__ = [
+    "MinimalRouting",
+    "ParRouting",
+    "RoutingAlgorithm",
+    "UgalGRouting",
+    "UgalNRouting",
+    "ValiantGlobalRouting",
+    "ValiantNodeRouting",
+    "available_algorithms",
+    "make_routing",
+    "register_algorithm",
+]
+
+_REGISTRY: Dict[str, Callable[..., RoutingAlgorithm]] = {}
+
+
+def register_algorithm(name: str, factory: Callable[..., RoutingAlgorithm]) -> None:
+    """Register a routing algorithm factory under its paper name."""
+    _REGISTRY[name.lower()] = factory
+
+
+def available_algorithms() -> List[str]:
+    """Names accepted by :func:`make_routing` (canonical capitalisation)."""
+    return sorted({factory().name for factory in _REGISTRY.values()})
+
+
+def make_routing(name: str, **kwargs) -> RoutingAlgorithm:
+    """Build a fresh routing algorithm instance from its paper name.
+
+    Accepted names (case-insensitive): ``MIN``, ``VALg``, ``VALn``, ``UGALg``,
+    ``UGALn``, ``PAR``, ``Q-adp`` (aliases ``Q-adaptive``, ``qadaptive``) and
+    ``Q-routing`` (alias ``qrouting``).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        _register_learned()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown routing algorithm {name!r}; known: {available_algorithms()}")
+    return _REGISTRY[key](**kwargs)
+
+
+register_algorithm("min", MinimalRouting)
+register_algorithm("minimal", MinimalRouting)
+register_algorithm("valg", ValiantGlobalRouting)
+register_algorithm("valn", ValiantNodeRouting)
+register_algorithm("ugalg", UgalGRouting)
+register_algorithm("ugaln", UgalNRouting)
+register_algorithm("par", ParRouting)
+
+
+def _register_learned() -> None:
+    """Register the RL algorithms.
+
+    Deferred to the first :func:`make_routing` call that needs them:
+    ``repro.core`` imports :mod:`repro.routing.base`, so registering at import
+    time would create a circular import.
+    """
+    from repro.core.qadaptive import QAdaptiveRouting
+    from repro.core.qrouting import QRoutingAlgorithm
+
+    register_algorithm("q-adp", QAdaptiveRouting)
+    register_algorithm("qadp", QAdaptiveRouting)
+    register_algorithm("q-adaptive", QAdaptiveRouting)
+    register_algorithm("qadaptive", QAdaptiveRouting)
+    register_algorithm("q-routing", QRoutingAlgorithm)
+    register_algorithm("qrouting", QRoutingAlgorithm)

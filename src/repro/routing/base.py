@@ -1,0 +1,92 @@
+"""Routing algorithm interface.
+
+A routing algorithm is a single object attached to a
+:class:`~repro.network.network.DragonflyNetwork`.  Routers call
+:meth:`RoutingAlgorithm.route` whenever a packet reaches the head of an input
+VC buffer, and :meth:`RoutingAlgorithm.on_forward` when a packet actually
+leaves on an output port.  Algorithms that learn (Q-routing, Q-adaptive) keep
+per-router state internally and use these two hooks to exchange reward
+feedback between neighbour routers.
+
+All algorithms must bound the number of router-to-router hops they produce;
+``required_vcs`` returns that bound, which the network uses as the VC count so
+that the per-hop VC increment discipline stays deadlock free.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.network.packet import Packet
+from repro.network.router import Router
+from repro.topology.dragonfly import DragonflyTopology
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Base class of every routing algorithm (adaptive, oblivious, or learned)."""
+
+    #: short name used in result tables (e.g. "MIN", "UGALg", "Q-adp")
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.network = None
+        self.topo: Optional[DragonflyTopology] = None
+        self.rng = None
+
+    # ----------------------------------------------------------------- wiring
+    def attach(self, network) -> None:
+        """Bind the algorithm to a network (called by ``DragonflyNetwork``)."""
+        if self.network is not None and self.network is not network:
+            raise RuntimeError(
+                f"routing algorithm {self.name!r} is already attached to a network; "
+                "create a fresh instance per network"
+            )
+        self.network = network
+        self.topo = network.topo
+        self.rng = network.rng.py(f"routing:{self.name}")
+        self._setup()
+
+    def _setup(self) -> None:
+        """Hook for subclasses needing per-network state (tables, caches)."""
+
+    # ------------------------------------------------------------- VC budget
+    def max_hops(self, topo: DragonflyTopology) -> int:
+        """Upper bound on router-to-router hops of any path this algorithm builds."""
+        return 3
+
+    def required_vcs(self, topo: DragonflyTopology) -> int:
+        """Virtual channels needed for deadlock freedom (one per possible hop)."""
+        return self.max_hops(topo)
+
+    # ----------------------------------------------------------------- routing
+    def route(self, router: Router, packet: Packet, in_port: int) -> int:
+        """Select the output port for ``packet`` at ``router``.
+
+        The default implementation calls :meth:`observe` (learning hook),
+        ejects packets that reached their destination router, and otherwise
+        delegates to :meth:`decide`.
+        """
+        self.observe(router, packet, in_port)
+        if packet.dst_router == router.id:
+            return self.topo.host_port_of_node(packet.dst_node)
+        return self.decide(router, packet, in_port)
+
+    def observe(self, router: Router, packet: Packet, in_port: int) -> None:
+        """Called before every routing decision; learning algorithms send feedback here."""
+
+    @abc.abstractmethod
+    def decide(self, router: Router, packet: Packet, in_port: int) -> int:
+        """Select the output port for a packet that has not reached its destination router."""
+
+    def on_forward(self, router: Router, packet: Packet, in_port: int, out_port: int,
+                   now: float) -> None:
+        """Called when ``router`` actually puts ``packet`` on ``out_port``."""
+
+    # -------------------------------------------------------------- utilities
+    def minimal_port(self, router: Router, packet: Packet) -> int:
+        """Next port of the minimal path towards the packet's destination router."""
+        return self.topo.minimal_next_port(router.id, packet.dst_router)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} name={self.name!r}>"

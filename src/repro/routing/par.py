@@ -1,0 +1,54 @@
+"""PAR: Progressive Adaptive Routing.
+
+PAR behaves like UGALn at the source router, but packets that were routed
+minimally may be *re-evaluated once* while still inside the source group
+(Jiang et al., ISCA'09; Won et al., HPCA'15).  The re-evaluation lets a source
+*group* router divert a packet onto a VALn non-minimal path when it observes
+congestion the source router could not see — at the cost of one extra local
+hop, which is why PAR paths are up to 7 hops long.
+"""
+
+from __future__ import annotations
+
+from repro.network.packet import Packet
+from repro.network.router import Router
+from repro.routing.ugal import _UgalBase
+from repro.topology.dragonfly import DragonflyTopology
+
+
+class ParRouting(_UgalBase):
+    """Progressive Adaptive Routing (source-group re-evaluation of minimal decisions)."""
+
+    name = "PAR"
+    node_valiant = True
+
+    def __init__(self, bias: float = 0.0) -> None:
+        super().__init__(bias=bias)
+        self.reevaluations = 0
+        self.diverted_packets = 0
+
+    def max_hops(self, topo: DragonflyTopology) -> int:
+        return 7
+
+    def decide(self, router: Router, packet: Packet, in_port: int) -> int:
+        if packet.nonminimal:
+            return self._follow_nonminimal(router, packet)
+        if router.id == packet.src_router and packet.hops == 0:
+            if packet.src_group == packet.dst_group:
+                return self.minimal_port(router, packet)
+            if self._adaptive_choice(router, packet):
+                return self._follow_nonminimal(router, packet)
+            return self.minimal_port(router, packet)
+        # Progressive step: a minimally-routed packet still inside its source
+        # group gets one chance to divert onto a non-minimal path.
+        if (
+            router.group == packet.src_group
+            and router.group != packet.dst_group
+            and not packet.par_reevaluated
+        ):
+            packet.par_reevaluated = True
+            self.reevaluations += 1
+            if self._adaptive_choice(router, packet):
+                self.diverted_packets += 1
+                return self._follow_nonminimal(router, packet)
+        return self.minimal_port(router, packet)

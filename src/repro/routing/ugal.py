@@ -1,0 +1,136 @@
+"""UGAL: Universal Globally-Adaptive Load-balanced routing (UGALg and UGALn).
+
+The *source router* chooses, per packet, between the minimal path and one
+randomly sampled Valiant non-minimal path, using only local congestion
+information: the output-queue occupancy plus the used credit count of the two
+candidate output ports (Section 5.1 of the paper).  The decision weighs the
+congestion by the path lengths:
+
+    take the minimal path  iff  q_min * H_min <= q_nonmin * H_nonmin + bias
+
+With H_min = 3 and H_nonmin = 6 this reduces to the paper's phrasing — "if the
+local queue occupancy of a candidate minimal path is less than twice of a
+candidate non-minimal path, the router will forward the packet minimally".
+The bias defaults to zero as in the paper's evaluation.
+
+UGALg samples a VALg-style candidate (random intermediate group), UGALn a
+VALn-style one (random intermediate router).  Once the source router decided,
+downstream routers follow the chosen path without re-evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.network.packet import Packet
+from repro.network.router import Router
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.valiant import choose_intermediate_group, choose_intermediate_router
+from repro.topology.dragonfly import DragonflyTopology
+
+
+class _UgalBase(RoutingAlgorithm):
+    """Shared machinery of UGALg / UGALn / PAR."""
+
+    #: True → intermediate target is a specific router (VALn style), else a group (VALg style)
+    node_valiant = True
+
+    def __init__(self, bias: float = 0.0) -> None:
+        super().__init__()
+        self.bias = bias
+        self.minimal_decisions = 0
+        self.nonminimal_decisions = 0
+
+    # ------------------------------------------------------------ candidates
+    def _first_hop_towards_router(self, router: Router, target_router: int) -> int:
+        if router.id == target_router:
+            raise ValueError("candidate target equals the current router")
+        return self.topo.minimal_next_port(router.id, target_router)
+
+    def _sample_nonminimal(self, router: Router, packet: Packet):
+        """Sample a non-minimal candidate; returns (first_port, hops, imd_router, imd_group)."""
+        topo = self.topo
+        if self.node_valiant:
+            imd_router = choose_intermediate_router(
+                self.rng, topo, router.group, packet.dst_group
+            )
+            imd_group = topo.group_of_router(imd_router)
+            hops = topo.minimal_hops(router.id, imd_router) + topo.minimal_hops(
+                imd_router, packet.dst_router
+            )
+            port = self._first_hop_towards_router(router, imd_router)
+            return port, hops, imd_router, imd_group
+        imd_group = choose_intermediate_group(self.rng, topo.g, router.group, packet.dst_group)
+        entry_router = topo.gateway_router(imd_group, router.group)
+        hops = topo.minimal_hops(router.id, entry_router) + topo.minimal_hops(
+            entry_router, packet.dst_router
+        )
+        direct = topo.global_port_to_group(router.id, imd_group)
+        port = direct if direct is not None else self._first_hop_towards_router(router, entry_router)
+        return port, hops, -1, imd_group
+
+    def _adaptive_choice(self, router: Router, packet: Packet) -> bool:
+        """Run the UGAL comparison; commits the packet and returns True if non-minimal."""
+        topo = self.topo
+        min_port = self.minimal_port(router, packet)
+        min_hops = max(topo.minimal_hops(router.id, packet.dst_router), 1)
+        nm_port, nm_hops, imd_router, imd_group = self._sample_nonminimal(router, packet)
+        q_min = router.port_congestion(min_port)
+        q_nonmin = router.port_congestion(nm_port)
+        if q_min * min_hops <= q_nonmin * nm_hops + self.bias:
+            self.minimal_decisions += 1
+            return False
+        self.nonminimal_decisions += 1
+        packet.nonminimal = True
+        packet.imd_router = imd_router
+        packet.imd_group = imd_group
+        return True
+
+    # ----------------------------------------------------------- path follow
+    def _follow_nonminimal(self, router: Router, packet: Packet) -> int:
+        """Continue an already-committed non-minimal (Valiant) path."""
+        topo = self.topo
+        if self.node_valiant or packet.imd_router >= 0:
+            if not packet.intgrp_decided and router.id == packet.imd_router:
+                packet.intgrp_decided = True
+            if packet.intgrp_decided or router.group == packet.dst_group:
+                return self.minimal_port(router, packet)
+            return topo.minimal_next_port(router.id, packet.imd_router)
+        # group-valiant (UGALg) phase logic
+        if router.group == packet.dst_group or router.group == packet.imd_group:
+            return self.minimal_port(router, packet)
+        direct = topo.global_port_to_group(router.id, packet.imd_group)
+        if direct is not None:
+            return direct
+        entry_router = topo.gateway_router(packet.imd_group, router.group)
+        return topo.minimal_next_port(router.id, entry_router)
+
+    # ---------------------------------------------------------------- routing
+    def decide(self, router: Router, packet: Packet, in_port: int) -> int:
+        if packet.nonminimal:
+            return self._follow_nonminimal(router, packet)
+        if router.id == packet.src_router and packet.hops == 0:
+            if packet.src_group == packet.dst_group:
+                return self.minimal_port(router, packet)
+            if self._adaptive_choice(router, packet):
+                return self._follow_nonminimal(router, packet)
+            return self.minimal_port(router, packet)
+        return self.minimal_port(router, packet)
+
+
+class UgalGRouting(_UgalBase):
+    """UGALg: adaptive choice between the minimal path and a VALg candidate (≤5 hops)."""
+
+    name = "UGALg"
+    node_valiant = False
+
+    def max_hops(self, topo: DragonflyTopology) -> int:
+        return 5
+
+
+class UgalNRouting(_UgalBase):
+    """UGALn: adaptive choice between the minimal path and a VALn candidate (≤6 hops)."""
+
+    name = "UGALn"
+    node_valiant = True
+
+    def max_hops(self, topo: DragonflyTopology) -> int:
+        return 6

@@ -1,0 +1,92 @@
+"""Valiant non-minimal routing: VALg (global) and VALn (node).
+
+* **VALg** forwards the packet minimally to a random *intermediate group*
+  (i.e. to the router of that group terminating the incoming global link) and
+  then minimally to the destination — at most 5 hops.
+* **VALn** forwards the packet minimally to a random *intermediate router*
+  inside a random intermediate group before heading to the destination — at
+  most 6 hops.  The extra local hop spreads traffic over the intermediate
+  group's routers and removes the intermediate-group local-link congestion
+  that VALg suffers from under ADV+i patterns (Figure 3 of the paper).
+
+Both are oblivious: the non-minimal detour is always taken, which makes them
+optimal under adversarial traffic (≈50% throughput) but wasteful under
+uniform traffic (they burn twice the bandwidth of the minimal path).
+"""
+
+from __future__ import annotations
+
+from repro.network.packet import Packet
+from repro.network.router import Router
+from repro.routing.base import RoutingAlgorithm
+from repro.topology.dragonfly import DragonflyTopology
+
+
+def choose_intermediate_group(rng, num_groups: int, src_group: int, dst_group: int) -> int:
+    """Random group different from both the source and the destination group."""
+    while True:
+        group = rng.randrange(num_groups)
+        if group != src_group and group != dst_group:
+            return group
+
+
+def choose_intermediate_router(rng, topo: DragonflyTopology, src_group: int, dst_group: int) -> int:
+    """Random router located in a random group other than source/destination."""
+    group = choose_intermediate_group(rng, topo.g, src_group, dst_group)
+    return group * topo.a + rng.randrange(topo.a)
+
+
+class ValiantGlobalRouting(RoutingAlgorithm):
+    """VALg: minimal to a random intermediate group, then minimal to the destination."""
+
+    name = "VALg"
+
+    def max_hops(self, topo: DragonflyTopology) -> int:
+        return 5
+
+    def decide(self, router: Router, packet: Packet, in_port: int) -> int:
+        topo = self.topo
+        if packet.imd_group < 0 and router.id == packet.src_router:
+            if packet.src_group == packet.dst_group:
+                # Intra-group traffic takes the direct local hop.
+                packet.imd_group = packet.dst_group
+            else:
+                packet.imd_group = choose_intermediate_group(
+                    self.rng, topo.g, packet.src_group, packet.dst_group
+                )
+                packet.nonminimal = True
+        if router.group == packet.dst_group or router.group == packet.imd_group:
+            # Second phase: head for the destination.
+            return self.minimal_port(router, packet)
+        # First phase: head minimally towards the intermediate group's entry router.
+        entry_router = topo.gateway_router(packet.imd_group, router.group)
+        direct = topo.global_port_to_group(router.id, packet.imd_group)
+        if direct is not None:
+            return direct
+        return topo.minimal_next_port(router.id, entry_router)
+
+
+class ValiantNodeRouting(RoutingAlgorithm):
+    """VALn: minimal to a random intermediate *router*, then minimal to the destination."""
+
+    name = "VALn"
+
+    def max_hops(self, topo: DragonflyTopology) -> int:
+        return 6
+
+    def decide(self, router: Router, packet: Packet, in_port: int) -> int:
+        topo = self.topo
+        if packet.imd_router < 0 and router.id == packet.src_router:
+            if packet.src_group == packet.dst_group:
+                packet.imd_router = packet.dst_router
+            else:
+                packet.imd_router = choose_intermediate_router(
+                    self.rng, topo, packet.src_group, packet.dst_group
+                )
+                packet.imd_group = topo.group_of_router(packet.imd_router)
+                packet.nonminimal = True
+        if not packet.intgrp_decided and router.id == packet.imd_router:
+            packet.intgrp_decided = True
+        if packet.intgrp_decided or router.group == packet.dst_group:
+            return self.minimal_port(router, packet)
+        return topo.minimal_next_port(router.id, packet.imd_router)

@@ -1,0 +1,146 @@
+"""Run-time measurement of packet delivery statistics.
+
+One :class:`StatsCollector` is attached to a network; NICs call
+:meth:`record_delivery` on every delivery and traffic generators call
+:meth:`record_generated` on every generated packet.  Measurement-window
+statistics (latency array, hop counts, throughput) only include packets
+*generated and delivered* after the warm-up time; the binned time series
+cover the whole run so that convergence (Figure 7) and dynamic-load
+(Figure 8) plots can include the transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.network.packet import Packet
+from repro.stats.summary import LatencySummary, summarize_latencies
+from repro.stats.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Aggregated results of one simulation run."""
+
+    generated_packets: int
+    delivered_packets: int
+    measured_packets: int
+    mean_latency_ns: float
+    mean_hops: float
+    throughput: float
+    offered_load: Optional[float]
+    latency: LatencySummary
+    measurement_window_ns: float
+
+    def to_dict(self) -> Dict[str, float]:
+        out = {
+            "generated_packets": self.generated_packets,
+            "delivered_packets": self.delivered_packets,
+            "measured_packets": self.measured_packets,
+            "mean_latency_ns": self.mean_latency_ns,
+            "mean_latency_us": self.mean_latency_ns / 1_000.0,
+            "mean_hops": self.mean_hops,
+            "throughput": self.throughput,
+            "offered_load": self.offered_load,
+            "measurement_window_ns": self.measurement_window_ns,
+        }
+        out.update({f"latency_{k}": v for k, v in self.latency.to_dict().items()})
+        return out
+
+
+class StatsCollector:
+    """Collects per-packet statistics for one simulation run."""
+
+    def __init__(
+        self,
+        warmup_ns: float = 0.0,
+        bin_ns: float = 1_000.0,
+        num_nodes: int = 1,
+        node_bandwidth_bytes_per_ns: float = 4.0,
+    ) -> None:
+        self.warmup_ns = float(warmup_ns)
+        self.num_nodes = num_nodes
+        self.node_bandwidth_bytes_per_ns = node_bandwidth_bytes_per_ns
+
+        self.generated = 0
+        self.generated_in_window = 0
+        self.delivered = 0
+        self.latencies_ns: List[float] = []
+        self.hop_counts: List[int] = []
+        self.delivered_bytes_in_window = 0.0
+        self.first_measured_delivery_ns: Optional[float] = None
+        self.last_measured_delivery_ns: Optional[float] = None
+
+        self.latency_series = TimeSeries(bin_ns)
+        self.delivery_series = TimeSeries(bin_ns)
+        self.hop_series = TimeSeries(bin_ns)
+
+        self.offered_load: Optional[float] = None
+        self.end_ns: Optional[float] = None
+
+    # --------------------------------------------------------------- recording
+    def record_generated(self, packet: Packet) -> None:
+        self.generated += 1
+        if packet.create_time_ns >= self.warmup_ns and (
+            self.end_ns is None or packet.create_time_ns < self.end_ns
+        ):
+            self.generated_in_window += 1
+
+    def record_delivery(self, packet: Packet, now: float) -> None:
+        latency = now - packet.create_time_ns
+        self.delivered += 1
+        self.latency_series.add(now, latency)
+        self.delivery_series.add(now, packet.size_bytes)
+        self.hop_series.add(now, packet.hops)
+        # The measurement window is defined by the *delivery* time: this keeps
+        # throughput an unbiased steady-state flux and lets saturated runs
+        # (source queues growing without bound) still report the latency of
+        # whatever the network managed to deliver, as the paper's plots do.
+        in_window = now >= self.warmup_ns and (self.end_ns is None or now < self.end_ns)
+        if in_window:
+            self.latencies_ns.append(latency)
+            self.hop_counts.append(packet.hops)
+            self.delivered_bytes_in_window += packet.size_bytes
+            if self.first_measured_delivery_ns is None:
+                self.first_measured_delivery_ns = now
+            self.last_measured_delivery_ns = now
+
+    # ------------------------------------------------------------------ output
+    def latency_array_ns(self) -> np.ndarray:
+        return np.asarray(self.latencies_ns, dtype=float)
+
+    def hops_array(self) -> np.ndarray:
+        return np.asarray(self.hop_counts, dtype=float)
+
+    def throughput(self, window_ns: float) -> float:
+        """Delivered fraction of the system injection bandwidth over ``window_ns``."""
+        if window_ns <= 0:
+            return float("nan")
+        capacity = self.num_nodes * self.node_bandwidth_bytes_per_ns * window_ns
+        return self.delivered_bytes_in_window / capacity
+
+    def throughput_series(self) -> np.ndarray:
+        """Normalized throughput per time bin (whole run, including warm-up)."""
+        sums = self.delivery_series.sums()
+        capacity = self.num_nodes * self.node_bandwidth_bytes_per_ns * self.delivery_series.bin_ns
+        return sums / capacity
+
+    def finalize(self, sim_end_ns: float) -> RunStats:
+        """Build the aggregated :class:`RunStats` for a run that ended at ``sim_end_ns``."""
+        window = (self.end_ns if self.end_ns is not None else sim_end_ns) - self.warmup_ns
+        latencies = self.latency_array_ns()
+        hops = self.hops_array()
+        return RunStats(
+            generated_packets=self.generated,
+            delivered_packets=self.delivered,
+            measured_packets=int(latencies.size),
+            mean_latency_ns=float(latencies.mean()) if latencies.size else float("nan"),
+            mean_hops=float(hops.mean()) if hops.size else float("nan"),
+            throughput=self.throughput(window),
+            offered_load=self.offered_load,
+            latency=summarize_latencies(latencies),
+            measurement_window_ns=window,
+        )

@@ -1,0 +1,110 @@
+"""Latency summaries: mean, percentiles and box-plot statistics.
+
+The paper's Figure 6 / Figure 9 report the latency distribution as a box plot
+(quartiles, 1.5×IQR whiskers) annotated with the mean, 95th and 99th
+percentile; :func:`boxplot_stats` and :func:`summarize_latencies` compute
+exactly those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of packet latencies (nanoseconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    minimum: float
+    maximum: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "q1": self.q1,
+            "q3": self.q3,
+            "whisker_low": self.whisker_low,
+            "whisker_high": self.whisker_high,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def as_microseconds(self) -> Dict[str, float]:
+        """Same summary scaled to microseconds (the unit the paper plots)."""
+        out = self.to_dict()
+        return {k: (v / 1_000.0 if k != "count" else v) for k, v in out.items()}
+
+
+EMPTY_SUMMARY = LatencySummary(
+    count=0, mean=float("nan"), median=float("nan"), p95=float("nan"), p99=float("nan"),
+    q1=float("nan"), q3=float("nan"), whisker_low=float("nan"), whisker_high=float("nan"),
+    minimum=float("nan"), maximum=float("nan"),
+)
+
+
+def boxplot_stats(values: Sequence[float]) -> Dict[str, float]:
+    """Quartiles and 1.5×IQR whiskers, clamped to observed data (as in the paper's plots)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return {"q1": np.nan, "median": np.nan, "q3": np.nan,
+                "whisker_low": np.nan, "whisker_high": np.nan}
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= low_fence) & (arr <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else float(arr.min())
+    whisker_high = float(inside.max()) if inside.size else float(arr.max())
+    return {
+        "q1": float(q1),
+        "median": float(median),
+        "q3": float(q3),
+        "whisker_low": whisker_low,
+        "whisker_high": whisker_high,
+    }
+
+
+def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+    """Full latency summary (mean, p95, p99, quartiles, whiskers, extremes)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return EMPTY_SUMMARY
+    box = boxplot_stats(arr)
+    p95, p99 = np.percentile(arr, [95, 99])
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(box["median"]),
+        p95=float(p95),
+        p99=float(p99),
+        q1=float(box["q1"]),
+        q3=float(box["q3"]),
+        whisker_low=float(box["whisker_low"]),
+        whisker_high=float(box["whisker_high"]),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values strictly below ``threshold`` (e.g. "80.99% of packets < 2 µs")."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float((arr < threshold).mean())

@@ -1,0 +1,28 @@
+"""Dragonfly topology: configuration, wiring, and path construction.
+
+The topology layer is purely combinatorial — it knows which router connects to
+which through which port, and how minimal / Valiant paths are formed — but it
+knows nothing about queues, credits or time.  The network layer
+(:mod:`repro.network`) instantiates hardware on top of it.
+"""
+
+from repro.topology.config import DragonflyConfig
+from repro.topology.dragonfly import DragonflyTopology, PortType
+from repro.topology.paths import (
+    minimal_route,
+    minimal_router_hops,
+    uncongested_delivery_time,
+    valiant_global_route,
+    valiant_node_route,
+)
+
+__all__ = [
+    "DragonflyConfig",
+    "DragonflyTopology",
+    "PortType",
+    "minimal_route",
+    "minimal_router_hops",
+    "uncongested_delivery_time",
+    "valiant_global_route",
+    "valiant_node_route",
+]

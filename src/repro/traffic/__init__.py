@@ -1,0 +1,81 @@
+"""Synthetic traffic patterns and the offered-load workload driver.
+
+Patterns from the paper: UR, ADV+i, 3D Stencil, Many to Many, Random
+Neighbors; extras: Permutation, Hotspot.  Use :func:`make_pattern` to build a
+pattern from its paper name (e.g. ``"UR"``, ``"ADV+4"``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.traffic.adversarial import AdversarialTraffic
+from repro.traffic.base import TrafficPattern, default_grid_dims
+from repro.traffic.generator import LoadPhase, LoadSchedule, TrafficGenerator
+from repro.traffic.hotspot import HotspotTraffic
+from repro.traffic.manytomany import ManyToManyTraffic
+from repro.traffic.permutation import PermutationTraffic
+from repro.traffic.random_neighbors import RandomNeighborsTraffic
+from repro.traffic.stencil import Stencil3DTraffic
+from repro.traffic.uniform import UniformRandomTraffic
+
+__all__ = [
+    "AdversarialTraffic",
+    "HotspotTraffic",
+    "LoadPhase",
+    "LoadSchedule",
+    "ManyToManyTraffic",
+    "PermutationTraffic",
+    "RandomNeighborsTraffic",
+    "Stencil3DTraffic",
+    "TrafficGenerator",
+    "TrafficPattern",
+    "UniformRandomTraffic",
+    "available_patterns",
+    "default_grid_dims",
+    "make_pattern",
+]
+
+_ADV_RE = re.compile(r"^adv\+?(\d+)$")
+
+
+def available_patterns() -> List[str]:
+    """Pattern names accepted by :func:`make_pattern`."""
+    return [
+        "UR",
+        "ADV+<i>",
+        "3D Stencil",
+        "Many to Many",
+        "Random Neighbors",
+        "Permutation",
+        "Hotspot",
+    ]
+
+
+def make_pattern(name: str, **kwargs) -> TrafficPattern:
+    """Build a traffic pattern from its paper name (case-insensitive).
+
+    Examples: ``make_pattern("UR")``, ``make_pattern("ADV+4")``,
+    ``make_pattern("3d stencil")``, ``make_pattern("random neighbors")``.
+    """
+    key = name.strip().lower().replace("_", " ").replace("-", " ")
+    compact = key.replace(" ", "")
+    if compact in ("ur", "uniform", "uniformrandom"):
+        return UniformRandomTraffic(**kwargs)
+    match = _ADV_RE.match(compact)
+    if match:
+        return AdversarialTraffic(shift=int(match.group(1)), **kwargs)
+    if compact in ("adv", "adversarial"):
+        return AdversarialTraffic(**kwargs)
+    if compact in ("3dstencil", "stencil", "stencil3d"):
+        return Stencil3DTraffic(**kwargs)
+    if compact in ("manytomany", "m2m", "alltoall"):
+        return ManyToManyTraffic(**kwargs)
+    if compact in ("randomneighbors", "randomneighbor", "neighbors"):
+        return RandomNeighborsTraffic(**kwargs)
+    if compact in ("permutation", "perm"):
+        return PermutationTraffic(**kwargs)
+    if compact in ("hotspot", "hot"):
+        return HotspotTraffic(**kwargs)
+    raise ValueError(f"unknown traffic pattern {name!r}; known: {available_patterns()}")

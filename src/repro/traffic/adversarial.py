@@ -1,0 +1,40 @@
+"""Adversarial (ADV+i) traffic — the paper's worst-case pattern.
+
+Every node of group ``G`` sends to a random node of group ``G + i`` (modulo
+the group count).  All traffic between a pair of groups has to share the
+single minimal global link between them, so minimal routing collapses and
+non-minimal (Valiant) routing is required.
+
+The shift ``i`` also controls how much *local* link congestion appears in the
+intermediate groups when packets are routed non-minimally (Figure 3): for the
+1,056-node system ADV+4 produces the most intermediate-group local congestion
+and ADV+1 the least.
+"""
+
+from __future__ import annotations
+
+from repro.traffic.base import TrafficPattern
+
+
+class AdversarialTraffic(TrafficPattern):
+    """ADV+i: group ``G`` sends to random nodes of group ``(G + i) mod g``."""
+
+    def __init__(self, shift: int = 1) -> None:
+        super().__init__()
+        if shift < 1:
+            raise ValueError("adversarial shift must be at least 1")
+        self.shift = shift
+        self.name = f"ADV+{shift}"
+
+    def _setup(self) -> None:
+        if self.shift >= self.topo.g:
+            raise ValueError(
+                f"adversarial shift {self.shift} must be smaller than the group count {self.topo.g}"
+            )
+
+    def destination(self, src_node: int) -> int:
+        topo = self.topo
+        src_group = topo.group_of_node(src_node)
+        dst_group = (src_group + self.shift) % topo.g
+        nodes = topo.nodes_in_group(dst_group)
+        return nodes[self.rng.randrange(len(nodes))]

@@ -1,0 +1,155 @@
+"""Open-loop workload driver: converts *offered load* into message injections.
+
+Offered load is defined as in the paper: the ratio between the per-node
+message generation rate and the node injection bandwidth, so a load of 1.0
+means every node generates one packet per packet-serialization time
+(``packet_bytes / bandwidth`` — 32 ns for the default parameters).  Messages
+are single packets; generation is open-loop (the source queue absorbs
+backpressure), which is the standard throughput/latency evaluation
+methodology the paper uses.
+
+The generator also supports a piecewise-constant :class:`LoadSchedule` to
+reproduce the dynamic-load experiment of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.traffic.base import TrafficPattern
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One piece of a piecewise-constant load schedule."""
+
+    start_ns: float
+    load: float
+
+    def __post_init__(self) -> None:
+        if self.load < 0.0:
+            raise ValueError("offered load cannot be negative")
+
+
+class LoadSchedule:
+    """Piecewise-constant offered load over time."""
+
+    def __init__(self, phases: Sequence[Tuple[float, float]]):
+        if not phases:
+            raise ValueError("a load schedule needs at least one phase")
+        ordered = sorted(phases, key=lambda item: item[0])
+        self.phases: List[LoadPhase] = [LoadPhase(float(t), float(l)) for t, l in ordered]
+
+    @classmethod
+    def constant(cls, load: float) -> "LoadSchedule":
+        return cls([(0.0, load)])
+
+    @classmethod
+    def step(cls, initial_load: float, step_time_ns: float, new_load: float) -> "LoadSchedule":
+        """Figure 8 style schedule: one load change at ``step_time_ns``."""
+        return cls([(0.0, initial_load), (step_time_ns, new_load)])
+
+    def load_at(self, time_ns: float) -> float:
+        current = self.phases[0].load
+        for phase in self.phases:
+            if time_ns >= phase.start_ns:
+                current = phase.load
+            else:
+                break
+        return current
+
+    def next_change_after(self, time_ns: float) -> Optional[float]:
+        for phase in self.phases:
+            if phase.start_ns > time_ns:
+                return phase.start_ns
+        return None
+
+    def max_load(self) -> float:
+        return max(phase.load for phase in self.phases)
+
+
+class TrafficGenerator:
+    """Drives one traffic pattern on one network at a given offered load."""
+
+    def __init__(
+        self,
+        network,
+        pattern: TrafficPattern,
+        offered_load: Optional[float] = None,
+        schedule: Optional[LoadSchedule] = None,
+        arrival: str = "exponential",
+        start_ns: float = 0.0,
+        stop_ns: Optional[float] = None,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> None:
+        if (offered_load is None) == (schedule is None):
+            raise ValueError("specify exactly one of offered_load or schedule")
+        if arrival not in ("exponential", "deterministic"):
+            raise ValueError("arrival must be 'exponential' or 'deterministic'")
+        self.network = network
+        self.pattern = pattern
+        self.schedule = schedule if schedule is not None else LoadSchedule.constant(offered_load)
+        self.arrival = arrival
+        self.start_ns = start_ns
+        self.stop_ns = stop_ns
+        self.nodes = list(nodes) if nodes is not None else list(network.topo.all_nodes())
+        self.generated = 0
+
+        pattern.setup(network.topo, network.rng.py(f"traffic:{pattern.name}"))
+        self._rng = network.rng.py("traffic:arrivals")
+        self._packet_time_ns = network.params.serialization_ns
+        network.collector.offered_load = self.schedule.phases[0].load
+
+    # ----------------------------------------------------------------- driving
+    def start(self) -> None:
+        """Schedule the first generation event of every driven node."""
+        sim = self.network.sim
+        initial_load = self.schedule.load_at(self.start_ns)
+        for node in self.nodes:
+            delay = self._interval(initial_load)
+            if delay == float("inf"):
+                # Idle at start: wake up at the first load change (if any).
+                change = self.schedule.next_change_after(self.start_ns)
+                if change is None:
+                    continue
+                first = change
+            else:
+                # De-synchronise sources: the first packet of each node appears
+                # a random fraction of one interval after start.
+                first = self.start_ns + delay * self._rng.random()
+            sim.at(max(first, self.start_ns), self._generate, node)
+
+    def _interval(self, load: float) -> float:
+        """Time to the next message of one node at the given offered load."""
+        if load <= 0.0:
+            return float("inf")
+        mean = self._packet_time_ns / load
+        if self.arrival == "deterministic":
+            return mean
+        return self._rng.expovariate(1.0 / mean)
+
+    def _generate(self, node: int) -> None:
+        sim = self.network.sim
+        now = sim.now
+        if self.stop_ns is not None and now >= self.stop_ns:
+            return
+        load = self.schedule.load_at(now)
+        if load > 0.0:
+            dest = self.pattern.destination(node)
+            packet = self.network.create_packet(node, dest, now)
+            self.network.nics[node].inject(packet)
+            self.generated += 1
+            delay = self._interval(load)
+        else:
+            # Idle phase: sleep until the next load change (or stop).
+            change = self.schedule.next_change_after(now)
+            if change is None:
+                return
+            delay = change - now
+        if delay == float("inf"):
+            change = self.schedule.next_change_after(now)
+            if change is None:
+                return
+            delay = change - now
+        sim.after(delay, self._generate, node)

@@ -1,0 +1,55 @@
+"""Many-to-Many communication pattern (Section 6 case study).
+
+Nodes are arranged in the same 3D grid as the stencil pattern; all nodes that
+share an (x, y) coordinate — i.e. one line along the Z axis, 51 nodes for the
+paper's 2,550-node system — form a communicator performing all-to-all
+exchanges, as in parallel FFT codes (pF3D, NAMD, VASP).  Every message goes to
+a uniformly random member of the sender's communicator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.traffic.base import TrafficPattern, default_grid_dims
+from repro.traffic.stencil import coords_to_node, node_to_coords
+
+
+class ManyToManyTraffic(TrafficPattern):
+    """All-to-all within Z-axis communicators of the 3D grid arrangement."""
+
+    name = "Many to Many"
+
+    def __init__(self, dims: Optional[Tuple[int, int, int]] = None) -> None:
+        super().__init__()
+        self.dims = dims
+        self._communicator: List[List[int]] = []
+
+    def _setup(self) -> None:
+        dims = self.dims if self.dims is not None else default_grid_dims(self.topo)
+        dx, dy, dz = dims
+        if dx * dy * dz != self.topo.num_nodes:
+            raise ValueError(
+                f"grid {dims} has {dx * dy * dz} cells but the system has "
+                f"{self.topo.num_nodes} nodes"
+            )
+        if dz < 2:
+            raise ValueError("many-to-many needs a Z dimension of at least 2")
+        self.dims = dims
+        self._communicator = [[] for _ in range(self.topo.num_nodes)]
+        for x in range(dx):
+            for y in range(dy):
+                members = [coords_to_node(x, y, z, dims) for z in range(dz)]
+                for member in members:
+                    self._communicator[member] = members
+
+    def communicator_of(self, node: int) -> List[int]:
+        """All members of ``node``'s communicator (including itself)."""
+        return list(self._communicator[node])
+
+    def destination(self, src_node: int) -> int:
+        members = self._communicator[src_node]
+        dest = members[self.rng.randrange(len(members))]
+        while dest == src_node:
+            dest = members[self.rng.randrange(len(members))]
+        return dest

@@ -1,0 +1,42 @@
+"""Random permutation traffic (an extra stress pattern, not in the paper's set).
+
+Every node sends all of its traffic to one fixed partner, chosen so that the
+partner assignment is a derangement (nobody talks to itself, every node
+receives from exactly one sender).  Permutation traffic concentrates load on a
+few paths without the group-level structure of ADV+i and is a useful extra
+stressor for adaptive algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.traffic.base import TrafficPattern
+
+
+class PermutationTraffic(TrafficPattern):
+    """Fixed random derangement: node i always sends to partner[i]."""
+
+    name = "Permutation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._partner: List[int] = []
+
+    def _setup(self) -> None:
+        num_nodes = self.topo.num_nodes
+        if num_nodes < 2:
+            raise ValueError("permutation traffic needs at least two nodes")
+        # Sattolo's algorithm produces a uniformly random cyclic permutation,
+        # which is automatically a derangement.
+        partner = list(range(num_nodes))
+        for i in range(num_nodes - 1, 0, -1):
+            j = self.rng.randrange(i)
+            partner[i], partner[j] = partner[j], partner[i]
+        self._partner = partner
+
+    def partner_of(self, node: int) -> int:
+        return self._partner[node]
+
+    def destination(self, src_node: int) -> int:
+        return self._partner[src_node]

@@ -1,0 +1,70 @@
+"""3D Stencil communication pattern (Section 6 case study).
+
+Nodes are arranged in a 3D grid (the paper uses 5 × 10 × 51 for the
+2,550-node system, i.e. ``p × a × g``); every node exchanges messages with its
+six face neighbours along the three dimensions.  The grid wraps around
+(periodic boundaries) so every node has exactly six neighbours — the usual
+halo-exchange structure of stencil codes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.traffic.base import TrafficPattern, default_grid_dims
+
+
+def node_to_coords(node: int, dims: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Map a node id to (x, y, z) coordinates, x varying fastest."""
+    dx, dy, _ = dims
+    x = node % dx
+    y = (node // dx) % dy
+    z = node // (dx * dy)
+    return x, y, z
+
+
+def coords_to_node(x: int, y: int, z: int, dims: Tuple[int, int, int]) -> int:
+    dx, dy, _ = dims
+    return x + dx * (y + dy * z)
+
+
+class Stencil3DTraffic(TrafficPattern):
+    """3D Stencil: each node talks to its six grid neighbours (periodic wrap)."""
+
+    name = "3D Stencil"
+
+    def __init__(self, dims: Optional[Tuple[int, int, int]] = None) -> None:
+        super().__init__()
+        self.dims = dims
+        self._neighbors: List[List[int]] = []
+
+    def _setup(self) -> None:
+        dims = self.dims if self.dims is not None else default_grid_dims(self.topo)
+        dx, dy, dz = dims
+        if dx * dy * dz != self.topo.num_nodes:
+            raise ValueError(
+                f"grid {dims} has {dx * dy * dz} cells but the system has "
+                f"{self.topo.num_nodes} nodes"
+            )
+        self.dims = dims
+        self._neighbors = []
+        for node in range(self.topo.num_nodes):
+            x, y, z = node_to_coords(node, dims)
+            neighbors = {
+                coords_to_node((x + 1) % dx, y, z, dims),
+                coords_to_node((x - 1) % dx, y, z, dims),
+                coords_to_node(x, (y + 1) % dy, z, dims),
+                coords_to_node(x, (y - 1) % dy, z, dims),
+                coords_to_node(x, y, (z + 1) % dz, dims),
+                coords_to_node(x, y, (z - 1) % dz, dims),
+            }
+            neighbors.discard(node)  # degenerate dimensions of size 1 or 2
+            self._neighbors.append(sorted(neighbors))
+
+    def neighbors_of(self, node: int) -> List[int]:
+        """Grid neighbours of ``node`` (6 for a proper 3D grid)."""
+        return list(self._neighbors[node])
+
+    def destination(self, src_node: int) -> int:
+        neighbors = self._neighbors[src_node]
+        return neighbors[self.rng.randrange(len(neighbors))]

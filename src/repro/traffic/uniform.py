@@ -1,0 +1,23 @@
+"""Uniform random (UR) traffic — the paper's best-case pattern.
+
+Every message goes to a node chosen uniformly at random among all other
+nodes.  Traffic is perfectly balanced, so minimal routing is optimal and the
+system should approach 100% throughput.
+"""
+
+from __future__ import annotations
+
+from repro.traffic.base import TrafficPattern
+
+
+class UniformRandomTraffic(TrafficPattern):
+    """UR: destination drawn uniformly from all nodes except the source."""
+
+    name = "UR"
+
+    def destination(self, src_node: int) -> int:
+        num_nodes = self.topo.num_nodes
+        dest = self.rng.randrange(num_nodes - 1)
+        if dest >= src_node:
+            dest += 1
+        return dest

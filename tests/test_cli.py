@@ -1,0 +1,65 @@
+"""Tests for the repro-sim command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_figure():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "not-a-figure"])
+
+
+def test_run_command_prints_summary(capsys):
+    code = main([
+        "run", "--routing", "MIN", "--pattern", "UR", "--load", "0.3",
+        "--config", "tiny", "--time-us", "8", "--seed", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean_latency_us" in out and "MIN" in out
+
+
+def test_run_command_json_output(capsys):
+    code = main([
+        "run", "--routing", "Q-adp", "--pattern", "ADV+1", "--load", "0.25",
+        "--config", "tiny", "--time-us", "8", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["routing"] == "Q-adp"
+    assert payload["throughput"] >= 0.0
+
+
+def test_compare_command(capsys):
+    code = main([
+        "compare", "--routing", "MIN", "VALn", "--pattern", "UR", "--load", "0.3",
+        "--config", "tiny", "--time-us", "8",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "MIN" in out and "VALn" in out and "throughput" in out
+
+
+def test_figure_command_table1(capsys):
+    code = main(["figure", "table1"])
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[0]["N"] == 1056
+
+
+def test_custom_config_string(capsys):
+    code = main([
+        "run", "--routing", "MIN", "--pattern", "UR", "--load", "0.2",
+        "--config", "1,2,1", "--time-us", "5",
+    ])
+    assert code == 0
+    assert "mean_latency_us" in capsys.readouterr().out
+
+
+def test_bad_config_string_errors():
+    with pytest.raises(SystemExit):
+        main(["run", "--config", "bogus", "--time-us", "5"])

@@ -1,0 +1,120 @@
+"""Tests for the hysteretic update rule (Eq. 3) and the selection policies (Eq. 2)."""
+
+import random
+
+import pytest
+
+from repro.core.hysteretic import (
+    HystereticParams,
+    hysteretic_delta,
+    hysteretic_update,
+    td_error,
+)
+from repro.core.policy import delta_v, epsilon_greedy, select_with_threshold
+
+
+# ----------------------------------------------------------------- hysteretic
+def test_td_error_definition():
+    assert td_error(reward=100.0, q_next=50.0, q_current=120.0) == 30.0
+    assert td_error(reward=10.0, q_next=5.0, q_current=40.0) == -25.0
+
+
+def test_good_news_uses_alpha():
+    params = HystereticParams(alpha=0.2, beta=0.04)
+    # target (60) below current estimate (100): improvement -> fast rate
+    new = hysteretic_update(q_current=100.0, reward=20.0, q_next=40.0, params=params)
+    assert new == pytest.approx(100.0 + 0.2 * (60.0 - 100.0))
+    assert new < 100.0
+
+
+def test_bad_news_uses_beta():
+    params = HystereticParams(alpha=0.2, beta=0.04)
+    # target (200) above current estimate (100): congestion -> slow rate
+    new = hysteretic_update(q_current=100.0, reward=150.0, q_next=50.0, params=params)
+    assert new == pytest.approx(100.0 + 0.04 * (200.0 - 100.0))
+    assert new > 100.0
+
+
+def test_zero_delta_is_fixed_point():
+    params = HystereticParams()
+    assert hysteretic_update(100.0, 60.0, 40.0, params) == pytest.approx(100.0)
+
+
+def test_update_moves_towards_target_without_overshoot():
+    params = HystereticParams(alpha=0.5, beta=0.3)
+    for current, reward, q_next in [(500.0, 10.0, 5.0), (10.0, 300.0, 200.0), (50.0, 25.0, 25.0)]:
+        target = reward + q_next
+        new = hysteretic_update(current, reward, q_next, params)
+        assert min(current, target) - 1e-9 <= new <= max(current, target) + 1e-9
+
+
+def test_equal_rates_reduce_to_plain_q_learning():
+    params = HystereticParams(alpha=0.1, beta=0.1)
+    assert hysteretic_delta(+50.0, params) == pytest.approx(5.0)
+    assert hysteretic_delta(-50.0, params) == pytest.approx(-5.0)
+
+
+def test_invalid_learning_rates_rejected():
+    with pytest.raises(ValueError):
+        HystereticParams(alpha=0.0)
+    with pytest.raises(ValueError):
+        HystereticParams(alpha=1.5)
+    with pytest.raises(ValueError):
+        HystereticParams(alpha=0.2, beta=-0.1)
+
+
+# --------------------------------------------------------------------- policy
+def test_delta_v_definition():
+    assert delta_v(q_min_path=100.0, q_best_path=80.0) == pytest.approx(0.2)
+    assert delta_v(q_min_path=100.0, q_best_path=100.0) == 0.0
+    assert delta_v(q_min_path=100.0, q_best_path=120.0) == pytest.approx(-0.2)
+
+
+def test_delta_v_guards_non_positive_min():
+    assert delta_v(0.0, 50.0) == 0.0
+    assert delta_v(-5.0, 50.0) == 0.0
+
+
+def test_select_with_threshold_prefers_minimal_below_threshold():
+    port, adv = select_with_threshold(
+        min_path_port=3, q_min_path=100.0, best_path_port=9, q_best_path=85.0, threshold=0.2
+    )
+    assert port == 3 and adv == pytest.approx(0.15)
+
+
+def test_select_with_threshold_switches_at_threshold():
+    port, adv = select_with_threshold(3, 100.0, 9, 80.0, threshold=0.2)
+    assert port == 9 and adv == pytest.approx(0.2)
+
+
+def test_zero_threshold_picks_any_strictly_better_port():
+    port, _ = select_with_threshold(3, 100.0, 9, 99.9, threshold=0.0)
+    assert port == 9
+    port, _ = select_with_threshold(3, 100.0, 9, 100.0, threshold=0.0)
+    assert port == 9  # delta_v == 0 is not < 0, the best port wins ties at threshold 0
+
+
+def test_epsilon_greedy_zero_epsilon_is_deterministic():
+    rng = random.Random(0)
+    assert epsilon_greedy(rng, 4, [1, 2, 3], epsilon=0.0) == 4
+
+
+def test_epsilon_greedy_one_always_explores():
+    rng = random.Random(0)
+    picks = {epsilon_greedy(rng, 4, [1, 2, 3], epsilon=1.0) for _ in range(50)}
+    assert picks <= {1, 2, 3}
+    assert len(picks) > 1
+
+
+def test_epsilon_greedy_exploration_rate_roughly_matches():
+    rng = random.Random(1)
+    n = 20_000
+    explored = sum(
+        1 for _ in range(n) if epsilon_greedy(rng, 0, [1], epsilon=0.1) == 1
+    )
+    assert 0.07 < explored / n < 0.13
+
+
+def test_epsilon_greedy_empty_candidates_returns_chosen():
+    rng = random.Random(2)
+    assert epsilon_greedy(rng, 7, [], epsilon=1.0) == 7

@@ -1,0 +1,112 @@
+"""Tests for the Q-table designs (Tables 2 and 3 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.qtable import QRoutingTable, TwoLevelQTable, qtable_memory_comparison
+from repro.topology.config import DragonflyConfig
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.paths import LinkTiming, uncongested_delivery_time
+
+
+TOPO = DragonflyTopology(DragonflyConfig.small_72())
+TIMING = LinkTiming()
+
+
+def test_two_level_table_shape_matches_paper():
+    table = TwoLevelQTable(0, TOPO)
+    assert table.shape == (TOPO.g * TOPO.p, TOPO.k - TOPO.p)
+
+
+def test_qrouting_table_shape_matches_paper():
+    table = QRoutingTable(0, TOPO)
+    assert table.shape == (TOPO.num_routers, TOPO.k - TOPO.p)
+
+
+def test_two_level_table_is_half_the_size_for_balanced_dragonfly():
+    for config in (DragonflyConfig.small_72(), DragonflyConfig.paper_1056(),
+                   DragonflyConfig.paper_2550()):
+        comparison = qtable_memory_comparison(config)
+        assert comparison["saving_fraction"] == pytest.approx(0.5)
+        assert comparison["two_level_bytes"] * 2 == comparison["original_bytes"]
+
+
+def test_memory_saving_differs_for_unbalanced_config():
+    comparison = qtable_memory_comparison(DragonflyConfig(p=1, a=4, h=2))
+    assert comparison["saving_fraction"] == pytest.approx(1.0 - (9 * 1) / 36)
+
+
+def test_row_for_two_level_indexing():
+    table = TwoLevelQTable(0, TOPO)
+    assert table.row_for(dst_group=0, src_node_local=0) == 0
+    assert table.row_for(dst_group=3, src_node_local=1) == 3 * TOPO.p + 1
+    assert table.row_for(dst_group=TOPO.g - 1, src_node_local=TOPO.p - 1) == table.num_rows - 1
+
+
+def test_column_port_roundtrip():
+    table = TwoLevelQTable(0, TOPO)
+    for port in TOPO.non_host_ports:
+        assert table.port_of_column(table.column_of_port(port)) == port
+    with pytest.raises(ValueError):
+        table.column_of_port(0)  # host port
+    with pytest.raises(ValueError):
+        table.port_of_column(table.num_ports)
+
+
+def test_initialize_uncongested_matches_path_estimates():
+    router_id = 7
+    table = TwoLevelQTable(router_id, TOPO)
+    table.initialize_uncongested(TIMING)
+    for port in TOPO.non_host_ports:
+        for group in range(TOPO.g):
+            expected = uncongested_delivery_time(TOPO, router_id, port, group, TIMING)
+            for node_local in range(TOPO.p):
+                row = table.row_for(group, node_local)
+                assert table.value(row, port) == pytest.approx(expected)
+
+
+def test_qrouting_initialization_favours_minimal_port():
+    router_id = 0
+    table = QRoutingTable(router_id, TOPO)
+    table.initialize_uncongested(TIMING)
+    for dest in range(0, TOPO.num_routers, 7):
+        if dest == router_id:
+            continue
+        min_port = TOPO.minimal_next_port(router_id, dest)
+        best_port, _ = table.best_port(dest)
+        assert table.value(dest, min_port) <= table.value(dest, best_port) + 1e-9
+
+
+def test_best_port_respects_candidate_restriction():
+    table = TwoLevelQTable(0, TOPO)
+    table.values[:] = 100.0
+    local_port = TOPO.local_ports[0]
+    global_port = TOPO.global_ports[0]
+    table.set_value(0, global_port, 1.0)
+    table.set_value(0, local_port, 5.0)
+    assert table.best_port(0)[0] == global_port
+    port, value = table.best_port(0, candidate_ports=list(TOPO.local_ports))
+    assert port == local_port and value == 5.0
+
+
+def test_min_value_and_apply_delta():
+    table = TwoLevelQTable(0, TOPO)
+    table.values[:] = 10.0
+    table.set_value(2, TOPO.local_ports[1], 4.0)
+    assert table.min_value(2) == 4.0
+    table.apply_delta(2, TOPO.local_ports[1], -1.5)
+    assert table.value(2, TOPO.local_ports[1]) == pytest.approx(2.5)
+    assert table.updates == 1
+
+
+def test_snapshot_is_a_copy():
+    table = TwoLevelQTable(0, TOPO)
+    snap = table.snapshot()
+    table.values[0, 0] = 123.0
+    assert snap[0, 0] != 123.0
+    assert isinstance(snap, np.ndarray)
+
+
+def test_memory_bytes_accounting():
+    table = TwoLevelQTable(0, TOPO, value_bytes=4)
+    assert table.memory_bytes() == table.num_rows * table.num_ports * 4

@@ -1,0 +1,74 @@
+"""Unit tests for the event queue."""
+
+from repro.engine.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    queue = EventQueue()
+    order = []
+    queue.push(5.0, order.append, ("b",))
+    queue.push(1.0, order.append, ("a",))
+    queue.push(9.0, order.append, ("c",))
+    while queue:
+        event = queue.pop()
+        event.callback(*event.args)
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_times_preserve_insertion_order():
+    queue = EventQueue()
+    events = [queue.push(3.0, lambda: None) for _ in range(5)]
+    popped = [queue.pop() for _ in range(5)]
+    assert popped == events
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    assert len(queue) == 0 and not queue
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2 and queue
+    queue.pop()
+    assert len(queue) == 1
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    second = queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.pop() is second
+    assert queue.pop() is None
+
+
+def test_peek_time_ignores_cancelled_head():
+    queue = EventQueue()
+    head = queue.push(1.0, lambda: None)
+    queue.push(4.0, lambda: None)
+    head.cancel()
+    assert queue.peek_time() == 4.0
+
+
+def test_peek_time_empty_queue_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_event_ordering_operator():
+    early = Event(1.0, 0, lambda: None, ())
+    late = Event(2.0, 1, lambda: None, ())
+    same_time = Event(1.0, 2, lambda: None, ())
+    assert early < late
+    assert early < same_time
+    assert not (late < early)

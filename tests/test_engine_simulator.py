@@ -1,0 +1,109 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.engine.simulator import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+
+
+def test_after_and_at_schedule_callbacks(sim):
+    seen = []
+    sim.after(10.0, seen.append, "after")
+    sim.at(5.0, seen.append, "at")
+    sim.run()
+    assert seen == ["at", "after"]
+    assert sim.now == 10.0
+
+
+def test_run_until_stops_clock_at_bound(sim):
+    seen = []
+    sim.after(10.0, seen.append, 1)
+    sim.after(50.0, seen.append, 2)
+    sim.run(until=20.0)
+    assert seen == [1]
+    assert sim.now == 20.0
+    sim.run(until=100.0)
+    assert seen == [1, 2]
+
+
+def test_run_until_with_empty_queue_advances_clock(sim):
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_events_scheduled_during_run_execute_in_order(sim):
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.after(1.0, chain, n + 1)
+
+    sim.after(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_cannot_schedule_in_the_past(sim):
+    sim.after(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_max_events_limits_execution(sim):
+    seen = []
+    for i in range(10):
+        sim.after(float(i), seen.append, i)
+    sim.run(max_events=4)
+    assert seen == [0, 1, 2, 3]
+    assert sim.events_processed == 4
+
+
+def test_step_executes_single_event(sim):
+    seen = []
+    sim.after(1.0, seen.append, "x")
+    assert sim.step() is True
+    assert seen == ["x"]
+    assert sim.step() is False
+
+
+def test_cancelled_event_not_executed(sim):
+    seen = []
+    handle = sim.after(1.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_reset_clears_pending_events(sim):
+    sim.after(1.0, lambda: None)
+    sim.reset()
+    assert sim.pending_events == 0
+    assert sim.now == 0.0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_run_is_not_reentrant(sim):
+    def recurse():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.after(1.0, recurse)
+    sim.run()
+
+
+def test_event_count_accumulates_across_runs(sim):
+    sim.after(1.0, lambda: None)
+    sim.run()
+    sim.after(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 2

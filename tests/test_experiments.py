@@ -1,0 +1,173 @@
+"""Tests for the experiment harness, presets and figure drivers."""
+
+import pytest
+
+from repro.experiments import (
+    BENCH_SCALE,
+    PAPER_SCALE_1056,
+    REDUCED_SCALE,
+    ExperimentSpec,
+    ablation_hyperparams,
+    ablation_maxq,
+    default_scale,
+    figure5_sweep,
+    figure6_tail_latency,
+    figure7_convergence,
+    figure8_dynamic_load,
+    figure9_scaleup,
+    run_experiment,
+    run_load_sweep,
+    table1_configurations,
+    table_qtable_memory,
+)
+from repro.experiments.presets import PAPER_ALGORITHMS, scale_by_name
+from repro.topology.config import DragonflyConfig
+
+TINY = DragonflyConfig.tiny()
+#: a very small scale so the figure drivers finish in seconds inside the test suite
+TEST_SCALE = BENCH_SCALE.with_overrides(
+    config=TINY,
+    scaleup_config=DragonflyConfig.small_72(),
+    warmup_ns=3_000.0,
+    measure_ns=3_000.0,
+    convergence_ns=8_000.0,
+    ur_loads=(0.2,),
+    adv_loads=(0.2,),
+    ur_reference_load=0.3,
+    adv_reference_load=0.2,
+)
+
+
+# -------------------------------------------------------------------- presets
+def test_scale_presets_are_consistent():
+    for scale in (BENCH_SCALE, REDUCED_SCALE, PAPER_SCALE_1056):
+        assert scale.sim_time_ns == scale.warmup_ns + scale.measure_ns
+        assert scale.describe()["name"] == scale.name
+    assert PAPER_SCALE_1056.config.num_nodes == 1056
+    assert scale_by_name("reduced") is REDUCED_SCALE
+    with pytest.raises(ValueError):
+        scale_by_name("bogus")
+
+
+def test_default_scale_env_selection():
+    assert default_scale(env={}) is BENCH_SCALE
+    assert default_scale(env={"REPRO_PAPER_SCALE": "1"}) is PAPER_SCALE_1056
+    assert default_scale(env={"REPRO_SCALE": "reduced"}) is REDUCED_SCALE
+
+
+# --------------------------------------------------------------------- tables
+def test_table1_reproduces_paper_values():
+    rows = table1_configurations()
+    assert rows[0]["N"] == 1056 and rows[0]["m"] == 264 and rows[0]["k"] == 15
+    assert rows[1]["N"] == 2550 and rows[1]["m"] == 510 and rows[1]["g"] == 51
+
+
+def test_qtable_memory_reports_fifty_percent_saving():
+    rows = table_qtable_memory()
+    for row in rows:
+        assert row["saving_fraction"] == pytest.approx(0.5)
+
+
+# -------------------------------------------------------------------- harness
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ExperimentSpec(config=TINY, offered_load=None)
+    with pytest.raises(ValueError):
+        ExperimentSpec(config=TINY, warmup_ns=10.0, sim_time_ns=5.0)
+    spec = ExperimentSpec(config=TINY, offered_load=0.2, label="custom")
+    assert spec.display_name == "custom"
+    assert "MIN" in ExperimentSpec(config=TINY, offered_load=0.2).display_name
+
+
+def test_run_experiment_returns_complete_result():
+    spec = ExperimentSpec(
+        config=TINY, routing="Q-adp", pattern="UR", offered_load=0.3,
+        sim_time_ns=6_000.0, warmup_ns=3_000.0, seed=2,
+    )
+    result = run_experiment(spec)
+    assert result.stats.delivered_packets > 0
+    assert result.mean_latency_us > 0
+    assert 0.0 < result.throughput <= 1.0
+    assert result.latencies_ns.size == result.stats.measured_packets
+    times, values = result.latency_timeline_us
+    assert len(times) == len(values) > 0
+    assert "feedback_applied" in result.routing_diagnostics
+    row = result.summary_row()
+    assert row["routing"] == "Q-adp" and row["pattern"] == "UR"
+
+
+def test_run_experiment_is_deterministic():
+    spec = ExperimentSpec(config=TINY, routing="UGALn", pattern="ADV+1", offered_load=0.25,
+                          sim_time_ns=5_000.0, warmup_ns=2_000.0, seed=11)
+    a = run_experiment(spec)
+    b = run_experiment(spec)
+    assert a.stats.delivered_packets == b.stats.delivered_packets
+    assert a.stats.mean_latency_ns == pytest.approx(b.stats.mean_latency_ns)
+
+
+def test_run_load_sweep_shape():
+    sweep = run_load_sweep(
+        config=TINY, algorithms=("MIN", "VALn"), pattern="UR", loads=(0.1, 0.3),
+        warmup_ns=2_000.0, measure_ns=2_000.0, seed=1,
+    )
+    assert set(sweep) == {"MIN", "VALn"}
+    assert all(len(results) == 2 for results in sweep.values())
+
+
+# -------------------------------------------------------------------- figures
+def test_figure5_structure():
+    data = figure5_sweep(TEST_SCALE, algorithms=("MIN", "Q-adp"), patterns=("UR",))
+    assert set(data) == {"UR"}
+    assert set(data["UR"]) == {"MIN", "Q-adp"}
+    series = data["UR"]["MIN"]
+    assert series["loads"] == [0.2]
+    assert len(series["latency_us"]) == len(series["throughput"]) == len(series["hops"]) == 1
+
+
+def test_figure6_structure():
+    data = figure6_tail_latency(TEST_SCALE, algorithms=("MIN", "UGALn"), patterns=("ADV+1",))
+    row = data["ADV+1"]["MIN"]
+    for key in ("mean", "p95", "p99", "q1", "q3", "fraction_below_2us", "offered_load"):
+        assert key in row
+
+
+def test_figure7_convergence_series():
+    curves = figure7_convergence(TEST_SCALE, cases=(("UR", 0.3),), bin_ns=2_000.0)
+    key = "UR load 0.3"
+    assert key in curves
+    assert len(curves[key]["time_us"]) == len(curves[key]["latency_us"]) > 0
+
+
+def test_figure8_dynamic_load_series():
+    curves = figure8_dynamic_load(TEST_SCALE, cases=(("UR", 0.2, 0.4),), bin_ns=2_000.0)
+    key = "UR 0.2->0.4"
+    assert key in curves
+    assert curves[key]["step_time_us"] == TEST_SCALE.convergence_ns / 1_000.0
+    assert len(curves[key]["throughput"]) > 0
+
+
+def test_figure9_structure():
+    data = figure9_scaleup(
+        TEST_SCALE, algorithms=("MIN",), patterns=("UR",), load=0.2
+    )
+    assert set(data) == {"UR"}
+    assert data["UR"]["MIN"]["offered_load"] == 0.2
+
+
+def test_ablation_maxq_structure():
+    data = ablation_maxq(TEST_SCALE, maxq_values=(0, 2), patterns=("UR",))
+    assert set(data["UR"]) == {0, 2}
+    assert "throughput" in data["UR"][0]
+
+
+def test_ablation_hyperparams_structure():
+    rows = ablation_hyperparams(
+        TEST_SCALE, pattern="UR", q_thld1_values=(0.2,), feedback_modes=("onpolicy",)
+    )
+    assert len(rows) == 1
+    assert rows[0]["feedback"] == "onpolicy"
+    assert rows[0]["q_thld1"] == 0.2
+
+
+def test_paper_algorithm_list_matches_figure_legend():
+    assert list(PAPER_ALGORITHMS) == ["MIN", "VALn", "UGALg", "UGALn", "PAR", "Q-adp"]

@@ -1,0 +1,56 @@
+"""Unit tests for credit-based flow-control bookkeeping."""
+
+import pytest
+
+from repro.network.credits import OutputCredits
+
+
+def test_initial_credits_equal_capacity():
+    credits = OutputCredits(num_vcs=3, capacity=4)
+    for vc in range(3):
+        assert credits.available(vc)
+        assert credits.count(vc) == 4
+        assert credits.used(vc) == 0
+    assert credits.total_used() == 0
+    assert credits.total_available() == 12
+
+
+def test_take_and_put_roundtrip():
+    credits = OutputCredits(num_vcs=2, capacity=2)
+    credits.take(0)
+    credits.take(0)
+    assert not credits.available(0)
+    assert credits.available(1)
+    assert credits.used(0) == 2
+    credits.put(0)
+    assert credits.available(0)
+    assert credits.total_used() == 1
+
+
+def test_underflow_raises():
+    credits = OutputCredits(num_vcs=1, capacity=1)
+    credits.take(0)
+    with pytest.raises(RuntimeError):
+        credits.take(0)
+
+
+def test_overflow_raises():
+    credits = OutputCredits(num_vcs=1, capacity=1)
+    with pytest.raises(RuntimeError):
+        credits.put(0)
+
+
+def test_infinite_credits_never_exhaust():
+    credits = OutputCredits(num_vcs=2, capacity=None)
+    for _ in range(1000):
+        credits.take(1)
+    assert credits.available(1)
+    assert credits.total_used() == 0
+    credits.put(1)  # no-op, no overflow
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        OutputCredits(num_vcs=0, capacity=1)
+    with pytest.raises(ValueError):
+        OutputCredits(num_vcs=1, capacity=0)

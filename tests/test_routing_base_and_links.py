@@ -1,0 +1,106 @@
+"""Tests for the routing base class, channels, and MARL feedback plumbing."""
+
+import pytest
+
+from repro.core.marl import TabularMarlRouting
+from repro.core.qadaptive import QAdaptiveRouting
+from repro.network.link import Channel
+from repro.network.network import DragonflyNetwork
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.minimal import MinimalRouting
+from repro.topology.config import DragonflyConfig
+from repro.topology.dragonfly import DragonflyTopology, PortType
+
+
+def test_routing_base_is_abstract():
+    with pytest.raises(TypeError):
+        RoutingAlgorithm()  # decide() is abstract
+
+
+def test_routing_attach_binds_topology_and_rng():
+    routing = MinimalRouting()
+    net = DragonflyNetwork(DragonflyConfig.tiny(), routing)
+    assert routing.network is net
+    assert routing.topo is net.topo
+    assert routing.rng is not None
+    # re-attaching to the same network is a no-op, a different network raises
+    routing.attach(net)
+    with pytest.raises(RuntimeError):
+        routing.attach(object())
+
+
+def test_route_ejects_at_destination_router():
+    routing = MinimalRouting()
+    net = DragonflyNetwork(DragonflyConfig.tiny(), routing)
+    topo = net.topo
+    packet = net.create_packet(0, 1)
+    out_port = routing.route(net.routers[topo.router_of_node(1)], packet, in_port=0)
+    assert topo.is_host_port(out_port)
+    assert out_port == topo.host_port_of_node(1)
+
+
+def test_minimal_port_helper_matches_topology():
+    routing = MinimalRouting()
+    net = DragonflyNetwork(DragonflyConfig.small_72(), routing)
+    topo = net.topo
+    packet = net.create_packet(0, topo.num_nodes - 1)
+    router = net.routers[0]
+    assert routing.minimal_port(router, packet) == topo.minimal_next_port(0, packet.dst_router)
+
+
+def test_channel_repr_and_fields():
+    channel = Channel(endpoint="X", remote_port=3, latency_ns=30.0, port_type=PortType.LOCAL)
+    assert channel.remote_port == 3
+    assert channel.latency_ns == 30.0
+    assert "local" in repr(channel)
+
+
+def test_marl_base_rejects_bad_feedback_mode():
+    from repro.core.hysteretic import HystereticParams
+
+    class Dummy(TabularMarlRouting):
+        def decide(self, router, packet, in_port):  # pragma: no cover - never called
+            return 0
+
+    with pytest.raises(ValueError):
+        Dummy(HystereticParams(), feedback_mode="nonsense")
+
+
+def test_instant_feedback_applies_synchronously():
+    routing = QAdaptiveRouting()
+    routing.instant_feedback = True
+    net = DragonflyNetwork(DragonflyConfig.tiny(), routing, seed=1)
+    net.send(0, net.topo.num_nodes - 1)
+    net.run()
+    # with instant feedback every sent update has been applied by the end of the run
+    assert routing.feedback_sent == routing.feedback_applied > 0
+
+
+def test_feedback_skipped_when_learning_disabled():
+    routing = QAdaptiveRouting()
+    net = DragonflyNetwork(DragonflyConfig.tiny(), routing, seed=1)
+    routing.freeze()
+    net.send(0, net.topo.num_nodes - 1)
+    net.run()
+    assert routing.feedback_sent == 0
+    assert routing.feedback_applied == 0
+
+
+def test_table_snapshot_modes():
+    routing = QAdaptiveRouting()
+    DragonflyNetwork(DragonflyConfig.tiny(), routing, seed=1)
+    per_router_means = routing.table_snapshot()
+    assert len(per_router_means) == 6  # tiny() has 6 routers
+    single = routing.table_snapshot(0)
+    assert single.shape == routing.table(0).shape
+
+
+def test_required_vcs_default_equals_max_hops():
+    topo = DragonflyTopology(DragonflyConfig.small_72())
+
+    class ThreeHop(RoutingAlgorithm):
+        def decide(self, router, packet, in_port):  # pragma: no cover
+            return self.minimal_port(router, packet)
+
+    algo = ThreeHop()
+    assert algo.max_hops(topo) == algo.required_vcs(topo) == 3

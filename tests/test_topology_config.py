@@ -1,0 +1,64 @@
+"""Unit tests for DragonflyConfig (Table 1 of the paper)."""
+
+import pytest
+
+from repro.topology.config import DragonflyConfig
+
+
+def test_paper_1056_matches_table1():
+    cfg = DragonflyConfig.paper_1056()
+    assert cfg.describe() == {
+        "N": 1056, "p": 4, "a": 8, "h": 4, "k": 15, "g": 33, "m": 264, "balanced": True,
+    }
+
+
+def test_paper_2550_matches_table1():
+    cfg = DragonflyConfig.paper_2550()
+    assert cfg.num_nodes == 2550
+    assert cfg.radix == 19
+    assert cfg.num_groups == 51
+    assert cfg.num_routers == 510
+    assert cfg.is_balanced
+
+
+def test_derived_quantities_consistent():
+    cfg = DragonflyConfig(p=2, a=4, h=2)
+    assert cfg.radix == cfg.p + cfg.a - 1 + cfg.h
+    assert cfg.num_groups == cfg.a * cfg.h + 1
+    assert cfg.num_routers == cfg.num_groups * cfg.a
+    assert cfg.num_nodes == cfg.num_routers * cfg.p
+    assert cfg.global_links_per_group == cfg.a * cfg.h
+
+
+def test_balanced_constructor():
+    cfg = DragonflyConfig.balanced(3)
+    assert (cfg.p, cfg.a, cfg.h) == (3, 6, 3)
+    assert cfg.is_balanced
+
+
+def test_unbalanced_flag():
+    assert not DragonflyConfig(p=1, a=4, h=2).is_balanced
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        DragonflyConfig(p=0, a=4, h=2)
+    with pytest.raises(ValueError):
+        DragonflyConfig(p=2, a=1, h=2)
+    with pytest.raises(ValueError):
+        DragonflyConfig(p=2, a=4, h=-1)
+    with pytest.raises(ValueError):
+        DragonflyConfig(p=2.5, a=4, h=1)  # type: ignore[arg-type]
+
+
+def test_small_presets():
+    assert DragonflyConfig.tiny().num_nodes == 6
+    assert DragonflyConfig.small_72().num_nodes == 72
+    assert DragonflyConfig.medium_342().num_nodes == 342
+
+
+def test_config_is_hashable_and_frozen():
+    cfg = DragonflyConfig.small_72()
+    assert hash(cfg) == hash(DragonflyConfig(p=2, a=4, h=2))
+    with pytest.raises(Exception):
+        cfg.p = 3  # type: ignore[misc]

@@ -1,0 +1,155 @@
+"""Unit tests for the Dragonfly wiring."""
+
+import itertools
+
+import pytest
+
+from repro.topology.config import DragonflyConfig
+from repro.topology.dragonfly import DragonflyTopology, PortType
+
+
+def test_port_ranges_partition_the_radix(small_topo):
+    k = small_topo.k
+    all_ports = list(small_topo.host_ports) + list(small_topo.local_ports) + list(
+        small_topo.global_ports
+    )
+    assert sorted(all_ports) == list(range(k))
+    for port in small_topo.host_ports:
+        assert small_topo.port_type(port) is PortType.HOST
+    for port in small_topo.local_ports:
+        assert small_topo.port_type(port) is PortType.LOCAL
+    for port in small_topo.global_ports:
+        assert small_topo.port_type(port) is PortType.GLOBAL
+
+
+def test_node_router_mapping_roundtrip(small_topo):
+    for node in small_topo.all_nodes():
+        router = small_topo.router_of_node(node)
+        local = small_topo.node_local_index(node)
+        assert small_topo.node_at(router, local) == node
+        assert node in small_topo.nodes_of_router(router)
+        assert small_topo.group_of_node(node) == small_topo.group_of_router(router)
+
+
+def test_group_membership(small_topo):
+    for group in small_topo.all_groups():
+        routers = list(small_topo.routers_in_group(group))
+        assert len(routers) == small_topo.a
+        for router in routers:
+            assert small_topo.group_of_router(router) == group
+
+
+def test_local_ports_are_all_to_all_within_group(small_topo):
+    for group in small_topo.all_groups():
+        routers = list(small_topo.routers_in_group(group))
+        for a, b in itertools.permutations(routers, 2):
+            port = small_topo.local_port_to(a, b)
+            assert small_topo.is_local_port(port)
+            neighbor = small_topo.neighbor_of(a, port)
+            assert neighbor is not None and neighbor[0] == b
+
+
+def test_local_port_to_rejects_other_groups_and_self(small_topo):
+    with pytest.raises(ValueError):
+        small_topo.local_port_to(0, small_topo.a)  # different group
+    with pytest.raises(ValueError):
+        small_topo.local_port_to(0, 0)
+
+
+def test_neighbor_links_are_symmetric(small_topo):
+    for router in small_topo.all_routers():
+        for port in small_topo.non_host_ports:
+            neighbor = small_topo.neighbor_of(router, port)
+            assert neighbor is not None
+            other, other_port = neighbor
+            assert small_topo.neighbor_of(other, other_port) == (router, port)
+
+
+def test_host_ports_have_no_router_neighbor(small_topo):
+    for port in small_topo.host_ports:
+        assert small_topo.neighbor_of(0, port) is None
+
+
+def test_every_group_pair_connected_by_exactly_one_global_link(small_topo):
+    for gi, gj in itertools.combinations(small_topo.all_groups(), 2):
+        endpoints = [
+            (router, port)
+            for router in small_topo.routers_in_group(gi)
+            for port in small_topo.global_ports
+            if small_topo.group_of_router(small_topo.neighbor_of(router, port)[0]) == gj
+        ]
+        assert len(endpoints) == 1
+        router, port = endpoints[0]
+        assert small_topo.gateway_router(gi, gj) == router
+        assert small_topo.global_port_to_group(router, gj) == port
+
+
+def test_global_port_to_group_none_when_not_directly_connected(small_topo):
+    count_direct = 0
+    router = 0
+    for group in small_topo.all_groups():
+        if group == small_topo.group_of_router(router):
+            assert small_topo.global_port_to_group(router, group) is None
+            continue
+        if small_topo.global_port_to_group(router, group) is not None:
+            count_direct += 1
+    assert count_direct == small_topo.h
+
+
+def test_minimal_hops_bounded_by_diameter(small_topo):
+    for src in range(0, small_topo.num_routers, 5):
+        for dst in range(0, small_topo.num_routers, 7):
+            hops = small_topo.minimal_hops(src, dst)
+            assert 0 <= hops <= 3
+            path = small_topo.minimal_router_path(src, dst)
+            assert len(path) - 1 == hops
+            assert path[0] == src and path[-1] == dst
+
+
+def test_minimal_next_port_moves_closer(small_topo):
+    src, dst = 0, small_topo.num_routers - 1
+    current = src
+    hops = 0
+    while current != dst:
+        port = small_topo.minimal_next_port(current, dst)
+        current = small_topo.neighbor_of(current, port)[0]
+        hops += 1
+        assert hops <= 3
+    assert current == dst
+
+
+def test_minimal_next_port_at_destination_raises(small_topo):
+    with pytest.raises(ValueError):
+        small_topo.minimal_next_port(3, 3)
+
+
+def test_connected_group_and_local_neighbors(small_topo):
+    router = 0
+    for port in small_topo.global_ports:
+        group = small_topo.connected_group(router, port)
+        assert group != small_topo.group_of_router(router)
+    locals_ = small_topo.local_neighbors(router)
+    assert len(locals_) == small_topo.a - 1
+    assert router not in locals_
+
+
+def test_out_of_range_queries_raise(small_topo):
+    with pytest.raises(ValueError):
+        small_topo.router_of_node(small_topo.num_nodes)
+    with pytest.raises(ValueError):
+        small_topo.group_of_router(small_topo.num_routers)
+    with pytest.raises(ValueError):
+        small_topo.routers_in_group(small_topo.g)
+    with pytest.raises(ValueError):
+        small_topo.port_type(small_topo.k)
+
+
+def test_paper_scale_topology_builds():
+    topo = DragonflyTopology(DragonflyConfig.paper_1056())
+    assert topo.num_routers == 264
+    assert topo.num_nodes == 1056
+    # spot-check the wiring invariants at scale
+    for router in (0, 100, 263):
+        for port in topo.non_host_ports:
+            other, other_port = topo.neighbor_of(router, port)
+            assert topo.neighbor_of(other, other_port) == (router, port)

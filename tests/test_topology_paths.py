@@ -1,0 +1,152 @@
+"""Unit tests for path construction and congestion-free timing."""
+
+import pytest
+
+from repro.topology.dragonfly import PortType
+from repro.topology.paths import (
+    LinkTiming,
+    minimal_delivery_time,
+    minimal_route,
+    minimal_router_hops,
+    min_time_router_to_group,
+    path_time,
+    route_ports,
+    uncongested_delivery_time,
+    valiant_global_route,
+    valiant_node_route,
+)
+
+TIMING = LinkTiming()  # paper defaults: 32 ns serialization, 30/300/10 ns latencies
+
+
+def _hops_are_adjacent(topo, path):
+    for current, nxt in zip(path[:-1], path[1:]):
+        ports = [p for p in topo.non_host_ports if topo.neighbor_of(current, p)[0] == nxt]
+        assert ports, f"{current} and {nxt} are not neighbours"
+
+
+def test_minimal_route_endpoints_and_length(small_topo):
+    path = minimal_route(small_topo, 0, small_topo.num_routers - 1)
+    assert path[0] == 0 and path[-1] == small_topo.num_routers - 1
+    assert len(path) <= 4
+    _hops_are_adjacent(small_topo, path)
+
+
+def test_minimal_route_same_router(small_topo):
+    assert minimal_route(small_topo, 5, 5) == [5]
+    assert minimal_router_hops(small_topo, 5, 5) == 0
+
+
+def test_valiant_global_route_passes_through_intermediate_group(small_topo):
+    src, dst = 0, small_topo.num_routers - 1
+    src_group = small_topo.group_of_router(src)
+    dst_group = small_topo.group_of_router(dst)
+    imd_group = next(
+        g for g in small_topo.all_groups() if g not in (src_group, dst_group)
+    )
+    path = valiant_global_route(small_topo, src, dst, imd_group)
+    groups = [small_topo.group_of_router(r) for r in path]
+    assert imd_group in groups
+    assert len(path) - 1 <= 5
+    _hops_are_adjacent(small_topo, path)
+
+
+def test_valiant_global_route_degenerates_to_minimal(small_topo):
+    src, dst = 0, 1
+    group = small_topo.group_of_router(src)
+    assert valiant_global_route(small_topo, src, dst, group) == minimal_route(small_topo, src, dst)
+
+
+def test_valiant_node_route_visits_intermediate_router(small_topo):
+    src, dst = 0, small_topo.num_routers - 1
+    src_group = small_topo.group_of_router(src)
+    dst_group = small_topo.group_of_router(dst)
+    imd_group = next(
+        g for g in small_topo.all_groups() if g not in (src_group, dst_group)
+    )
+    imd_router = list(small_topo.routers_in_group(imd_group))[-1]
+    path = valiant_node_route(small_topo, src, dst, imd_router)
+    assert imd_router in path
+    assert len(path) - 1 <= 6
+    _hops_are_adjacent(small_topo, path)
+
+
+def test_route_ports_match_path(small_topo):
+    path = minimal_route(small_topo, 0, small_topo.num_routers - 1)
+    pairs = route_ports(small_topo, path)
+    assert len(pairs) == len(path) - 1
+    for (router, port), nxt in zip(pairs, path[1:]):
+        assert small_topo.neighbor_of(router, port)[0] == nxt
+
+
+def test_route_ports_rejects_non_adjacent_routers(small_topo):
+    far = small_topo.num_routers - 1
+    with pytest.raises(ValueError):
+        route_ports(small_topo, [0, far])
+
+
+def test_hop_time_by_port_type():
+    assert TIMING.hop_time(PortType.LOCAL) == 62.0
+    assert TIMING.hop_time(PortType.GLOBAL) == 332.0
+    assert TIMING.hop_time(PortType.HOST) == 42.0
+
+
+def test_minimal_delivery_time_three_hop_path(small_topo):
+    # choose a pair where the minimal path is the full 3 hops
+    src, dst = None, None
+    for candidate in range(small_topo.num_routers):
+        if small_topo.minimal_hops(0, candidate) == 3:
+            src, dst = 0, candidate
+            break
+    assert dst is not None
+    expected = 62.0 + 332.0 + 62.0 + 42.0  # local + global + local + ejection
+    assert minimal_delivery_time(small_topo, src, dst, TIMING) == pytest.approx(expected)
+
+
+def test_path_time_equals_sum_of_hops(small_topo):
+    path = minimal_route(small_topo, 0, 3)  # same group: one local hop
+    assert path_time(small_topo, path, TIMING) == pytest.approx(62.0 + 42.0)
+
+
+def test_min_time_router_to_group_cases(small_topo):
+    router = 0
+    own_group = small_topo.group_of_router(router)
+    assert min_time_router_to_group(small_topo, router, own_group, TIMING) == pytest.approx(42.0)
+    # a group reached directly through one of the router's global ports
+    direct_group = small_topo.connected_group(router, small_topo.global_ports[0])
+    assert min_time_router_to_group(small_topo, router, direct_group, TIMING) == pytest.approx(
+        332.0 + 42.0
+    )
+    # a group with no direct link needs one local hop first
+    indirect = next(
+        g for g in small_topo.all_groups()
+        if g != own_group and small_topo.global_port_to_group(router, g) is None
+    )
+    assert min_time_router_to_group(small_topo, router, indirect, TIMING) == pytest.approx(
+        62.0 + 332.0 + 42.0
+    )
+
+
+def test_uncongested_delivery_time_adds_first_hop(small_topo):
+    router = 0
+    port = small_topo.global_ports[0]
+    group = small_topo.connected_group(router, port)
+    assert uncongested_delivery_time(small_topo, router, port, group, TIMING) == pytest.approx(
+        332.0 + 42.0
+    )
+    with pytest.raises(ValueError):
+        uncongested_delivery_time(small_topo, router, 0, group, TIMING)
+
+
+def test_uncongested_estimate_never_below_minimal(small_topo):
+    router = 0
+    for group in small_topo.all_groups():
+        if group == small_topo.group_of_router(router):
+            continue
+        best = min(
+            uncongested_delivery_time(small_topo, router, port, group, TIMING)
+            for port in small_topo.non_host_ports
+        )
+        direct = small_topo.global_port_to_group(router, group)
+        expected_min = 332.0 + 42.0 if direct is not None else 62.0 + 332.0 + 42.0
+        assert best == pytest.approx(expected_min)

@@ -1,0 +1,80 @@
+"""Tests for the analytic throughput bounds, including validation against the simulator."""
+
+import pytest
+
+from repro.topology.config import DragonflyConfig
+from repro.topology.theory import (
+    adv_saturation_bound,
+    all_bounds,
+    minimal_adv_bound,
+    minimal_ur_global_bound,
+    minimal_ur_local_bound,
+    ur_saturation_bound,
+    valiant_adv_bound,
+)
+
+
+def test_min_adv_bound_matches_group_fanin():
+    # paper system: 32 nodes per group share one minimal global link
+    assert minimal_adv_bound(DragonflyConfig.paper_1056()).bound == pytest.approx(1 / 32)
+    # reduced system: 8 nodes per group
+    assert minimal_adv_bound(DragonflyConfig.small_72()).bound == pytest.approx(1 / 8)
+
+
+def test_valiant_adv_bound_is_half():
+    assert valiant_adv_bound(DragonflyConfig.paper_1056()).bound == 0.5
+    assert adv_saturation_bound(DragonflyConfig.small_72(), "VALn") == 0.5
+    assert adv_saturation_bound(DragonflyConfig.small_72(), "MIN") == pytest.approx(1 / 8)
+
+
+def test_balanced_dragonfly_ur_bounds_near_one():
+    for config in (DragonflyConfig.small_72(), DragonflyConfig.paper_1056()):
+        assert 0.9 <= minimal_ur_global_bound(config).bound <= 1.0
+        assert 0.9 <= minimal_ur_local_bound(config).bound <= 1.0
+        assert 0.9 <= ur_saturation_bound(config) <= 1.0
+
+
+def test_unbalanced_config_has_lower_local_bound():
+    # doubling p without increasing a overloads the local links
+    overloaded = DragonflyConfig(p=4, a=4, h=2)
+    assert minimal_ur_local_bound(overloaded).bound < minimal_ur_local_bound(
+        DragonflyConfig.small_72()
+    ).bound
+
+
+def test_all_bounds_keys():
+    bounds = all_bounds(DragonflyConfig.small_72())
+    assert set(bounds) == {"UR/MIN (global)", "UR/MIN (local)", "UR/MIN", "ADV/MIN", "ADV/VAL"}
+    assert all(0 < value <= 1 for value in bounds.values())
+
+
+def test_simulated_min_throughput_respects_adv_bound():
+    """The simulator must not exceed the analytic MIN bound under ADV+1."""
+    from repro.network.network import DragonflyNetwork
+    from repro.routing.minimal import MinimalRouting
+    from repro.traffic import AdversarialTraffic, TrafficGenerator
+
+    config = DragonflyConfig.small_72()
+    net = DragonflyNetwork(config, MinimalRouting(), seed=6, warmup_ns=10_000.0)
+    gen = TrafficGenerator(net, AdversarialTraffic(1), offered_load=0.4)
+    gen.start()
+    net.run(until=30_000.0)
+    throughput = net.finalize().throughput
+    bound = minimal_adv_bound(config).bound
+    assert throughput <= bound * 1.15  # small tolerance for windowing noise
+    assert throughput > bound * 0.5    # but the link should be kept busy
+
+
+def test_simulated_ur_throughput_respects_bound():
+    from repro.network.network import DragonflyNetwork
+    from repro.routing.minimal import MinimalRouting
+    from repro.traffic import TrafficGenerator, UniformRandomTraffic
+
+    config = DragonflyConfig.small_72()
+    net = DragonflyNetwork(config, MinimalRouting(), seed=6, warmup_ns=8_000.0)
+    gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.5)
+    gen.start()
+    net.run(until=24_000.0)
+    throughput = net.finalize().throughput
+    assert throughput <= ur_saturation_bound(config) + 0.05
+    assert throughput == pytest.approx(0.5, rel=0.1)  # below saturation: delivers offered load

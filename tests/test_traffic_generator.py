@@ -1,0 +1,132 @@
+"""Tests for the offered-load workload driver and load schedules."""
+
+import pytest
+
+from repro.network.network import DragonflyNetwork
+from repro.routing.minimal import MinimalRouting
+from repro.topology.config import DragonflyConfig
+from repro.traffic import LoadSchedule, TrafficGenerator, UniformRandomTraffic
+
+
+def _network(seed=5):
+    return DragonflyNetwork(DragonflyConfig.tiny(), MinimalRouting(), seed=seed)
+
+
+# --------------------------------------------------------------- LoadSchedule
+def test_constant_schedule():
+    schedule = LoadSchedule.constant(0.4)
+    assert schedule.load_at(0.0) == 0.4
+    assert schedule.load_at(1e9) == 0.4
+    assert schedule.next_change_after(0.0) is None
+    assert schedule.max_load() == 0.4
+
+
+def test_step_schedule():
+    schedule = LoadSchedule.step(0.2, 1_000.0, 0.6)
+    assert schedule.load_at(0.0) == 0.2
+    assert schedule.load_at(999.9) == 0.2
+    assert schedule.load_at(1_000.0) == 0.6
+    assert schedule.next_change_after(0.0) == 1_000.0
+    assert schedule.next_change_after(1_000.0) is None
+    assert schedule.max_load() == 0.6
+
+
+def test_schedule_orders_phases_and_validates():
+    schedule = LoadSchedule([(500.0, 0.3), (0.0, 0.1)])
+    assert schedule.load_at(100.0) == 0.1
+    with pytest.raises(ValueError):
+        LoadSchedule([])
+    with pytest.raises(ValueError):
+        LoadSchedule([(0.0, -0.1)])
+
+
+# ----------------------------------------------------------- TrafficGenerator
+def test_generator_requires_exactly_one_load_specification():
+    net = _network()
+    pattern = UniformRandomTraffic()
+    with pytest.raises(ValueError):
+        TrafficGenerator(net, pattern)
+    with pytest.raises(ValueError):
+        TrafficGenerator(net, pattern, offered_load=0.5, schedule=LoadSchedule.constant(0.1))
+    with pytest.raises(ValueError):
+        TrafficGenerator(net, pattern, offered_load=0.5, arrival="weird")
+
+
+def test_deterministic_arrival_produces_expected_packet_count():
+    net = _network()
+    load = 0.5
+    horizon = 10_000.0
+    gen = TrafficGenerator(
+        net, UniformRandomTraffic(), offered_load=load, arrival="deterministic"
+    )
+    gen.start()
+    net.run(until=horizon)
+    per_node_expected = load * horizon / net.params.serialization_ns
+    expected_total = per_node_expected * net.num_nodes
+    assert gen.generated == pytest.approx(expected_total, rel=0.05)
+
+
+def test_exponential_arrival_rate_close_to_offered_load():
+    net = _network(seed=8)
+    load = 0.4
+    horizon = 20_000.0
+    gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=load)
+    gen.start()
+    net.run(until=horizon)
+    expected_total = load * horizon / net.params.serialization_ns * net.num_nodes
+    assert gen.generated == pytest.approx(expected_total, rel=0.15)
+
+
+def test_stop_ns_halts_generation():
+    net = _network()
+    gen = TrafficGenerator(
+        net, UniformRandomTraffic(), offered_load=0.5, stop_ns=2_000.0, arrival="deterministic"
+    )
+    gen.start()
+    net.run(until=10_000.0)
+    assert gen.generated <= 0.5 * 2_000.0 / net.params.serialization_ns * net.num_nodes * 1.2
+    before = gen.generated
+    net.run(until=20_000.0)
+    assert gen.generated == before
+
+
+def test_zero_load_generates_nothing_until_step():
+    net = _network()
+    schedule = LoadSchedule([(0.0, 0.0), (5_000.0, 0.5)])
+    gen = TrafficGenerator(net, UniformRandomTraffic(), schedule=schedule,
+                           arrival="deterministic")
+    gen.start()
+    net.run(until=4_999.0)
+    assert gen.generated == 0
+    net.run(until=15_000.0)
+    assert gen.generated > 0
+
+
+def test_generator_records_offered_load_in_collector():
+    net = _network()
+    TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.3)
+    assert net.collector.offered_load == 0.3
+
+
+def test_restricted_node_set():
+    net = _network()
+    gen = TrafficGenerator(
+        net, UniformRandomTraffic(), offered_load=0.5, nodes=[0, 1], arrival="deterministic"
+    )
+    gen.start()
+    net.run(until=5_000.0)
+    sources = {nic.node for nic in net.nics if nic.injected_packets > 0}
+    assert sources <= {0, 1}
+
+
+def test_same_seed_reproduces_identical_traffic():
+    results = []
+    for _ in range(2):
+        net = _network(seed=21)
+        gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.3)
+        gen.start()
+        net.run(until=5_000.0)
+        stats = net.finalize()
+        results.append((stats.generated_packets, stats.delivered_packets,
+                        round(stats.mean_latency_ns, 6)))
+    assert results[0] == results[1]

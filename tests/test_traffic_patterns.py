@@ -1,0 +1,155 @@
+"""Tests for the synthetic traffic patterns."""
+
+import pytest
+
+from repro.engine.rng import RngFactory
+from repro.topology.config import DragonflyConfig
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic import (
+    AdversarialTraffic,
+    HotspotTraffic,
+    ManyToManyTraffic,
+    PermutationTraffic,
+    RandomNeighborsTraffic,
+    Stencil3DTraffic,
+    UniformRandomTraffic,
+    make_pattern,
+)
+from repro.traffic.stencil import coords_to_node, node_to_coords
+
+
+TOPO = DragonflyTopology(DragonflyConfig.small_72())
+
+
+def _setup(pattern, topo=TOPO, seed=3):
+    pattern.setup(topo, RngFactory(seed).py("test"))
+    return pattern
+
+
+def test_uniform_random_never_self_and_covers_many_destinations():
+    pattern = _setup(UniformRandomTraffic())
+    destinations = {pattern.destination(0) for _ in range(500)}
+    assert 0 not in destinations
+    assert len(destinations) > TOPO.num_nodes // 2
+    assert all(0 <= d < TOPO.num_nodes for d in destinations)
+
+
+def test_adversarial_targets_shifted_group():
+    for shift in (1, 4):
+        pattern = _setup(AdversarialTraffic(shift))
+        for src in range(0, TOPO.num_nodes, 5):
+            dst = pattern.destination(src)
+            assert TOPO.group_of_node(dst) == (TOPO.group_of_node(src) + shift) % TOPO.g
+            assert dst != src
+
+
+def test_adversarial_rejects_bad_shift():
+    with pytest.raises(ValueError):
+        AdversarialTraffic(0)
+    pattern = AdversarialTraffic(TOPO.g)
+    with pytest.raises(ValueError):
+        _setup(pattern)
+
+
+def test_stencil_grid_mapping_roundtrip():
+    dims = (TOPO.p, TOPO.a, TOPO.g)
+    for node in range(0, TOPO.num_nodes, 7):
+        x, y, z = node_to_coords(node, dims)
+        assert coords_to_node(x, y, z, dims) == node
+
+
+def test_stencil_neighbors_are_grid_adjacent():
+    pattern = _setup(Stencil3DTraffic())
+    dims = pattern.dims
+    for node in range(0, TOPO.num_nodes, 11):
+        neighbors = pattern.neighbors_of(node)
+        assert 1 <= len(neighbors) <= 6
+        x, y, z = node_to_coords(node, dims)
+        for nb in neighbors:
+            nx, ny, nz = node_to_coords(nb, dims)
+            diffs = [
+                min((x - nx) % dims[0], (nx - x) % dims[0]),
+                min((y - ny) % dims[1], (ny - y) % dims[1]),
+                min((z - nz) % dims[2], (nz - z) % dims[2]),
+            ]
+            assert sorted(diffs) == [0, 0, 1]
+        for _ in range(10):
+            assert pattern.destination(node) in neighbors
+
+
+def test_stencil_rejects_mismatched_dims():
+    with pytest.raises(ValueError):
+        _setup(Stencil3DTraffic(dims=(3, 3, 3)))
+
+
+def test_many_to_many_communicator_along_z():
+    pattern = _setup(ManyToManyTraffic())
+    comm = pattern.communicator_of(0)
+    assert len(comm) == TOPO.g  # default grid is p x a x g
+    assert 0 in comm
+    for _ in range(50):
+        dst = pattern.destination(0)
+        assert dst in comm and dst != 0
+
+
+def test_random_neighbors_fixed_target_sets():
+    pattern = _setup(RandomNeighborsTraffic(min_targets=6, max_targets=20))
+    for node in range(0, TOPO.num_nodes, 9):
+        targets = pattern.targets_of(node)
+        assert 6 <= len(targets) <= 20
+        assert node not in targets
+        for _ in range(20):
+            assert pattern.destination(node) in targets
+    # target sets are stable across calls
+    assert pattern.targets_of(0) == pattern.targets_of(0)
+
+
+def test_random_neighbors_validation():
+    with pytest.raises(ValueError):
+        RandomNeighborsTraffic(min_targets=0)
+    with pytest.raises(ValueError):
+        RandomNeighborsTraffic(min_targets=10, max_targets=5)
+
+
+def test_permutation_is_a_derangement_and_bijection():
+    pattern = _setup(PermutationTraffic())
+    partners = [pattern.destination(n) for n in range(TOPO.num_nodes)]
+    assert sorted(partners) == list(range(TOPO.num_nodes))
+    assert all(partner != node for node, partner in enumerate(partners))
+    # the mapping is fixed over time
+    assert pattern.destination(5) == partners[5]
+
+
+def test_hotspot_concentrates_traffic():
+    pattern = _setup(HotspotTraffic(hotspot_fraction=0.5, num_hotspots=2))
+    hits = sum(1 for _ in range(2000) if pattern.destination(10) in pattern.hotspots)
+    assert hits > 600  # ~50% plus the uniform share
+
+
+def test_hotspot_explicit_nodes_and_validation():
+    pattern = _setup(HotspotTraffic(hotspot_fraction=1.0, hotspot_nodes=[1, 2]))
+    assert pattern.hotspots == [1, 2]
+    assert pattern.destination(0) in (1, 2)
+    with pytest.raises(ValueError):
+        HotspotTraffic(hotspot_fraction=0.0)
+    with pytest.raises(ValueError):
+        _setup(HotspotTraffic(hotspot_nodes=[10_000]))
+
+
+def test_make_pattern_names():
+    assert isinstance(make_pattern("UR"), UniformRandomTraffic)
+    adv = make_pattern("ADV+4")
+    assert isinstance(adv, AdversarialTraffic) and adv.shift == 4
+    assert isinstance(make_pattern("3D Stencil"), Stencil3DTraffic)
+    assert isinstance(make_pattern("many to many"), ManyToManyTraffic)
+    assert isinstance(make_pattern("Random Neighbors"), RandomNeighborsTraffic)
+    assert isinstance(make_pattern("permutation"), PermutationTraffic)
+    assert isinstance(make_pattern("hotspot"), HotspotTraffic)
+    with pytest.raises(ValueError):
+        make_pattern("no-such-pattern")
+
+
+def test_pattern_determinism_under_same_seed():
+    a = _setup(UniformRandomTraffic(), seed=11)
+    b = _setup(UniformRandomTraffic(), seed=11)
+    assert [a.destination(3) for _ in range(20)] == [b.destination(3) for _ in range(20)]
