@@ -7,17 +7,22 @@ traffic, where the differences matter most.
 
 import os
 
+import pytest
+
 from repro.experiments import ablation_hyperparams
 from repro.stats.report import format_table
 
+pytestmark = pytest.mark.parallel
 
-def test_ablation_hyperparams(benchmark, run_once, scale):
+
+def test_ablation_hyperparams(benchmark, run_once, scale, runner):
     full = bool(os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"))
     thresholds = (0.0, 0.2, 0.5) if full else (0.2, 0.5)
     modes = ("onpolicy", "greedy")
 
     rows = run_once(
-        benchmark, ablation_hyperparams, scale, "ADV+1", None, thresholds, modes
+        benchmark, ablation_hyperparams, scale, "ADV+1", None, thresholds, modes,
+        runner=runner,
     )
 
     print("\nSection 4 — Q-adaptive hyper-parameter ablation (ADV+1)\n" + format_table(rows))

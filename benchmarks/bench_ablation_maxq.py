@@ -8,16 +8,20 @@ structured 5-hop design.
 
 import os
 
+import pytest
+
 from repro.experiments import ablation_maxq
 from repro.stats.report import format_table
 
+pytestmark = pytest.mark.parallel
 
-def test_ablation_maxq(benchmark, run_once, scale):
+
+def test_ablation_maxq(benchmark, run_once, scale, runner):
     full = bool(os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"))
     maxq_values = (1, 3, 5, 7) if full else (1, 5)
     patterns = ("UR", "ADV+1", "ADV+4") if full else ("UR", "ADV+1")
 
-    data = run_once(benchmark, ablation_maxq, scale, maxq_values, patterns)
+    data = run_once(benchmark, ablation_maxq, scale, maxq_values, patterns, runner=runner)
 
     rows = []
     for pattern, per_maxq in data.items():

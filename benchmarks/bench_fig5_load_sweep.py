@@ -9,21 +9,24 @@ pattern) so it completes in a couple of minutes — the full grid is selected by
 
 import os
 
+import pytest
+
 from repro.experiments import figure5_sweep
 from repro.experiments.presets import PAPER_ALGORITHMS
 from repro.stats.report import format_series
 
+pytestmark = pytest.mark.parallel
 
 FAST_ALGORITHMS = ("MIN", "VALn", "UGALn", "Q-adp")
 FAST_PATTERNS = ("UR", "ADV+1")
 
 
-def test_figure5_load_sweep(benchmark, run_once, scale):
+def test_figure5_load_sweep(benchmark, run_once, scale, runner):
     full = bool(os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"))
     algorithms = PAPER_ALGORITHMS if full else FAST_ALGORITHMS
     patterns = ("UR", "ADV+1", "ADV+4") if full else FAST_PATTERNS
 
-    data = run_once(benchmark, figure5_sweep, scale, algorithms, patterns)
+    data = run_once(benchmark, figure5_sweep, scale, algorithms, patterns, runner=runner)
 
     print("\nFigure 5 — load sweep")
     for pattern, per_algorithm in data.items():

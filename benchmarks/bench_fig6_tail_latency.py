@@ -3,16 +3,21 @@
 import math
 import os
 
+import pytest
+
 from repro.experiments import figure6_tail_latency
 from repro.experiments.presets import PAPER_ALGORITHMS
 from repro.stats.report import comparison_table
 
+pytestmark = pytest.mark.parallel
 
-def test_figure6_tail_latency(benchmark, run_once, scale):
+
+def test_figure6_tail_latency(benchmark, run_once, scale, runner):
     full = bool(os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"))
     patterns = ("UR", "ADV+1", "ADV+4") if full else ("UR", "ADV+1")
 
-    data = run_once(benchmark, figure6_tail_latency, scale, PAPER_ALGORITHMS, patterns)
+    data = run_once(benchmark, figure6_tail_latency, scale, PAPER_ALGORITHMS, patterns,
+                    runner=runner)
 
     print("\nFigure 6 — latency distribution")
     for pattern, per_algorithm in data.items():

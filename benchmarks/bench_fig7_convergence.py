@@ -8,11 +8,15 @@ stable plateau must be visible under adversarial traffic.
 
 import os
 
+import pytest
+
 from repro.experiments import figure7_convergence
 from repro.stats.report import format_series
 
+pytestmark = pytest.mark.parallel
 
-def test_figure7_convergence(benchmark, run_once, scale):
+
+def test_figure7_convergence(benchmark, run_once, scale, runner):
     full = bool(os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"))
     cases = None if full else (
         ("UR", scale.ur_reference_load),
@@ -21,7 +25,7 @@ def test_figure7_convergence(benchmark, run_once, scale):
     )
     bin_ns = max(scale.convergence_ns / 12, 1_000.0)
 
-    curves = run_once(benchmark, figure7_convergence, scale, cases, bin_ns)
+    curves = run_once(benchmark, figure7_convergence, scale, cases, bin_ns, runner=runner)
 
     print("\nFigure 7 — convergence from an empty network")
     for label, curve in curves.items():

@@ -2,11 +2,15 @@
 
 import os
 
+import pytest
+
 from repro.experiments import figure8_dynamic_load
 from repro.stats.report import format_series
 
+pytestmark = pytest.mark.parallel
 
-def test_figure8_dynamic_load(benchmark, run_once, scale):
+
+def test_figure8_dynamic_load(benchmark, run_once, scale, runner):
     full = bool(os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"))
     ur_lo = round(scale.ur_reference_load / 2, 3)
     cases = None if full else (
@@ -15,7 +19,7 @@ def test_figure8_dynamic_load(benchmark, run_once, scale):
     )
     bin_ns = max(scale.convergence_ns / 10, 1_000.0)
 
-    curves = run_once(benchmark, figure8_dynamic_load, scale, cases, bin_ns)
+    curves = run_once(benchmark, figure8_dynamic_load, scale, cases, bin_ns, runner=runner)
 
     print("\nFigure 8 — dynamic offered load")
     for label, curve in curves.items():

@@ -10,23 +10,27 @@ the full configuration is selected by ``REPRO_PAPER_SCALE=1`` /
 import math
 import os
 
+import pytest
+
 from repro.experiments import figure9_scaleup
 from repro.experiments.presets import PAPER_ALGORITHMS
 from repro.stats.report import comparison_table
 
+pytestmark = pytest.mark.parallel
 
 FAST_ALGORITHMS = ("MIN", "UGALn", "Q-adp")
 ALL_PATTERNS = ("UR", "ADV+1", "3D Stencil", "Many to Many", "Random Neighbors")
 
 
-def test_figure9_scaleup(benchmark, run_once, scale):
+def test_figure9_scaleup(benchmark, run_once, scale, runner):
     full = bool(os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"))
     algorithms = PAPER_ALGORITHMS if full else FAST_ALGORITHMS
     # the benchmark default keeps the run short by using the base (not scale-up)
     # system for the five patterns; the pattern mix is unchanged
     bench_scale = scale if full else scale.with_overrides(scaleup_config=scale.config)
 
-    data = run_once(benchmark, figure9_scaleup, bench_scale, algorithms, ALL_PATTERNS)
+    data = run_once(benchmark, figure9_scaleup, bench_scale, algorithms, ALL_PATTERNS,
+                    runner=runner)
 
     print("\nFigure 9 — scale-up case study (latency distributions, µs)")
     for pattern, per_algorithm in data.items():

@@ -29,6 +29,7 @@ if _SRC not in sys.path:  # pragma: no cover - environment dependent
     except ImportError:
         sys.path.insert(0, _SRC)
 
+from repro.experiments.parallel import SweepRunner  # noqa: E402
 from repro.experiments.presets import BENCH_SCALE, ExperimentScale, default_scale  # noqa: E402
 
 #: fast default used when no environment override is present
@@ -43,6 +44,14 @@ _FAST_BENCH_SCALE = BENCH_SCALE.with_overrides(
 )
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "parallel: benchmark fans its runs out through SweepRunner "
+        "(tiny worker pool under pytest; REPRO_BENCH_WORKERS overrides)",
+    )
+
+
 def bench_scale() -> ExperimentScale:
     """Scale used by the benchmarks (env-overridable, fast by default)."""
     if os.environ.get("REPRO_SCALE") or os.environ.get("REPRO_PAPER_SCALE"):
@@ -50,9 +59,30 @@ def bench_scale() -> ExperimentScale:
     return _FAST_BENCH_SCALE
 
 
+def bench_workers() -> int:
+    """Worker-pool size for the ``parallel``-marked benchmarks.
+
+    Deliberately tiny under pytest so tier-1 runtime stays put: two workers
+    when the machine has at least two CPUs, otherwise serial.  Set
+    ``REPRO_BENCH_WORKERS`` to exercise a bigger pool.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS")
+    if raw:
+        return int(raw)
+    import multiprocessing
+
+    return 2 if multiprocessing.cpu_count() >= 2 else 1
+
+
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     return bench_scale()
+
+
+@pytest.fixture
+def runner() -> SweepRunner:
+    """Fresh sweep runner per benchmark (uncached: benchmarks must simulate)."""
+    return SweepRunner(workers=bench_workers())
 
 
 def _run_once(benchmark, fn, *args, **kwargs):

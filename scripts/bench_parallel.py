@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Record serial vs parallel wall time of the Figure 5 sweep workload.
+
+Runs the same workload as ``benchmarks/bench_fig5_load_sweep.py`` (fast bench
+scale: MIN/VALn/UGALn/Q-adp under UR and ADV+1) once per worker-pool size and
+writes the timings to ``BENCH_parallel.json``.  The speedup is bounded by the
+CPU count of the machine; the committed file records the box it was produced
+on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                                "benchmarks"))
+from conftest import bench_scale  # noqa: E402
+
+from repro.experiments import SweepRunner, figure5_sweep  # noqa: E402
+
+ALGORITHMS = ("MIN", "VALn", "UGALn", "Q-adp")
+PATTERNS = ("UR", "ADV+1")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker-pool sizes to time (default: 1 2 4)")
+    parser.add_argument("--output", default="BENCH_parallel.json")
+    args = parser.parse_args()
+
+    scale = bench_scale()
+    timings = {}
+    runs = None
+    for workers in args.workers:
+        runner = SweepRunner(workers=workers)
+        started = time.perf_counter()
+        figure5_sweep(scale, ALGORITHMS, PATTERNS, runner=runner)
+        label = f"{'serial' if workers == 1 else 'parallel'}_workers_{workers}"
+        timings[label] = round(time.perf_counter() - started, 2)
+        runs = runner.simulated
+        print(f"{label}: {timings[label]} s ({runs} runs)", flush=True)
+
+    payload = {
+        "benchmark": "bench_fig5_load_sweep (fast bench scale)",
+        "workload": {"algorithms": list(ALGORITHMS), "patterns": list(PATTERNS),
+                     "runs": runs},
+        "wall_time_s": timings,
+        "machine": {"cpu_count": multiprocessing.cpu_count(),
+                    "python": platform.python_version(),
+                    "platform": platform.platform()},
+        "note": "parallel speedup is bounded by the CPU count of the recording machine; "
+                "re-run scripts/bench_parallel.py on a multi-core box for real fan-out",
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

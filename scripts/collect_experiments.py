@@ -5,16 +5,18 @@ Runs the six routing algorithms under UR and ADV+1 at the reduced scale
 (72-node Dragonfly, 150 µs warm-up / learning + 50 µs measurement) and prints
 one table per pattern, plus a Q-adaptive convergence trace.  This is the
 script that produced the numbers quoted in EXPERIMENTS.md; re-run it to
-refresh them (about 10–15 minutes of CPU time).
+refresh them (about 10–15 minutes of CPU time serially — pass ``--workers``
+to fan the independent runs out over processes, and ``--cache`` to skip runs
+that are already memoized on disk from a previous invocation).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
-import time
 
-from repro.experiments import ExperimentSpec, run_experiment
+from repro.experiments import ExperimentSpec, SweepRunner, print_progress
+from repro.experiments.parallel import DEFAULT_CACHE_DIR
 from repro.experiments.presets import PAPER_ALGORITHMS, REDUCED_SCALE
 from repro.stats.report import format_table
 
@@ -26,26 +28,43 @@ CASES = (
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (0 = one per CPU; default: serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help=f"memoize completed runs under {DEFAULT_CACHE_DIR}/")
+    args = parser.parse_args()
+
     scale = REDUCED_SCALE
+    runner = SweepRunner(
+        workers=args.workers,
+        cache_dir=DEFAULT_CACHE_DIR if args.cache else None,
+        progress=print_progress,
+    )
+    grid = [
+        (pattern, load, algorithm)
+        for pattern, load in CASES
+        for algorithm in PAPER_ALGORITHMS
+    ]
+    specs = [
+        ExperimentSpec(
+            config=scale.config,
+            routing=algorithm,
+            pattern=pattern,
+            offered_load=load,
+            sim_time_ns=scale.sim_time_ns,
+            warmup_ns=scale.warmup_ns,
+            seed=scale.seed,
+            routing_kwargs={"params": scale.qadaptive_params} if algorithm == "Q-adp" else {},
+        )
+        for pattern, load, algorithm in grid
+    ]
     rows = []
-    for pattern, load in CASES:
-        for algorithm in PAPER_ALGORITHMS:
-            spec = ExperimentSpec(
-                config=scale.config,
-                routing=algorithm,
-                pattern=pattern,
-                offered_load=load,
-                sim_time_ns=scale.sim_time_ns,
-                warmup_ns=scale.warmup_ns,
-                seed=scale.seed,
-                routing_kwargs={"params": scale.qadaptive_params} if algorithm == "Q-adp" else {},
-            )
-            started = time.time()
-            result = run_experiment(spec)
-            row = result.summary_row()
-            row["wall_s"] = round(time.time() - started, 1)
-            rows.append(row)
-            print(json.dumps(row), flush=True)
+    for result in runner.run(specs):
+        row = result.summary_row()
+        row["wall_s"] = round(result.wall_time_s, 1)
+        rows.append(row)
+        print(json.dumps(row), flush=True)
     print()
     print(format_table(rows))
 

@@ -17,6 +17,13 @@ Regenerate a paper artefact (table or figure) at a chosen scale::
 
     repro-sim figure table1
     repro-sim figure fig7 --scale bench
+
+Fan the independent runs of a figure (or comparison) out over worker
+processes, memoizing completed runs on disk so a re-run only simulates what
+changed::
+
+    repro-sim figure fig5 --workers 4 --cache
+    repro-sim compare --routing MIN UGALn Q-adp --pattern ADV+1 --workers 3
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments import (
     ExperimentSpec,
+    SweepRunner,
     ablation_hyperparams,
     ablation_maxq,
     figure5_sweep,
@@ -35,25 +43,48 @@ from repro.experiments import (
     figure7_convergence,
     figure8_dynamic_load,
     figure9_scaleup,
+    print_progress,
     run_experiment,
     table1_configurations,
     table_qtable_memory,
 )
+from repro.experiments.parallel import DEFAULT_CACHE_DIR, ResultCache, default_runner
 from repro.experiments.presets import default_scale, scale_by_name
 from repro.stats.report import comparison_table, format_table
 from repro.topology.config import DragonflyConfig
 
 FIGURES = {
-    "table1": lambda scale: table1_configurations(),
-    "qtable-memory": lambda scale: table_qtable_memory(),
-    "fig5": figure5_sweep,
-    "fig6": figure6_tail_latency,
-    "fig7": figure7_convergence,
-    "fig8": figure8_dynamic_load,
-    "fig9": figure9_scaleup,
-    "ablation-maxq": ablation_maxq,
-    "ablation-hyperparams": ablation_hyperparams,
+    "table1": lambda scale, runner: table1_configurations(),
+    "qtable-memory": lambda scale, runner: table_qtable_memory(),
+    "fig5": lambda scale, runner: figure5_sweep(scale, runner=runner),
+    "fig6": lambda scale, runner: figure6_tail_latency(scale, runner=runner),
+    "fig7": lambda scale, runner: figure7_convergence(scale, runner=runner),
+    "fig8": lambda scale, runner: figure8_dynamic_load(scale, runner=runner),
+    "fig9": lambda scale, runner: figure9_scaleup(scale, runner=runner),
+    "ablation-maxq": lambda scale, runner: ablation_maxq(scale, runner=runner),
+    "ablation-hyperparams": lambda scale, runner: ablation_hyperparams(scale, runner=runner),
 }
+
+
+def _runner_from_args(args: argparse.Namespace) -> SweepRunner:
+    """Build the sweep runner selected by --workers/--cache/--cache-dir.
+
+    Each flag overrides only its own aspect; anything not given falls back
+    to the ``REPRO_WORKERS`` / ``REPRO_CACHE`` environment variables
+    (serial and uncached by default), so e.g. ``REPRO_CACHE=1`` stays in
+    effect when only ``--workers`` is passed.
+    """
+    runner = default_runner()
+    if args.workers is not None:
+        env_cache = runner.cache
+        runner = SweepRunner(workers=args.workers, cache_dir=None)
+        runner.cache = env_cache
+    if args.cache_dir is not None:
+        runner.cache = ResultCache(args.cache_dir)
+    elif args.cache:
+        runner.cache = ResultCache(DEFAULT_CACHE_DIR)
+    runner.progress = print_progress if args.progress else None
+    return runner
 
 
 def _config_from_name(name: str) -> DragonflyConfig:
@@ -100,10 +131,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    rows = {}
-    for routing in args.routing:
-        result = run_experiment(_build_spec(args, routing))
-        rows[routing] = result.summary_row()
+    runner = _runner_from_args(args)
+    specs = [_build_spec(args, routing) for routing in args.routing]
+    results = runner.run(specs)
+    rows = {
+        routing: result.summary_row()
+        for routing, result in zip(args.routing, results)
+    }
     print(comparison_table(
         rows, ["mean_latency_us", "p99_latency_us", "throughput", "mean_hops"]
     ))
@@ -112,8 +146,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     scale = scale_by_name(args.scale) if args.scale else default_scale()
+    runner = _runner_from_args(args)
     fn = FIGURES[args.name]
-    data = fn(scale)
+    data = fn(scale, runner)
     print(json.dumps(data, indent=2, default=str))
     return 0
 
@@ -142,6 +177,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warm-up time (µs); default: half the simulated time")
         p.add_argument("--seed", type=int, default=1)
 
+    def add_parallel(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group("parallel execution")
+        group.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="worker processes for independent runs (0 = one per CPU; "
+                                "default: serial, or $REPRO_WORKERS)")
+        group.add_argument("--cache", action="store_true",
+                           help=f"memoize completed runs under {DEFAULT_CACHE_DIR}/ so a "
+                                "re-run only simulates what changed")
+        group.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="like --cache but with an explicit cache directory")
+        group.add_argument("--progress", action="store_true",
+                           help="print one line per completed run on stderr")
+
     run_p = sub.add_parser("run", help="run one experiment and print its summary")
     add_common(run_p, multi_routing=False)
     run_p.add_argument("--json", action="store_true", help="print the summary as JSON")
@@ -149,12 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="run several algorithms under one pattern")
     add_common(cmp_p, multi_routing=True)
+    add_parallel(cmp_p)
     cmp_p.set_defaults(func=_cmd_compare)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure as JSON")
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.add_argument("--scale", default=None,
                        help="bench | reduced | paper-1056 | paper-2550 (default: env-selected)")
+    add_parallel(fig_p)
     fig_p.set_defaults(func=_cmd_figure)
     return parser
 

@@ -86,6 +86,19 @@ class Simulator:
         -------
         float
             The simulation time on return.
+
+        Clock semantics
+        ---------------
+        The clock only advances to ``until`` once every event scheduled at or
+        before ``until`` has been executed.  If ``max_events`` stops the run
+        with such events still pending, the clock stays at the last executed
+        event — jumping ahead would let already scheduled events fire in the
+        clock's past.  A ``max_events`` exit therefore leaves the calendar in
+        a state where a follow-up ``run``/``at`` call behaves exactly as if
+        the first call had been interrupted mid-flight; in particular, when
+        the event budget happens to run out together with the calendar (or
+        with no work left before ``until``), the clock *does* advance to
+        ``until`` just like an unlimited run.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
@@ -94,8 +107,6 @@ class Simulator:
         queue = self._queue
         try:
             while True:
-                if max_events is not None and executed >= max_events:
-                    break
                 next_time = queue.peek_time()
                 if next_time is None:
                     if until is not None and until > self._now:
@@ -103,6 +114,13 @@ class Simulator:
                     break
                 if until is not None and next_time > until:
                     self._now = until
+                    break
+                # Charge the event budget only for events that would actually
+                # run: when it runs out together with the work (queue empty or
+                # nothing left before ``until``), the clock must still advance
+                # to ``until`` exactly like an unlimited run, so that callers
+                # composing run() with at()/after() see one consistent clock.
+                if max_events is not None and executed >= max_events:
                     break
                 event = queue.pop()
                 if event is None:  # pragma: no cover - defensive

@@ -17,6 +17,15 @@ from repro.experiments.harness import (
     run_experiment,
     run_load_sweep,
 )
+from repro.experiments.parallel import (
+    ExperimentResultData,
+    ResultCache,
+    SweepRunner,
+    default_runner,
+    derive_run_seed,
+    print_progress,
+    spec_fingerprint,
+)
 from repro.experiments.presets import (
     BENCH_SCALE,
     PAPER_SCALE_1056,
@@ -29,8 +38,15 @@ from repro.experiments.presets import (
 __all__ = [
     "BENCH_SCALE",
     "ExperimentResult",
+    "ExperimentResultData",
     "ExperimentScale",
     "ExperimentSpec",
+    "ResultCache",
+    "SweepRunner",
+    "default_runner",
+    "derive_run_seed",
+    "print_progress",
+    "spec_fingerprint",
     "PAPER_SCALE_1056",
     "PAPER_SCALE_2550",
     "REDUCED_SCALE",

@@ -28,7 +28,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.qtable import qtable_memory_comparison
-from repro.experiments.harness import ExperimentResult, ExperimentSpec, run_experiment
+from repro.experiments.harness import ExperimentResult, ExperimentSpec
+from repro.experiments.parallel import SweepRunner, resolve_runner as _resolve_runner
 from repro.experiments.presets import (
     PAPER_ALGORITHMS,
     ExperimentScale,
@@ -74,6 +75,7 @@ def figure5_sweep(
     algorithms: Optional[Sequence[str]] = None,
     patterns: Optional[Sequence[str]] = None,
     loads_by_pattern: Optional[Dict[str, Sequence[float]]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, List[float]]]]:
     """Figure 5: latency, throughput and hop count vs offered load.
 
@@ -82,32 +84,44 @@ def figure5_sweep(
     three patterns.
     """
     scale = scale or default_scale()
+    runner = _resolve_runner(runner)
     algorithms = list(algorithms or PAPER_ALGORITHMS)
     patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
     routing_kwargs = _qadaptive_kwargs(scale)
 
-    results: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
-    for pattern in patterns:
-        loads = list(
+    loads_of = {
+        pattern: list(
             (loads_by_pattern or {}).get(
                 pattern, scale.ur_loads if pattern.upper() == "UR" else scale.adv_loads
             )
         )
+        for pattern in patterns
+    }
+    specs = [
+        ExperimentSpec(
+            config=scale.config,
+            routing=algorithm,
+            pattern=pattern,
+            offered_load=load,
+            sim_time_ns=scale.sim_time_ns,
+            warmup_ns=scale.warmup_ns,
+            seed=scale.seed,
+            routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+        )
+        for pattern in patterns
+        for algorithm in algorithms
+        for load in loads_of[pattern]
+    ]
+    flat = iter(runner.run(specs))
+
+    results: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
+    for pattern in patterns:
         per_pattern: Dict[str, Dict[str, List[float]]] = {}
         for algorithm in algorithms:
-            series = {"loads": loads, "latency_us": [], "throughput": [], "hops": []}
-            for load in loads:
-                spec = ExperimentSpec(
-                    config=scale.config,
-                    routing=algorithm,
-                    pattern=pattern,
-                    offered_load=load,
-                    sim_time_ns=scale.sim_time_ns,
-                    warmup_ns=scale.warmup_ns,
-                    seed=scale.seed,
-                    routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
-                )
-                result = run_experiment(spec)
+            series = {"loads": loads_of[pattern], "latency_us": [], "throughput": [],
+                      "hops": []}
+            for _ in loads_of[pattern]:
+                result = next(flat)
                 series["latency_us"].append(result.mean_latency_us)
                 series["throughput"].append(result.throughput)
                 series["hops"].append(result.mean_hops)
@@ -130,6 +144,7 @@ def figure6_tail_latency(
     algorithms: Optional[Sequence[str]] = None,
     patterns: Optional[Sequence[str]] = None,
     loads: Optional[Dict[str, float]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Figure 6: packet latency distribution at a fixed load per pattern.
 
@@ -139,33 +154,41 @@ def figure6_tail_latency(
     whiskers (µs) plus the fraction of packets below 2 µs.
     """
     scale = scale or default_scale()
+    runner = _resolve_runner(runner)
     algorithms = list(algorithms or PAPER_ALGORITHMS)
     patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
     routing_kwargs = _qadaptive_kwargs(scale)
 
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    load_of: Dict[str, float] = {}
     for pattern in patterns:
         if loads and pattern in loads:
-            load = loads[pattern]
+            load_of[pattern] = loads[pattern]
         elif pattern.upper() == "UR":
-            load = scale.ur_reference_load
+            load_of[pattern] = scale.ur_reference_load
         else:
-            load = scale.adv_reference_load
+            load_of[pattern] = scale.adv_reference_load
+    specs = [
+        ExperimentSpec(
+            config=scale.config,
+            routing=algorithm,
+            pattern=pattern,
+            offered_load=load_of[pattern],
+            sim_time_ns=scale.sim_time_ns,
+            warmup_ns=scale.warmup_ns,
+            seed=scale.seed,
+            routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+        )
+        for pattern in patterns
+        for algorithm in algorithms
+    ]
+    flat = iter(runner.run(specs))
+
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for pattern in patterns:
         per_pattern: Dict[str, Dict[str, float]] = {}
         for algorithm in algorithms:
-            spec = ExperimentSpec(
-                config=scale.config,
-                routing=algorithm,
-                pattern=pattern,
-                offered_load=load,
-                sim_time_ns=scale.sim_time_ns,
-                warmup_ns=scale.warmup_ns,
-                seed=scale.seed,
-                routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
-            )
-            result = run_experiment(spec)
-            row = _distribution_row(result)
-            row["offered_load"] = load
+            row = _distribution_row(next(flat))
+            row["offered_load"] = load_of[pattern]
             per_pattern[algorithm] = row
         results[pattern] = per_pattern
     return results
@@ -176,12 +199,14 @@ def figure7_convergence(
     scale: Optional[ExperimentScale] = None,
     cases: Optional[Sequence[Tuple[str, float]]] = None,
     bin_ns: float = 5_000.0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Figure 7: Q-adaptive latency over time, starting from an empty network.
 
     Returns ``{"<pattern> load <L>": {"time_us": [...], "latency_us": [...]}}``.
     """
     scale = scale or default_scale()
+    runner = _resolve_runner(runner)
     if cases is None:
         cases = (
             ("UR", round(scale.ur_reference_load / 2, 3)),
@@ -191,9 +216,8 @@ def figure7_convergence(
             ("ADV+1", scale.adv_reference_load),
             ("ADV+4", scale.adv_reference_load),
         )
-    curves: Dict[str, Dict[str, List[float]]] = {}
-    for pattern, load in cases:
-        spec = ExperimentSpec(
+    specs = [
+        ExperimentSpec(
             config=scale.config,
             routing="Q-adp",
             pattern=pattern,
@@ -204,7 +228,10 @@ def figure7_convergence(
             stats_bin_ns=bin_ns,
             routing_kwargs={"params": scale.qadaptive_params},
         )
-        result = run_experiment(spec)
+        for pattern, load in cases
+    ]
+    curves: Dict[str, Dict[str, List[float]]] = {}
+    for (pattern, load), result in zip(cases, runner.run(specs)):
         times, values = result.latency_timeline_us
         curves[f"{pattern} load {load}"] = {
             "time_us": [float(t) for t in times],
@@ -219,6 +246,7 @@ def figure8_dynamic_load(
     scale: Optional[ExperimentScale] = None,
     cases: Optional[Sequence[Tuple[str, float, float]]] = None,
     bin_ns: float = 5_000.0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Figure 8: system throughput while the offered load steps up or down.
 
@@ -227,6 +255,7 @@ def figure8_dynamic_load(
     binned throughput time series per case.
     """
     scale = scale or default_scale()
+    runner = _resolve_runner(runner)
     if cases is None:
         ur_hi, ur_lo = scale.ur_reference_load, round(scale.ur_reference_load / 2, 3)
         adv_hi, adv_lo = scale.adv_reference_load, round(scale.adv_reference_load / 2, 3)
@@ -236,15 +265,13 @@ def figure8_dynamic_load(
             ("ADV+4", adv_lo, adv_hi),
             ("ADV+4", adv_hi, adv_lo),
         )
-    curves: Dict[str, Dict[str, List[float]]] = {}
-    for pattern, initial, new in cases:
-        step_time = scale.convergence_ns
-        schedule = LoadSchedule.step(initial, step_time, new)
-        spec = ExperimentSpec(
+    step_time = scale.convergence_ns
+    specs = [
+        ExperimentSpec(
             config=scale.config,
             routing="Q-adp",
             pattern=pattern,
-            schedule=schedule,
+            schedule=LoadSchedule.step(initial, step_time, new),
             offered_load=None,
             sim_time_ns=2 * scale.convergence_ns,
             warmup_ns=0.0,
@@ -252,7 +279,10 @@ def figure8_dynamic_load(
             stats_bin_ns=bin_ns,
             routing_kwargs={"params": scale.qadaptive_params},
         )
-        result = run_experiment(spec)
+        for pattern, initial, new in cases
+    ]
+    curves: Dict[str, Dict[str, List[float]]] = {}
+    for (pattern, initial, new), result in zip(cases, runner.run(specs)):
         times, values = result.throughput_timeline
         curves[f"{pattern} {initial}->{new}"] = {
             "time_us": [float(t) for t in times],
@@ -269,6 +299,7 @@ def figure9_scaleup(
     algorithms: Optional[Sequence[str]] = None,
     patterns: Optional[Sequence[str]] = None,
     load: Optional[float] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Figure 9: latency distributions on the scale-up system, five patterns.
 
@@ -277,35 +308,43 @@ def figure9_scaleup(
     hyper-parameters.
     """
     scale = scale or default_scale()
+    runner = _resolve_runner(runner)
     algorithms = list(algorithms or PAPER_ALGORITHMS)
     patterns = list(
         patterns or ("UR", "ADV+1", "3D Stencil", "Many to Many", "Random Neighbors")
     )
     routing_kwargs = _qadaptive_kwargs(scale, scaleup=True)
 
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    load_of: Dict[str, float] = {}
     for pattern in patterns:
         if load is not None:
-            pattern_load = load
+            load_of[pattern] = load
         elif pattern.upper().startswith("ADV"):
-            pattern_load = scale.adv_reference_load
+            load_of[pattern] = scale.adv_reference_load
         else:
-            pattern_load = scale.ur_reference_load
+            load_of[pattern] = scale.ur_reference_load
+    specs = [
+        ExperimentSpec(
+            config=scale.scaleup_config,
+            routing=algorithm,
+            pattern=pattern,
+            offered_load=load_of[pattern],
+            sim_time_ns=scale.sim_time_ns,
+            warmup_ns=scale.warmup_ns,
+            seed=scale.seed,
+            routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+        )
+        for pattern in patterns
+        for algorithm in algorithms
+    ]
+    flat = iter(runner.run(specs))
+
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for pattern in patterns:
         per_pattern: Dict[str, Dict[str, float]] = {}
         for algorithm in algorithms:
-            spec = ExperimentSpec(
-                config=scale.scaleup_config,
-                routing=algorithm,
-                pattern=pattern,
-                offered_load=pattern_load,
-                sim_time_ns=scale.sim_time_ns,
-                warmup_ns=scale.warmup_ns,
-                seed=scale.seed,
-                routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
-            )
-            result = run_experiment(spec)
-            row = _distribution_row(result)
-            row["offered_load"] = pattern_load
+            row = _distribution_row(next(flat))
+            row["offered_load"] = load_of[pattern]
             per_pattern[algorithm] = row
         results[pattern] = per_pattern
     return results
@@ -317,6 +356,7 @@ def ablation_maxq(
     maxq_values: Sequence[int] = (1, 3, 5, 7),
     patterns: Optional[Sequence[str]] = None,
     load: Optional[float] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Section 2.3.2: naive Q-routing with a maxQ hop threshold.
 
@@ -325,32 +365,42 @@ def ablation_maxq(
     ``{pattern: {maxQ: {"latency_us", "throughput", "hops"}}}``.
     """
     scale = scale or default_scale()
+    runner = _resolve_runner(runner)
     patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
-    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    load_of: Dict[str, float] = {}
     for pattern in patterns:
         pattern_load = load
         if pattern_load is None:
             pattern_load = (
                 scale.ur_reference_load if pattern.upper() == "UR" else scale.adv_reference_load
             )
+        load_of[pattern] = pattern_load
+    specs = [
+        ExperimentSpec(
+            config=scale.config,
+            routing="Q-routing",
+            pattern=pattern,
+            offered_load=load_of[pattern],
+            sim_time_ns=scale.sim_time_ns,
+            warmup_ns=scale.warmup_ns,
+            seed=scale.seed,
+            routing_kwargs={"max_q": maxq},
+        )
+        for pattern in patterns
+        for maxq in maxq_values
+    ]
+    flat = iter(runner.run(specs))
+
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for pattern in patterns:
         per_pattern: Dict[int, Dict[str, float]] = {}
         for maxq in maxq_values:
-            spec = ExperimentSpec(
-                config=scale.config,
-                routing="Q-routing",
-                pattern=pattern,
-                offered_load=pattern_load,
-                sim_time_ns=scale.sim_time_ns,
-                warmup_ns=scale.warmup_ns,
-                seed=scale.seed,
-                routing_kwargs={"max_q": maxq},
-            )
-            result = run_experiment(spec)
+            result = next(flat)
             per_pattern[maxq] = {
                 "latency_us": result.mean_latency_us,
                 "throughput": result.throughput,
                 "hops": result.mean_hops,
-                "offered_load": pattern_load,
+                "offered_load": load_of[pattern],
             }
         results[pattern] = per_pattern
     return results
@@ -362,44 +412,53 @@ def ablation_hyperparams(
     load: Optional[float] = None,
     q_thld1_values: Sequence[float] = (0.0, 0.2, 0.5),
     feedback_modes: Sequence[str] = ("onpolicy", "greedy"),
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Section 4 design knobs: minimal-path bias threshold and feedback rule."""
     scale = scale or default_scale()
+    runner = _resolve_runner(runner)
     if load is None:
         load = scale.adv_reference_load if pattern.upper().startswith("ADV") \
             else scale.ur_reference_load
     base = scale.qadaptive_params
+    grid = [
+        (feedback, thld1)
+        for feedback in feedback_modes
+        for thld1 in q_thld1_values
+    ]
+    specs = [
+        ExperimentSpec(
+            config=scale.config,
+            routing="Q-adp",
+            pattern=pattern,
+            offered_load=load,
+            sim_time_ns=scale.sim_time_ns,
+            warmup_ns=scale.warmup_ns,
+            seed=scale.seed,
+            routing_kwargs={
+                "params": type(base)(
+                    alpha=base.alpha,
+                    beta=base.beta,
+                    epsilon=base.epsilon,
+                    q_thld1=thld1,
+                    q_thld2=base.q_thld2,
+                    feedback=feedback,
+                )
+            },
+        )
+        for feedback, thld1 in grid
+    ]
     rows: List[Dict[str, float]] = []
-    for feedback in feedback_modes:
-        for thld1 in q_thld1_values:
-            params = type(base)(
-                alpha=base.alpha,
-                beta=base.beta,
-                epsilon=base.epsilon,
-                q_thld1=thld1,
-                q_thld2=base.q_thld2,
-                feedback=feedback,
-            )
-            spec = ExperimentSpec(
-                config=scale.config,
-                routing="Q-adp",
-                pattern=pattern,
-                offered_load=load,
-                sim_time_ns=scale.sim_time_ns,
-                warmup_ns=scale.warmup_ns,
-                seed=scale.seed,
-                routing_kwargs={"params": params},
-            )
-            result = run_experiment(spec)
-            rows.append(
-                {
-                    "feedback": feedback,
-                    "q_thld1": thld1,
-                    "pattern": pattern,
-                    "offered_load": load,
-                    "latency_us": result.mean_latency_us,
-                    "throughput": result.throughput,
-                    "hops": result.mean_hops,
-                }
-            )
+    for (feedback, thld1), result in zip(grid, runner.run(specs)):
+        rows.append(
+            {
+                "feedback": feedback,
+                "q_thld1": thld1,
+                "pattern": pattern,
+                "offered_load": load,
+                "latency_us": result.mean_latency_us,
+                "throughput": result.throughput,
+                "hops": result.mean_hops,
+            }
+        )
     return rows

@@ -96,10 +96,15 @@ class ExperimentResult:
 
     def summary_row(self) -> Dict[str, float]:
         """Flat dictionary used by the report tables and EXPERIMENTS.md."""
+        # Schedule-driven runs have no single offered load; report the same
+        # "dyn" marker display_name uses instead of a None cell.
+        offered = self.spec.offered_load
+        if offered is None:
+            offered = "dyn"
         return {
             "routing": self.spec.routing,
             "pattern": self.spec.pattern,
-            "offered_load": self.spec.offered_load,
+            "offered_load": offered,
             "mean_latency_us": round(self.mean_latency_us, 3),
             "p95_latency_us": round(self.p95_latency_us, 3),
             "p99_latency_us": round(self.p99_latency_us, 3),
@@ -179,28 +184,34 @@ def run_load_sweep(
     seed: int = 1,
     routing_kwargs: Optional[Dict[str, Dict]] = None,
     network_params: Optional[NetworkParams] = None,
+    runner=None,
 ) -> Dict[str, List[ExperimentResult]]:
     """Sweep offered load for several algorithms under one traffic pattern.
 
     Returns ``{algorithm: [result_per_load]}`` in the order of ``loads``; this
-    is the data behind each column of Figure 5.
+    is the data behind each column of Figure 5.  ``runner`` is an optional
+    :class:`~repro.experiments.parallel.SweepRunner`; by default the sweep
+    honours the ``REPRO_WORKERS`` / ``REPRO_CACHE`` environment variables
+    (serial, uncached if unset).
     """
+    from repro.experiments.parallel import resolve_runner
+
     routing_kwargs = routing_kwargs or {}
-    results: Dict[str, List[ExperimentResult]] = {}
-    for algorithm in algorithms:
-        per_load: List[ExperimentResult] = []
-        for load in loads:
-            spec = ExperimentSpec(
-                config=config,
-                routing=algorithm,
-                pattern=pattern,
-                offered_load=load,
-                sim_time_ns=warmup_ns + measure_ns,
-                warmup_ns=warmup_ns,
-                seed=seed,
-                routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
-                network_params=network_params,
-            )
-            per_load.append(run_experiment(spec))
-        results[algorithm] = per_load
-    return results
+    runner = resolve_runner(runner)
+    specs = [
+        ExperimentSpec(
+            config=config,
+            routing=algorithm,
+            pattern=pattern,
+            offered_load=load,
+            sim_time_ns=warmup_ns + measure_ns,
+            warmup_ns=warmup_ns,
+            seed=seed,
+            routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+            network_params=network_params,
+        )
+        for algorithm in algorithms
+        for load in loads
+    ]
+    flat = iter(runner.run(specs))
+    return {algorithm: [next(flat) for _ in loads] for algorithm in algorithms}

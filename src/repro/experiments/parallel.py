@@ -1,0 +1,375 @@
+"""Parallel experiment execution with on-disk result memoization.
+
+Every figure of the paper is a sweep of *independent* simulation runs
+(algorithms x patterns x loads x seeds), so the natural way to speed them up
+is to fan the runs out over a :mod:`multiprocessing` worker pool.  This
+module provides the machinery:
+
+* :class:`ExperimentResultData` — a slim, picklable wire format for one run's
+  measurements.  :class:`~repro.experiments.harness.ExperimentResult` itself
+  carries a back-reference to its spec plus full latency arrays; the wire
+  format ships only the measured payload and the parent process re-attaches
+  the spec it already holds.
+* :func:`spec_fingerprint` — a stable content hash of an
+  :class:`~repro.experiments.harness.ExperimentSpec`, independent of the
+  Python process (no ``id()``/``hash()``), used as the cache key.
+* :class:`ResultCache` — a directory of ``<fingerprint>.pkl`` files
+  (``.cache/experiments/`` by default).  Corrupted or unreadable entries are
+  treated as misses and deleted.
+* :class:`SweepRunner` — runs a list of specs, in-process when ``workers=1``
+  (bitwise-identical to calling :func:`run_experiment` in a loop) or on a
+  worker pool when ``workers>1``.  Results come back in spec order either
+  way, and completed runs are memoized in the cache so that re-running a
+  figure script only simulates what changed.
+
+Determinism: a run is fully determined by its spec (the simulator draws every
+random number from streams seeded by ``spec.seed``), so parallel execution
+cannot change any result — only the wall-clock time.  For *replicated* runs
+of one spec, :func:`derive_run_seed` derives the per-run seed from
+``(spec.seed, run_index)``; run index 0 keeps the base seed so a single run
+is unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import pickle
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult, ExperimentSpec, run_experiment
+from repro.stats.collectors import RunStats
+from repro.traffic import LoadSchedule
+
+#: bump when the simulator or the wire format changes in a way that makes
+#: previously cached results stale.
+CACHE_VERSION = 1
+
+#: default location of the on-disk result cache, relative to the CWD.
+DEFAULT_CACHE_DIR = Path(".cache") / "experiments"
+
+
+# --------------------------------------------------------------- fingerprints
+def derive_run_seed(base_seed: int, run_index: int) -> int:
+    """Deterministic per-run seed for replicate ``run_index`` of one spec.
+
+    Index 0 returns ``base_seed`` unchanged, so a non-replicated run keeps
+    exactly the RNG streams of the serial harness.  Higher indices hash
+    ``(base_seed, run_index)`` with SHA-256 (stable across processes, unlike
+    ``hash()``), mirroring :mod:`repro.engine.rng`.
+    """
+    if run_index == 0:
+        return base_seed
+    digest = hashlib.sha256(f"replicate:{base_seed}:{run_index}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _canonical(value):
+    """Recursively reduce ``value`` to primitives with a stable repr."""
+    if isinstance(value, LoadSchedule):
+        return ("LoadSchedule", tuple((p.start_ns, p.load) for p in value.phases))
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = tuple(
+            (f.name, _canonical(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+        return (type(value).__name__, fields)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Stable content hash of a spec, usable as an on-disk cache key."""
+    payload = repr((CACHE_VERSION, _canonical(spec)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------- wire format
+@dataclass
+class ExperimentResultData:
+    """Picklable measurements of one run, without the spec back-reference.
+
+    This is what crosses the process boundary and what the cache stores; the
+    parent reconstructs a full :class:`ExperimentResult` by re-attaching the
+    spec it submitted.
+    """
+
+    stats: RunStats
+    latencies_ns: np.ndarray
+    hops: np.ndarray
+    latency_timeline_us: Tuple[np.ndarray, np.ndarray]
+    throughput_timeline: Tuple[np.ndarray, np.ndarray]
+    routing_diagnostics: Dict
+    wall_time_s: float
+
+    @classmethod
+    def from_result(cls, result: ExperimentResult) -> "ExperimentResultData":
+        return cls(
+            stats=result.stats,
+            latencies_ns=result.latencies_ns,
+            hops=result.hops,
+            latency_timeline_us=result.latency_timeline_us,
+            throughput_timeline=result.throughput_timeline,
+            routing_diagnostics=result.routing_diagnostics,
+            wall_time_s=result.wall_time_s,
+        )
+
+    def to_result(self, spec: ExperimentSpec) -> ExperimentResult:
+        return ExperimentResult(
+            spec=spec,
+            stats=self.stats,
+            latencies_ns=self.latencies_ns,
+            hops=self.hops,
+            latency_timeline_us=self.latency_timeline_us,
+            throughput_timeline=self.throughput_timeline,
+            routing_diagnostics=self.routing_diagnostics,
+            wall_time_s=self.wall_time_s,
+        )
+
+
+# --------------------------------------------------------------------- cache
+class ResultCache:
+    """Directory of pickled :class:`ExperimentResultData`, one file per spec.
+
+    Entries hold the run's full payload (per-packet latency/hop arrays and
+    both timelines), so large-scale runs produce large files and nothing is
+    evicted automatically; the directory is safe to delete at any time.
+    """
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[ExperimentResultData]:
+        """Load a cached entry; corrupted entries are deleted and miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                data = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+                IndexError, MemoryError, OSError, ValueError):
+            self._discard(path)
+            return None
+        if not isinstance(data, ExperimentResultData):
+            self._discard(path)
+            return None
+        return data
+
+    def put(self, key: str, data: ExperimentResultData) -> None:
+        """Store an entry atomically (a crash never leaves a partial file)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(data, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(Path(tmp))
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                self._discard(path)
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return len(list(self.directory.glob("*.pkl"))) if self.directory.is_dir() else 0
+
+
+# -------------------------------------------------------------------- runner
+def _run_spec_to_data(indexed_spec: Tuple[int, ExperimentSpec]) -> Tuple[int, ExperimentResultData]:
+    """Worker entry point: run one spec, ship back its index and wire data."""
+    index, spec = indexed_spec
+    result = run_experiment(spec)
+    return index, ExperimentResultData.from_result(result)
+
+
+@dataclass
+class RunProgress:
+    """One progress update, emitted as each run finishes (in completion order)."""
+
+    done: int
+    total: int
+    spec: ExperimentSpec
+    cached: bool
+    wall_time_s: float
+
+
+def print_progress(update: RunProgress, stream=None) -> None:
+    """Default progress sink: one line per completed run on stderr."""
+    stream = stream or sys.stderr
+    source = "cache" if update.cached else f"{update.wall_time_s:.1f}s"
+    print(
+        f"[{update.done}/{update.total}] {update.spec.display_name} ({source})",
+        file=stream,
+        flush=True,
+    )
+
+
+class SweepRunner:
+    """Executes batches of :class:`ExperimentSpec` with optional parallelism.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs everything
+        in-process, preserving the exact semantics — and RNG streams — of a
+        serial :func:`run_experiment` loop.  ``0`` or ``None`` means "one per
+        CPU".
+    cache_dir:
+        Directory for the on-disk result cache.  ``None`` disables caching.
+    progress:
+        Optional callback invoked with a :class:`RunProgress` after every
+        completed run (pass :func:`print_progress` for stderr logging).
+
+    The counters ``simulated`` and ``cache_hits`` accumulate across calls and
+    let callers (and tests) verify that a warm-cache re-run executed zero
+    simulations.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        progress: Optional[Callable[[RunProgress], None]] = None,
+    ) -> None:
+        if workers is None or workers <= 0:
+            workers = multiprocessing.cpu_count()
+        self.workers = int(workers)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        self.simulated = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------- API
+    def run_one(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Run (or fetch from cache) a single experiment."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+        """Run every spec, returning results in spec order.
+
+        Cached runs are loaded without simulating; the rest are executed
+        in-process (``workers=1``) or on a ``multiprocessing`` pool.
+        """
+        specs = list(specs)
+        total = len(specs)
+        results: List[Optional[ExperimentResult]] = [None] * total
+        done = 0
+
+        pending: List[Tuple[int, ExperimentSpec]] = []
+        keys: Dict[int, str] = {}
+        for index, spec in enumerate(specs):
+            data = None
+            if self.cache is not None:
+                keys[index] = spec_fingerprint(spec)
+                data = self.cache.get(keys[index])
+            if data is not None:
+                self.cache_hits += 1
+                results[index] = data.to_result(spec)
+                done += 1
+                self._emit(done, total, spec, cached=True, wall_time_s=0.0)
+            else:
+                pending.append((index, spec))
+
+        for index, data in self._execute(pending):
+            spec = specs[index]
+            self.simulated += 1
+            if self.cache is not None:
+                self.cache.put(keys[index], data)
+            results[index] = data.to_result(spec)
+            done += 1
+            self._emit(done, total, spec, cached=False, wall_time_s=data.wall_time_s)
+
+        return results  # type: ignore[return-value]
+
+    def expand_replicates(
+        self, spec: ExperimentSpec, replicates: int
+    ) -> List[ExperimentSpec]:
+        """Copies of ``spec`` with per-run seeds derived from (seed, index)."""
+        return [
+            spec.with_overrides(seed=derive_run_seed(spec.seed, index))
+            for index in range(replicates)
+        ]
+
+    # -------------------------------------------------------------- internals
+    def _emit(self, done: int, total: int, spec: ExperimentSpec,
+              cached: bool, wall_time_s: float) -> None:
+        if self.progress is not None:
+            self.progress(RunProgress(done, total, spec, cached, wall_time_s))
+
+    def _execute(self, pending: Sequence[Tuple[int, ExperimentSpec]]):
+        """Yield ``(index, ExperimentResultData)`` as runs finish."""
+        if not pending:
+            return
+        if self.workers <= 1 or len(pending) == 1:
+            for indexed in pending:
+                yield _run_spec_to_data(indexed)
+            return
+        # "fork" inherits the parent's imports and sys.path, which keeps
+        # worker start-up cheap; fall back to the platform default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        processes = min(self.workers, len(pending))
+        with ctx.Pool(processes=processes) as pool:
+            for indexed_data in pool.imap_unordered(_run_spec_to_data, pending):
+                yield indexed_data
+
+
+# ----------------------------------------------------------- env-driven setup
+def resolve_runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    """Use the caller's runner, else one configured from the environment."""
+    return runner if runner is not None else default_runner()
+
+
+def default_runner(env: Optional[Dict[str, str]] = None) -> SweepRunner:
+    """Build a runner from the environment.
+
+    ``REPRO_WORKERS=<n>`` sets the pool size (``0`` = one per CPU; default 1,
+    i.e. serial).  ``REPRO_CACHE=1`` enables the default on-disk cache and
+    ``REPRO_CACHE=<dir>`` points it elsewhere; unset/``0`` disables caching.
+    """
+    environment = os.environ if env is None else env
+    workers_raw = environment.get("REPRO_WORKERS", "1")
+    try:
+        workers = int(workers_raw)
+    except ValueError:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {workers_raw!r}")
+    cache_raw = environment.get("REPRO_CACHE", "")
+    cache_dir: Optional[Path]
+    if not cache_raw or cache_raw == "0":
+        cache_dir = None
+    elif cache_raw in ("1", "true", "yes"):
+        cache_dir = DEFAULT_CACHE_DIR
+    else:
+        cache_dir = Path(cache_raw)
+    return SweepRunner(workers=workers, cache_dir=cache_dir)

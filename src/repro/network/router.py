@@ -183,7 +183,13 @@ class Router:
             self._route_head(in_port, vc)
 
     def _serve_waiting(self, out_port: int) -> None:
-        """Try to forward one eligible waiter of ``out_port`` (FIFO order)."""
+        """Try to forward one eligible waiter of ``out_port`` (FIFO order).
+
+        A waiter whose VC lacks credits is skipped (rotated to the back) so
+        that waiters of other VCs can pass, but the rotation is undone before
+        returning — the scan must not permanently reorder the queue, or early
+        waiters would starve under sustained credit pressure.
+        """
         waiters = self.waiting[out_port]
         if not waiters:
             return
@@ -191,6 +197,7 @@ class Router:
             return
         credits = self.credits[out_port]
         scanned = 0
+        skipped = 0
         total = len(waiters)
         while scanned < total and waiters:
             in_port, vc, packet = waiters[0]
@@ -202,11 +209,18 @@ class Router:
                 continue
             if credits.available(packet.out_vc):
                 waiters.popleft()
+                # Restore the skipped waiters to the front, in original order,
+                # before _forward runs (it can append new waiters at the back).
+                if skipped:
+                    waiters.rotate(skipped)
                 self._forward(in_port, vc, packet)
                 return
             # Head waiter lacks credits on its VC; let waiters of other VCs pass.
             waiters.rotate(-1)
+            skipped += 1
             scanned += 1
+        if skipped:
+            waiters.rotate(skipped)
 
     # ------------------------------------------------------------ congestion
     def output_queue_length(self, out_port: int) -> int:

@@ -109,16 +109,21 @@ class TrafficGenerator:
         for node in self.nodes:
             delay = self._interval(initial_load)
             if delay == float("inf"):
-                # Idle at start: wake up at the first load change (if any).
+                # Idle at start: wake up at the first load change (if any) and
+                # draw a fresh interval under the new load.
                 change = self.schedule.next_change_after(self.start_ns)
                 if change is None:
                     continue
-                first = change
+                sim.at(change, self._resample, node)
+                continue
+            # De-synchronise sources: the first packet of each node appears
+            # a random fraction of one interval after start.
+            first = max(self.start_ns + delay * self._rng.random(), self.start_ns)
+            change = self.schedule.next_change_after(self.start_ns)
+            if change is not None and first > change:
+                sim.at(change, self._resample, node)
             else:
-                # De-synchronise sources: the first packet of each node appears
-                # a random fraction of one interval after start.
-                first = self.start_ns + delay * self._rng.random()
-            sim.at(max(first, self.start_ns), self._generate, node)
+                sim.at(first, self._generate, node)
 
     def _interval(self, load: float) -> float:
         """Time to the next message of one node at the given offered load."""
@@ -142,14 +147,43 @@ class TrafficGenerator:
             self.generated += 1
             delay = self._interval(load)
         else:
-            # Idle phase: sleep until the next load change (or stop).
-            change = self.schedule.next_change_after(now)
-            if change is None:
-                return
-            delay = change - now
+            delay = float("inf")
+        self._schedule_next(node, now, delay)
+
+    def _schedule_next(self, node: int, now: float, delay: float) -> None:
+        """Arm the next generation of ``node``, clamping at phase boundaries.
+
+        An interval drawn under the current load is only valid while that load
+        lasts: if it reaches past the next :class:`LoadSchedule` change, the
+        node instead wakes *at* the boundary and resamples under the new load,
+        so a load step takes effect immediately rather than one stale interval
+        late (the Figure 8 experiment depends on this).
+        """
+        sim = self.network.sim
+        change = self.schedule.next_change_after(now)
         if delay == float("inf"):
-            change = self.schedule.next_change_after(now)
+            # Idle phase: sleep until the next load change (or stop for good).
             if change is None:
                 return
-            delay = change - now
+            sim.at(change, self._resample, node)
+            return
+        if change is not None and now + delay > change:
+            sim.at(change, self._resample, node)
+            return
         sim.after(delay, self._generate, node)
+
+    def _resample(self, node: int) -> None:
+        """Phase boundary reached: discard the stale interval and redraw."""
+        sim = self.network.sim
+        now = sim.now
+        if self.stop_ns is not None and now >= self.stop_ns:
+            return
+        delay = self._interval(self.schedule.load_at(now))
+        if delay != float("inf") and self.arrival == "deterministic":
+            # Every node whose stale interval spanned the boundary resamples
+            # at the same instant; stagger the first post-boundary packet (as
+            # start() staggers the first packet of the run) so deterministic
+            # sources don't inject in lockstep for the rest of the phase.
+            # Exponential arrivals need no stagger: the redraw is memoryless.
+            delay *= self._rng.random()
+        self._schedule_next(node, now, delay)

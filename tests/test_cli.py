@@ -51,6 +51,34 @@ def test_figure_command_table1(capsys):
     assert rows[0]["N"] == 1056
 
 
+def test_compare_command_with_workers_and_cache(tmp_path, capsys):
+    argv = [
+        "compare", "--routing", "MIN", "VALn", "--pattern", "UR", "--load", "0.3",
+        "--config", "tiny", "--time-us", "8",
+        "--workers", "2", "--cache-dir", str(tmp_path), "--progress",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "MIN" in first and "VALn" in first
+    # warm-cache re-run must print the same table without simulating
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert captured.out == first
+    assert "cache" in captured.err
+
+
+def test_workers_flag_composes_with_cache_env(tmp_path, monkeypatch, capsys):
+    """--workers must not silently drop a cache enabled via REPRO_CACHE."""
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    argv = [
+        "compare", "--routing", "MIN", "--pattern", "UR", "--load", "0.3",
+        "--config", "tiny", "--time-us", "5", "--workers", "2",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert list(tmp_path.glob("*.pkl")), "run was not cached"
+
+
 def test_custom_config_string(capsys):
     code = main([
         "run", "--routing", "MIN", "--pattern", "UR", "--load", "0.2",

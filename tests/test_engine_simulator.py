@@ -67,6 +67,41 @@ def test_max_events_limits_execution(sim):
     assert sim.events_processed == 4
 
 
+def test_exhausted_event_budget_still_advances_clock_to_until(sim):
+    """When max_events runs out together with the work, the clock must reach
+    ``until`` exactly like an unlimited run, so follow-up at()/after() calls
+    observe a consistent clock."""
+    seen = []
+    for i in range(4):
+        sim.after(float(i), seen.append, i)
+    sim.run(until=100.0, max_events=4)
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 100.0
+    # a caller that trusts the run(until=...) contract can schedule freely
+    sim.at(100.0, seen.append, "late")
+    sim.run(until=100.0)
+    assert seen[-1] == "late"
+
+
+def test_event_budget_with_pending_work_keeps_clock_at_last_event(sim):
+    """With events still pending before ``until`` the clock must NOT jump
+    ahead, or those events would fire in the clock's past."""
+    seen = []
+    for i in range(10):
+        sim.after(float(i), seen.append, i)
+    end = sim.run(until=100.0, max_events=4)
+    assert end == sim.now == 3.0
+    assert sim.pending_events == 6
+    sim.run(until=100.0)
+    assert seen == list(range(10))
+    assert sim.now == 100.0
+
+
+def test_zero_event_budget_on_empty_calendar_advances_to_until(sim):
+    sim.run(until=7.0, max_events=0)
+    assert sim.now == 7.0
+
+
 def test_step_executes_single_event(sim):
     seen = []
     sim.after(1.0, seen.append, "x")

@@ -105,6 +105,18 @@ def test_run_experiment_is_deterministic():
     assert a.stats.mean_latency_ns == pytest.approx(b.stats.mean_latency_ns)
 
 
+def test_summary_row_reports_dyn_for_schedule_runs():
+    from repro.traffic import LoadSchedule
+
+    spec = ExperimentSpec(
+        config=TINY, routing="MIN", pattern="UR", offered_load=None,
+        schedule=LoadSchedule.step(0.2, 2_000.0, 0.4),
+        sim_time_ns=4_000.0, warmup_ns=0.0, seed=5,
+    )
+    row = run_experiment(spec).summary_row()
+    assert row["offered_load"] == "dyn"
+
+
 def test_run_load_sweep_shape():
     sweep = run_load_sweep(
         config=TINY, algorithms=("MIN", "VALn"), pattern="UR", loads=(0.1, 0.3),

@@ -56,6 +56,62 @@ def test_forward_and_eject_counters():
     assert net.routers[topo.router_of_node(dst)].ejected_packets == 1
 
 
+def _stage_waiter(net, router, in_port, vc, out_port, out_vc, dst):
+    """Place a packet at the head of ``(in_port, vc)`` waiting on ``out_port``."""
+    packet = net.create_packet(0, dst)
+    packet.out_port = out_port
+    packet.out_vc = out_vc
+    net.routers[router.id].input_bufs[in_port][vc].append(packet)
+    router.waiting[out_port].append((in_port, vc, packet))
+    return packet
+
+
+def test_serve_waiting_preserves_fifo_order_after_failed_scan():
+    """Skipping a credit-starved head waiter must not permanently reorder the queue."""
+    net = _loaded_network()
+    router = net.routers[0]
+    topo = net.topo
+    out_port = topo.non_host_ports[0]
+    dst = next(n for n in topo.all_nodes() if topo.router_of_node(n) != 0)
+    credits = router.credits[out_port]
+
+    # Exhaust VC 0 credits so the first (oldest) waiter cannot be served.
+    while credits.available(0):
+        credits.take(0)
+    in_a, in_b = topo.non_host_ports[0], topo.non_host_ports[1]
+    blocked = _stage_waiter(net, router, in_a, 0, out_port, 0, dst)
+    served = _stage_waiter(net, router, in_b, 1, out_port, 1, dst)
+
+    router._serve_waiting(out_port)
+
+    # The younger waiter (with credits on VC 1) went out...
+    assert router.forwarded_packets == 1
+    assert not router.input_bufs[in_b][1]
+    # ...and the starved head waiter is still *first in line*, not rotated back.
+    assert list(router.waiting[out_port]) == [(in_a, 0, blocked)]
+
+
+def test_serve_waiting_restores_order_when_no_waiter_is_eligible():
+    net = _loaded_network()
+    router = net.routers[0]
+    topo = net.topo
+    out_port = topo.non_host_ports[0]
+    dst = next(n for n in topo.all_nodes() if topo.router_of_node(n) != 0)
+    credits = router.credits[out_port]
+    for vc in range(net.params.num_vcs):
+        while credits.available(vc):
+            credits.take(vc)
+
+    in_a, in_b = topo.non_host_ports[0], topo.non_host_ports[1]
+    first = _stage_waiter(net, router, in_a, 0, out_port, 0, dst)
+    second = _stage_waiter(net, router, in_b, 1, out_port, 1, dst)
+
+    router._serve_waiting(out_port)
+
+    assert router.forwarded_packets == 0
+    assert list(router.waiting[out_port]) == [(in_a, 0, first), (in_b, 1, second)]
+
+
 def test_small_buffers_still_deliver_everything():
     """Back-pressure with 1-packet buffers must not deadlock or drop packets."""
     net = DragonflyNetwork(

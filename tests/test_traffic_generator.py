@@ -102,6 +102,70 @@ def test_zero_load_generates_nothing_until_step():
     assert gen.generated > 0
 
 
+def test_load_step_takes_effect_at_the_boundary():
+    """A pending inter-arrival drawn under the old load must be clamped at the
+    phase boundary and resampled — not carried one stale interval into the new
+    phase (Figure 8 regression)."""
+    net = _network()
+    interval_ns = net.params.serialization_ns  # 32 ns at the default parameters
+    # Load 0.01 → 3200 ns between packets; the step to 0.5 (64 ns) happens at
+    # 1000 ns, so every node's pending stale interval spans the boundary.
+    schedule = LoadSchedule.step(0.01, 1_000.0, 0.5)
+    gen = TrafficGenerator(net, UniformRandomTraffic(), schedule=schedule,
+                           arrival="deterministic", nodes=[0])
+    gen.start()
+    net.run(until=2_000.0)
+    # New-load generation must start within one *new* interval (64 ns) of the
+    # boundary — first packet at 1000 + 64·u (staggered), then every 64 ns:
+    # 15–16 packets by 2000 ns, plus at most one packet from the slow initial
+    # phase.  The unpatched generator finished the stale 3200 ns interval
+    # first and produced at most ~1 packet by 2000 ns.
+    new_interval = interval_ns / 0.5
+    expected_after_step = int((2_000.0 - (1_000.0 + new_interval)) // new_interval) + 1
+    assert expected_after_step <= gen.generated <= expected_after_step + 2
+
+
+def test_deterministic_sources_stay_desynchronised_across_a_step():
+    """Clamping at the boundary must not collapse per-node offsets: nodes whose
+    stale intervals all end at the boundary re-stagger instead of injecting in
+    lockstep for the rest of the phase."""
+    net = _network(seed=13)
+    schedule = LoadSchedule.step(0.01, 1_000.0, 0.5)
+    gen = TrafficGenerator(net, UniformRandomTraffic(), schedule=schedule,
+                           arrival="deterministic", nodes=[0, 1])
+    injections = []
+    original = net.collector.record_generated
+
+    def spy(packet):
+        injections.append((packet.src_node, packet.create_time_ns))
+        original(packet)
+
+    net.collector.record_generated = spy
+    gen.start()
+    net.run(until=2_000.0)
+    first_after_step = {}
+    for node, t in injections:
+        if t > 1_000.0 and node not in first_after_step:
+            first_after_step[node] = t
+    assert set(first_after_step) == {0, 1}
+    assert first_after_step[0] != first_after_step[1]
+
+
+def test_load_drop_stops_fast_generation_at_the_boundary():
+    """Stepping down mid-run must not let a node fire one last old-load packet
+    inside the new phase before slowing down."""
+    net = _network()
+    schedule = LoadSchedule.step(0.5, 1_000.0, 0.0)
+    gen = TrafficGenerator(net, UniformRandomTraffic(), schedule=schedule,
+                           arrival="deterministic", nodes=[0])
+    gen.start()
+    net.run(until=1_000.0)
+    before = gen.generated
+    assert before > 0
+    net.run(until=50_000.0)
+    assert gen.generated == before
+
+
 def test_generator_records_offered_load_in_collector():
     net = _network()
     TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.3)
