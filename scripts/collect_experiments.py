@@ -8,6 +8,11 @@ script that produced the numbers quoted in EXPERIMENTS.md; re-run it to
 refresh them (about 10–15 minutes of CPU time serially — pass ``--workers``
 to fan the independent runs out over processes, and ``--cache`` to skip runs
 that are already memoized on disk from a previous invocation).
+
+The grid itself is the declarative ``headline`` study from
+:mod:`repro.scenarios.catalog` — the same runs are available as
+``repro-sim study run headline``, and ``--export FILE`` writes the scenario
+file so the grid can be versioned, edited and replayed.
 """
 
 from __future__ import annotations
@@ -15,16 +20,10 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.experiments import ExperimentSpec, SweepRunner, print_progress
+from repro.experiments import SweepRunner, print_progress
 from repro.experiments.parallel import DEFAULT_CACHE_DIR
-from repro.experiments.presets import PAPER_ALGORITHMS, REDUCED_SCALE
+from repro.scenarios import study_by_name
 from repro.stats.report import format_table
-
-CASES = (
-    ("UR", 0.5),
-    ("UR", 0.7),
-    ("ADV+1", 0.35),
-)
 
 
 def main() -> None:
@@ -33,34 +32,23 @@ def main() -> None:
                         help="worker processes (0 = one per CPU; default: serial)")
     parser.add_argument("--cache", action="store_true",
                         help=f"memoize completed runs under {DEFAULT_CACHE_DIR}/")
+    parser.add_argument("--export", metavar="FILE", default=None,
+                        help="write the study as a JSON/YAML scenario file and exit")
     args = parser.parse_args()
 
-    scale = REDUCED_SCALE
+    study = study_by_name("headline")
+    if args.export:
+        path = study.save(args.export)
+        print(f"wrote {path}")
+        return
+
     runner = SweepRunner(
         workers=args.workers,
         cache_dir=DEFAULT_CACHE_DIR if args.cache else None,
         progress=print_progress,
     )
-    grid = [
-        (pattern, load, algorithm)
-        for pattern, load in CASES
-        for algorithm in PAPER_ALGORITHMS
-    ]
-    specs = [
-        ExperimentSpec(
-            config=scale.config,
-            routing=algorithm,
-            pattern=pattern,
-            offered_load=load,
-            sim_time_ns=scale.sim_time_ns,
-            warmup_ns=scale.warmup_ns,
-            seed=scale.seed,
-            routing_kwargs={"params": scale.qadaptive_params} if algorithm == "Q-adp" else {},
-        )
-        for pattern, load, algorithm in grid
-    ]
     rows = []
-    for result in runner.run(specs):
+    for point, result in study.run(runner):
         row = result.summary_row()
         row["wall_s"] = round(result.wall_time_s, 1)
         rows.append(row)

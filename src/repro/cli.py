@@ -24,6 +24,16 @@ changed::
 
     repro-sim figure fig5 --workers 4 --cache
     repro-sim compare --routing MIN UGALn Q-adp --pattern ADV+1 --workers 3
+
+Work with declarative studies (named scenario grids, or JSON/YAML scenario
+files)::
+
+    repro-sim study list
+    repro-sim study show fig5 --scale bench > fig5.json
+    repro-sim study run fig5.json --workers 4 --cache
+    repro-sim study run ablation-maxq --scale bench
+    repro-sim list algorithms
+    repro-sim list patterns
 """
 
 from __future__ import annotations
@@ -49,9 +59,12 @@ from repro.experiments import (
     table_qtable_memory,
 )
 from repro.experiments.parallel import DEFAULT_CACHE_DIR, ResultCache, default_runner
-from repro.experiments.presets import default_scale, scale_by_name
+from repro.experiments.presets import available_scales, default_scale, scale_by_name
+from repro.routing import ROUTING_REGISTRY, available_algorithms
+from repro.scenarios import available_studies, load_study
 from repro.stats.report import comparison_table, format_table
 from repro.topology.config import DragonflyConfig
+from repro.traffic import PATTERN_REGISTRY, available_patterns
 
 FIGURES = {
     "table1": lambda scale, runner: table1_configurations(),
@@ -153,6 +166,77 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _study_from_args(args: argparse.Namespace):
+    scale = scale_by_name(args.scale) if args.scale else None
+    try:
+        return load_study(args.target, scale)
+    except (ValueError, RuntimeError, OSError) as exc:
+        raise SystemExit(str(exc))
+
+
+def _cmd_study_run(args: argparse.Namespace) -> int:
+    study = _study_from_args(args)
+    runner = _runner_from_args(args)
+    result = study.run(runner)
+    rows = result.rows()
+    if args.table:
+        print(format_table(rows))
+    else:
+        payload = {
+            "study": study.name,
+            "description": study.description,
+            "runs": len(rows),
+            "simulated": runner.simulated,
+            "cache_hits": runner.cache_hits,
+            "rows": rows,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+def _cmd_study_show(args: argparse.Namespace) -> int:
+    study = _study_from_args(args)
+    print(json.dumps(study.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_study_list(args: argparse.Namespace) -> int:
+    for name, summary in available_studies().items():
+        print(f"{name:22s} {summary}")
+    return 0
+
+
+def _registry_extras(registry, row) -> str:
+    """Alias and keyword-argument suffix of one `list` output line."""
+    parts = []
+    if row.get("aliases"):
+        parts.append(f"aliases: {', '.join(row['aliases'])}")
+    kwargs = registry.signature(row["name"])
+    if kwargs:
+        parts.append(f"kwargs: {', '.join(kwargs)}")
+    return f" ({'; '.join(parts)})" if parts else ""
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    what = args.what
+    if what == "algorithms":
+        rows = {row["name"]: row for row in ROUTING_REGISTRY.describe()}
+        for name in available_algorithms():
+            row = rows[name]
+            print(f"{name:12s} {row.get('summary', '')}"
+                  f"{_registry_extras(ROUTING_REGISTRY, row)}")
+    elif what == "patterns":
+        for row in PATTERN_REGISTRY.describe():
+            print(f"{row['name']:18s} {row.get('summary', '')}"
+                  f"{_registry_extras(PATTERN_REGISTRY, row)}")
+    elif what == "scales":
+        for name in available_scales():
+            print(name)
+    else:
+        return _cmd_study_list(args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -206,6 +290,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bench | reduced | paper-1056 | paper-2550 (default: env-selected)")
     add_parallel(fig_p)
     fig_p.set_defaults(func=_cmd_figure)
+
+    study_p = sub.add_parser(
+        "study", help="run, inspect or list declarative scenario studies")
+    study_sub = study_p.add_subparsers(dest="study_command", required=True)
+
+    def add_scale(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", default=None,
+                       help="scale preset for named studies "
+                            "(bench | reduced | paper-1056 | paper-2550); "
+                            "ignored for scenario files, which carry their own sizes")
+
+    srun_p = study_sub.add_parser(
+        "run", help="run a named study or a JSON/YAML scenario file")
+    srun_p.add_argument("target",
+                        help="registered study name (see 'study list') or a path "
+                             "to a scenario file")
+    add_scale(srun_p)
+    srun_p.add_argument("--table", action="store_true",
+                        help="print a summary table instead of JSON rows")
+    add_parallel(srun_p)
+    srun_p.set_defaults(func=_cmd_study_run)
+
+    sshow_p = study_sub.add_parser(
+        "show", help="print a study as a JSON scenario document "
+                     "(pipe to a file, edit, then 'study run' it)")
+    sshow_p.add_argument("target", help="registered study name or scenario file path")
+    add_scale(sshow_p)
+    sshow_p.set_defaults(func=_cmd_study_show)
+
+    slist_p = study_sub.add_parser("list", help="list registered studies")
+    slist_p.set_defaults(func=_cmd_study_list)
+
+    list_p = sub.add_parser(
+        "list", help="list registered algorithms, patterns, scales or studies")
+    list_p.add_argument("what",
+                        choices=("algorithms", "patterns", "scales", "studies"))
+    list_p.set_defaults(func=_cmd_list)
     return parser
 
 

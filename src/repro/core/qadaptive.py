@@ -27,7 +27,7 @@ configuration deadlock free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional
 
 from repro.core.hysteretic import HystereticParams
@@ -73,6 +73,20 @@ class QAdaptiveParams:
 
     def hysteretic(self) -> HystereticParams:
         return HystereticParams(self.alpha, self.beta)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """JSON-ready form: every hyper-parameter field."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QAdaptiveParams":
+        """Strict inverse of :meth:`to_dict` (omitted fields keep defaults)."""
+        from repro.scenarios.serialize import check_keys
+
+        names = tuple(f.name for f in fields(cls))
+        check_keys(data, optional=names, context="QAdaptiveParams")
+        return cls(**dict(data))
 
     @classmethod
     def paper_1056(cls) -> "QAdaptiveParams":

@@ -16,7 +16,7 @@ because rarely used destinations hold stale values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional
 
 from repro.core.hysteretic import HystereticParams
@@ -54,6 +54,20 @@ class QRoutingParams:
     def hysteretic(self) -> HystereticParams:
         beta = self.alpha if self.beta is None else self.beta
         return HystereticParams(self.alpha, beta)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """JSON-ready form: every hyper-parameter field."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QRoutingParams":
+        """Strict inverse of :meth:`to_dict` (omitted fields keep defaults)."""
+        from repro.scenarios.serialize import check_keys
+
+        names = tuple(f.name for f in fields(cls))
+        check_keys(data, optional=names, context="QRoutingParams")
+        return cls(**dict(data))
 
 
 class QRoutingAlgorithm(TabularMarlRouting):

@@ -1,16 +1,12 @@
-"""Experiment harness: presets, single-run driver, and per-figure reproduction."""
+"""Experiment harness: presets, single-run driver, and per-figure reproduction.
 
-from repro.experiments.figures import (
-    ablation_hyperparams,
-    ablation_maxq,
-    figure5_sweep,
-    figure6_tail_latency,
-    figure7_convergence,
-    figure8_dynamic_load,
-    figure9_scaleup,
-    table1_configurations,
-    table_qtable_memory,
-)
+The figure drivers (:mod:`repro.experiments.figures`) are re-exported
+*lazily* (PEP 562): they reduce over the declarative studies in
+:mod:`repro.scenarios.catalog`, which in turn builds on the presets and the
+harness of this package — an eager import here would close that loop.
+``from repro.experiments import figure5_sweep`` works exactly as before.
+"""
+
 from repro.experiments.harness import (
     ExperimentResult,
     ExperimentSpec,
@@ -32,6 +28,7 @@ from repro.experiments.presets import (
     PAPER_SCALE_2550,
     REDUCED_SCALE,
     ExperimentScale,
+    available_scales,
     default_scale,
 )
 
@@ -43,6 +40,7 @@ __all__ = [
     "ExperimentSpec",
     "ResultCache",
     "SweepRunner",
+    "available_scales",
     "default_runner",
     "derive_run_seed",
     "print_progress",
@@ -63,3 +61,27 @@ __all__ = [
     "table1_configurations",
     "table_qtable_memory",
 ]
+
+_FIGURE_EXPORTS = frozenset((
+    "ablation_hyperparams",
+    "ablation_maxq",
+    "figure5_sweep",
+    "figure6_tail_latency",
+    "figure7_convergence",
+    "figure8_dynamic_load",
+    "figure9_scaleup",
+    "table1_configurations",
+    "table_qtable_memory",
+))
+
+
+def __getattr__(name: str):
+    if name in _FIGURE_EXPORTS:
+        from repro.experiments import figures
+
+        return getattr(figures, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _FIGURE_EXPORTS)

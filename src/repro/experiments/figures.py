@@ -18,6 +18,14 @@ function               paper artefact
 ``ablation_hyperparams``   Section 4 design choices (thresholds, feedback rule)
 ====================== ==========================================================
 
+Every simulation-backed driver is a thin *reducer* over the corresponding
+declarative study in :mod:`repro.scenarios.catalog`: the study defines the
+scenario grid (and can be exported to a JSON/YAML file, listed and run by the
+CLI), the driver reshapes the study's results into the figure's data layout.
+Because both paths expand to identical :class:`ExperimentSpec` lists, they
+share cache fingerprints — ``repro-sim figure fig5`` and ``repro-sim study
+run fig5`` memoize into the same entries.
+
 All functions take an :class:`~repro.experiments.presets.ExperimentScale`;
 the default (``BENCH_SCALE`` unless ``REPRO_PAPER_SCALE=1``) keeps run times
 reasonable for pure Python.
@@ -28,16 +36,21 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.qtable import qtable_memory_comparison
-from repro.experiments.harness import ExperimentResult, ExperimentSpec
+from repro.experiments.harness import ExperimentResult
 from repro.experiments.parallel import SweepRunner, resolve_runner as _resolve_runner
-from repro.experiments.presets import (
-    PAPER_ALGORITHMS,
-    ExperimentScale,
-    default_scale,
+from repro.experiments.presets import ExperimentScale
+from repro.scenarios.catalog import (
+    ablation_hyperparams_study,
+    ablation_maxq_study,
+    fig5_study,
+    fig6_study,
+    fig7_study,
+    fig8_study,
+    fig9_study,
 )
+from repro.scenarios.study import StudyResult
 from repro.stats.summary import fraction_below, summarize_latencies
 from repro.topology.config import DragonflyConfig
-from repro.traffic import LoadSchedule
 
 
 # --------------------------------------------------------------------- tables
@@ -65,11 +78,6 @@ def table_qtable_memory(
 
 
 # ------------------------------------------------------------------- figure 5
-def _qadaptive_kwargs(scale: ExperimentScale, scaleup: bool = False) -> Dict[str, Dict]:
-    params = scale.qadaptive_scaleup_params if scaleup else scale.qadaptive_params
-    return {"Q-adp": {"params": params}}
-
-
 def figure5_sweep(
     scale: Optional[ExperimentScale] = None,
     algorithms: Optional[Sequence[str]] = None,
@@ -83,44 +91,18 @@ def figure5_sweep(
     "hops"}}}`` — the nine panels of Figure 5 are the three metrics of the
     three patterns.
     """
-    scale = scale or default_scale()
-    runner = _resolve_runner(runner)
-    algorithms = list(algorithms or PAPER_ALGORITHMS)
-    patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
-    routing_kwargs = _qadaptive_kwargs(scale)
+    study = fig5_study(scale, algorithms, patterns, loads_by_pattern)
+    run = study.run(_resolve_runner(runner))
+    sweep = study.scenarios[0]
 
-    loads_of = {
-        pattern: list(
-            (loads_by_pattern or {}).get(
-                pattern, scale.ur_loads if pattern.upper() == "UR" else scale.adv_loads
-            )
-        )
-        for pattern in patterns
-    }
-    specs = [
-        ExperimentSpec(
-            config=scale.config,
-            routing=algorithm,
-            pattern=pattern,
-            offered_load=load,
-            sim_time_ns=scale.sim_time_ns,
-            warmup_ns=scale.warmup_ns,
-            seed=scale.seed,
-            routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
-        )
-        for pattern in patterns
-        for algorithm in algorithms
-        for load in loads_of[pattern]
-    ]
-    flat = iter(runner.run(specs))
-
+    flat = iter(run.results)
     results: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
-    for pattern in patterns:
+    for pattern in sweep.pattern:
+        loads = list(sweep.loads_for(pattern))
         per_pattern: Dict[str, Dict[str, List[float]]] = {}
-        for algorithm in algorithms:
-            series = {"loads": loads_of[pattern], "latency_us": [], "throughput": [],
-                      "hops": []}
-            for _ in loads_of[pattern]:
+        for algorithm in sweep.routing:
+            series = {"loads": loads, "latency_us": [], "throughput": [], "hops": []}
+            for _ in loads:
                 result = next(flat)
                 series["latency_us"].append(result.mean_latency_us)
                 series["throughput"].append(result.throughput)
@@ -139,6 +121,21 @@ def _distribution_row(result: ExperimentResult) -> Dict[str, float]:
     return summary
 
 
+def _reduce_distribution(run: StudyResult) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Shared reducer of figures 6 and 9: per-pattern, per-algorithm summaries."""
+    scenario = run.study.scenarios[0]
+    flat = iter(run.results)
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for pattern in scenario.pattern:
+        per_pattern: Dict[str, Dict[str, float]] = {}
+        for algorithm in scenario.routing:
+            row = _distribution_row(next(flat))
+            row["offered_load"] = scenario.loads_for(pattern)[0]
+            per_pattern[algorithm] = row
+        results[pattern] = per_pattern
+    return results
+
+
 def figure6_tail_latency(
     scale: Optional[ExperimentScale] = None,
     algorithms: Optional[Sequence[str]] = None,
@@ -153,45 +150,8 @@ def figure6_tail_latency(
     where each summary holds mean / median / p95 / p99 / quartiles /
     whiskers (µs) plus the fraction of packets below 2 µs.
     """
-    scale = scale or default_scale()
-    runner = _resolve_runner(runner)
-    algorithms = list(algorithms or PAPER_ALGORITHMS)
-    patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
-    routing_kwargs = _qadaptive_kwargs(scale)
-
-    load_of: Dict[str, float] = {}
-    for pattern in patterns:
-        if loads and pattern in loads:
-            load_of[pattern] = loads[pattern]
-        elif pattern.upper() == "UR":
-            load_of[pattern] = scale.ur_reference_load
-        else:
-            load_of[pattern] = scale.adv_reference_load
-    specs = [
-        ExperimentSpec(
-            config=scale.config,
-            routing=algorithm,
-            pattern=pattern,
-            offered_load=load_of[pattern],
-            sim_time_ns=scale.sim_time_ns,
-            warmup_ns=scale.warmup_ns,
-            seed=scale.seed,
-            routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
-        )
-        for pattern in patterns
-        for algorithm in algorithms
-    ]
-    flat = iter(runner.run(specs))
-
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for pattern in patterns:
-        per_pattern: Dict[str, Dict[str, float]] = {}
-        for algorithm in algorithms:
-            row = _distribution_row(next(flat))
-            row["offered_load"] = load_of[pattern]
-            per_pattern[algorithm] = row
-        results[pattern] = per_pattern
-    return results
+    study = fig6_study(scale, algorithms, patterns, loads)
+    return _reduce_distribution(study.run(_resolve_runner(runner)))
 
 
 # ------------------------------------------------------------------- figure 7
@@ -205,35 +165,12 @@ def figure7_convergence(
 
     Returns ``{"<pattern> load <L>": {"time_us": [...], "latency_us": [...]}}``.
     """
-    scale = scale or default_scale()
-    runner = _resolve_runner(runner)
-    if cases is None:
-        cases = (
-            ("UR", round(scale.ur_reference_load / 2, 3)),
-            ("UR", scale.ur_reference_load),
-            ("ADV+1", round(scale.adv_reference_load / 2, 3)),
-            ("ADV+4", round(scale.adv_reference_load / 2, 3)),
-            ("ADV+1", scale.adv_reference_load),
-            ("ADV+4", scale.adv_reference_load),
-        )
-    specs = [
-        ExperimentSpec(
-            config=scale.config,
-            routing="Q-adp",
-            pattern=pattern,
-            offered_load=load,
-            sim_time_ns=scale.convergence_ns,
-            warmup_ns=0.0,
-            seed=scale.seed,
-            stats_bin_ns=bin_ns,
-            routing_kwargs={"params": scale.qadaptive_params},
-        )
-        for pattern, load in cases
-    ]
+    study = fig7_study(scale, cases, bin_ns)
+    run = study.run(_resolve_runner(runner))
     curves: Dict[str, Dict[str, List[float]]] = {}
-    for (pattern, load), result in zip(cases, runner.run(specs)):
+    for point, result in run:
         times, values = result.latency_timeline_us
-        curves[f"{pattern} load {load}"] = {
+        curves[point.scenario] = {
             "time_us": [float(t) for t in times],
             "latency_us": [float(v) for v in values],
             "final_latency_us": float(values[-1]) if len(values) else float("nan"),
@@ -254,40 +191,16 @@ def figure8_dynamic_load(
     ``scale.convergence_ns`` and the run lasts twice that long.  Returns the
     binned throughput time series per case.
     """
-    scale = scale or default_scale()
-    runner = _resolve_runner(runner)
-    if cases is None:
-        ur_hi, ur_lo = scale.ur_reference_load, round(scale.ur_reference_load / 2, 3)
-        adv_hi, adv_lo = scale.adv_reference_load, round(scale.adv_reference_load / 2, 3)
-        cases = (
-            ("UR", ur_lo, ur_hi),
-            ("UR", ur_hi, ur_lo),
-            ("ADV+4", adv_lo, adv_hi),
-            ("ADV+4", adv_hi, adv_lo),
-        )
-    step_time = scale.convergence_ns
-    specs = [
-        ExperimentSpec(
-            config=scale.config,
-            routing="Q-adp",
-            pattern=pattern,
-            schedule=LoadSchedule.step(initial, step_time, new),
-            offered_load=None,
-            sim_time_ns=2 * scale.convergence_ns,
-            warmup_ns=0.0,
-            seed=scale.seed,
-            stats_bin_ns=bin_ns,
-            routing_kwargs={"params": scale.qadaptive_params},
-        )
-        for pattern, initial, new in cases
-    ]
+    study = fig8_study(scale, cases, bin_ns)
+    run = study.run(_resolve_runner(runner))
     curves: Dict[str, Dict[str, List[float]]] = {}
-    for (pattern, initial, new), result in zip(cases, runner.run(specs)):
+    for point, result in run:
         times, values = result.throughput_timeline
-        curves[f"{pattern} {initial}->{new}"] = {
+        step_time_ns = point.spec.schedule.phases[1].start_ns
+        curves[point.scenario] = {
             "time_us": [float(t) for t in times],
             "throughput": [float(v) for v in values],
-            "step_time_us": step_time / 1_000.0,
+            "step_time_us": step_time_ns / 1_000.0,
             "final_throughput": float(values[-1]) if len(values) else float("nan"),
         }
     return curves
@@ -307,47 +220,8 @@ def figure9_scaleup(
     Random Neighbors) run on ``scale.scaleup_config`` with the Section 6
     hyper-parameters.
     """
-    scale = scale or default_scale()
-    runner = _resolve_runner(runner)
-    algorithms = list(algorithms or PAPER_ALGORITHMS)
-    patterns = list(
-        patterns or ("UR", "ADV+1", "3D Stencil", "Many to Many", "Random Neighbors")
-    )
-    routing_kwargs = _qadaptive_kwargs(scale, scaleup=True)
-
-    load_of: Dict[str, float] = {}
-    for pattern in patterns:
-        if load is not None:
-            load_of[pattern] = load
-        elif pattern.upper().startswith("ADV"):
-            load_of[pattern] = scale.adv_reference_load
-        else:
-            load_of[pattern] = scale.ur_reference_load
-    specs = [
-        ExperimentSpec(
-            config=scale.scaleup_config,
-            routing=algorithm,
-            pattern=pattern,
-            offered_load=load_of[pattern],
-            sim_time_ns=scale.sim_time_ns,
-            warmup_ns=scale.warmup_ns,
-            seed=scale.seed,
-            routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
-        )
-        for pattern in patterns
-        for algorithm in algorithms
-    ]
-    flat = iter(runner.run(specs))
-
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for pattern in patterns:
-        per_pattern: Dict[str, Dict[str, float]] = {}
-        for algorithm in algorithms:
-            row = _distribution_row(next(flat))
-            row["offered_load"] = load_of[pattern]
-            per_pattern[algorithm] = row
-        results[pattern] = per_pattern
-    return results
+    study = fig9_study(scale, algorithms, patterns, load)
+    return _reduce_distribution(study.run(_resolve_runner(runner)))
 
 
 # ------------------------------------------------------------------ ablations
@@ -364,43 +238,22 @@ def ablation_maxq(
     motivates the Q-adaptive design.  Returns
     ``{pattern: {maxQ: {"latency_us", "throughput", "hops"}}}``.
     """
-    scale = scale or default_scale()
-    runner = _resolve_runner(runner)
-    patterns = list(patterns or ("UR", "ADV+1", "ADV+4"))
-    load_of: Dict[str, float] = {}
-    for pattern in patterns:
-        pattern_load = load
-        if pattern_load is None:
-            pattern_load = (
-                scale.ur_reference_load if pattern.upper() == "UR" else scale.adv_reference_load
-            )
-        load_of[pattern] = pattern_load
-    specs = [
-        ExperimentSpec(
-            config=scale.config,
-            routing="Q-routing",
-            pattern=pattern,
-            offered_load=load_of[pattern],
-            sim_time_ns=scale.sim_time_ns,
-            warmup_ns=scale.warmup_ns,
-            seed=scale.seed,
-            routing_kwargs={"max_q": maxq},
-        )
-        for pattern in patterns
-        for maxq in maxq_values
-    ]
-    flat = iter(runner.run(specs))
+    study = ablation_maxq_study(scale, maxq_values, patterns, load)
+    run = study.run(_resolve_runner(runner))
+    scenario_patterns = study.scenarios[0].pattern
+    scenarios = {scenario.name: scenario for scenario in study.scenarios}
 
     results: Dict[str, Dict[int, Dict[str, float]]] = {}
-    for pattern in patterns:
+    for pattern in scenario_patterns:
         per_pattern: Dict[int, Dict[str, float]] = {}
         for maxq in maxq_values:
-            result = next(flat)
+            scenario = scenarios[f"maxQ={int(maxq)}"]
+            result = run.get(scenario=scenario.name, pattern=pattern)
             per_pattern[maxq] = {
                 "latency_us": result.mean_latency_us,
                 "throughput": result.throughput,
                 "hops": result.mean_hops,
-                "offered_load": load_of[pattern],
+                "offered_load": scenario.loads_for(pattern)[0],
             }
         results[pattern] = per_pattern
     return results
@@ -415,50 +268,25 @@ def ablation_hyperparams(
     runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Section 4 design knobs: minimal-path bias threshold and feedback rule."""
-    scale = scale or default_scale()
-    runner = _resolve_runner(runner)
-    if load is None:
-        load = scale.adv_reference_load if pattern.upper().startswith("ADV") \
-            else scale.ur_reference_load
-    base = scale.qadaptive_params
-    grid = [
-        (feedback, thld1)
-        for feedback in feedback_modes
-        for thld1 in q_thld1_values
-    ]
-    specs = [
-        ExperimentSpec(
-            config=scale.config,
-            routing="Q-adp",
-            pattern=pattern,
-            offered_load=load,
-            sim_time_ns=scale.sim_time_ns,
-            warmup_ns=scale.warmup_ns,
-            seed=scale.seed,
-            routing_kwargs={
-                "params": type(base)(
-                    alpha=base.alpha,
-                    beta=base.beta,
-                    epsilon=base.epsilon,
-                    q_thld1=thld1,
-                    q_thld2=base.q_thld2,
-                    feedback=feedback,
-                )
-            },
-        )
-        for feedback, thld1 in grid
-    ]
+    study = ablation_hyperparams_study(scale, pattern, load, q_thld1_values,
+                                       feedback_modes)
+    run = study.run(_resolve_runner(runner))
+    scenarios = {scenario.name: scenario for scenario in study.scenarios}
+
     rows: List[Dict[str, float]] = []
-    for (feedback, thld1), result in zip(grid, runner.run(specs)):
-        rows.append(
-            {
-                "feedback": feedback,
-                "q_thld1": thld1,
-                "pattern": pattern,
-                "offered_load": load,
-                "latency_us": result.mean_latency_us,
-                "throughput": result.throughput,
-                "hops": result.mean_hops,
-            }
-        )
+    for feedback in feedback_modes:
+        for thld1 in q_thld1_values:
+            name = f"{feedback} q_thld1={thld1}"
+            result = run.get(scenario=name)
+            rows.append(
+                {
+                    "feedback": feedback,
+                    "q_thld1": thld1,
+                    "pattern": pattern,
+                    "offered_load": scenarios[name].loads[0],
+                    "latency_us": result.mean_latency_us,
+                    "throughput": result.throughput,
+                    "hops": result.mean_hops,
+                }
+            )
     return rows

@@ -16,15 +16,33 @@ import numpy as np
 
 from repro.network.network import DragonflyNetwork
 from repro.network.params import NetworkParams
-from repro.routing import make_routing
+from repro.routing import canonical_routing_name, make_routing
+from repro.scenarios.serialize import (
+    SPEC_SCHEMA_VERSION,
+    check_keys,
+    check_schema,
+    decode_kwargs,
+    encode_kwargs,
+)
 from repro.stats.collectors import RunStats
 from repro.topology.config import DragonflyConfig
-from repro.traffic import LoadSchedule, TrafficGenerator, make_pattern
+from repro.traffic import (
+    LoadSchedule,
+    TrafficGenerator,
+    canonical_pattern_name,
+    make_pattern,
+)
 
 
 @dataclass
 class ExperimentSpec:
-    """Complete description of one simulation run."""
+    """Complete description of one simulation run.
+
+    Routing and pattern names are canonicalised against the registries on
+    construction (``"qadp"`` → ``"Q-adp"``), so two specs that mean the same
+    experiment serialize — and cache-fingerprint — identically regardless of
+    the spelling they were written with.
+    """
 
     config: DragonflyConfig
     routing: str = "MIN"
@@ -46,8 +64,31 @@ class ExperimentSpec:
             self.offered_load = None
         if self.offered_load is None and self.schedule is None:
             raise ValueError("an experiment needs an offered_load or a load schedule")
+        if self.offered_load is not None and not 0.0 < self.offered_load <= 1.0:
+            raise ValueError(
+                f"offered_load must be in (0, 1] — a fraction of the injection "
+                f"bandwidth — got {self.offered_load}; use schedule=LoadSchedule(...) "
+                "for time-varying load"
+            )
+        if self.sim_time_ns <= 0.0:
+            raise ValueError(
+                f"sim_time_ns must be positive, got {self.sim_time_ns}; "
+                "nothing can be simulated in zero time"
+            )
+        if self.warmup_ns < 0.0:
+            raise ValueError(f"warmup_ns cannot be negative, got {self.warmup_ns}")
         if self.warmup_ns > self.sim_time_ns:
-            raise ValueError("warmup_ns cannot exceed sim_time_ns")
+            raise ValueError(
+                f"warmup_ns ({self.warmup_ns}) cannot exceed sim_time_ns "
+                f"({self.sim_time_ns}); no measurement window would remain"
+            )
+        if self.stats_bin_ns <= 0.0:
+            raise ValueError(
+                f"stats_bin_ns must be positive, got {self.stats_bin_ns}; "
+                "the time series needs a non-empty bin width"
+            )
+        self.routing = canonical_routing_name(self.routing)
+        self.pattern = canonical_pattern_name(self.pattern)
 
     @property
     def display_name(self) -> str:
@@ -58,6 +99,87 @@ class ExperimentSpec:
 
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict:
+        """Versioned, JSON-ready form of the spec.
+
+        Optional fields that are unset/empty are omitted, so fingerprints
+        built from this form survive the addition of future optional fields.
+        """
+        data: Dict = {
+            "schema": SPEC_SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "routing": self.routing,
+            "pattern": self.pattern,
+            "sim_time_ns": float(self.sim_time_ns),
+            "warmup_ns": float(self.warmup_ns),
+            "seed": int(self.seed),
+            "arrival": self.arrival,
+            "stats_bin_ns": float(self.stats_bin_ns),
+        }
+        if self.offered_load is not None:
+            data["offered_load"] = float(self.offered_load)
+        if self.schedule is not None:
+            data["schedule"] = self.schedule.to_dict()
+        if self.routing_kwargs:
+            data["routing_kwargs"] = encode_kwargs(self.routing_kwargs,
+                                                   "ExperimentSpec.routing_kwargs")
+        if self.pattern_kwargs:
+            data["pattern_kwargs"] = encode_kwargs(self.pattern_kwargs,
+                                                   "ExperimentSpec.pattern_kwargs")
+        if self.network_params is not None:
+            data["network_params"] = self.network_params.to_dict()
+        if self.label is not None:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentSpec":
+        """Strict inverse of :meth:`to_dict`.
+
+        Unknown keys, a missing/unsupported ``schema`` version, or invalid
+        field values all raise :class:`ValueError` with the offending field
+        named — a typo in a scenario file must never silently change the run.
+        """
+        check_keys(
+            data,
+            required=("schema", "config", "routing", "pattern"),
+            optional=("offered_load", "schedule", "sim_time_ns", "warmup_ns",
+                      "seed", "arrival", "stats_bin_ns", "routing_kwargs",
+                      "pattern_kwargs", "network_params", "label"),
+            context="ExperimentSpec",
+        )
+        check_schema(data, SPEC_SCHEMA_VERSION, "ExperimentSpec")
+        kwargs: Dict = {
+            "config": DragonflyConfig.from_dict(data["config"]),
+            "routing": data["routing"],
+            "pattern": data["pattern"],
+            "offered_load": data.get("offered_load"),
+        }
+        if "schedule" in data:
+            kwargs["schedule"] = LoadSchedule.from_dict(data["schedule"])
+        for name, convert in (("sim_time_ns", float), ("warmup_ns", float),
+                              ("seed", int), ("stats_bin_ns", float)):
+            if name in data:
+                kwargs[name] = convert(data[name])
+        if "arrival" in data:
+            kwargs["arrival"] = data["arrival"]
+        if "routing_kwargs" in data:
+            kwargs["routing_kwargs"] = decode_kwargs(data["routing_kwargs"],
+                                                     "ExperimentSpec.routing_kwargs")
+        if "pattern_kwargs" in data:
+            kwargs["pattern_kwargs"] = decode_kwargs(data["pattern_kwargs"],
+                                                     "ExperimentSpec.pattern_kwargs")
+        if "network_params" in data:
+            kwargs["network_params"] = NetworkParams.from_dict(data["network_params"])
+        if "label" in data:
+            kwargs["label"] = data["label"]
+        if kwargs["offered_load"] is None and "schedule" not in data:
+            raise ValueError(
+                "ExperimentSpec: a serialized spec needs offered_load or schedule"
+            )
+        return cls(**kwargs)
 
 
 @dataclass

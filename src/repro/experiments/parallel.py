@@ -32,8 +32,8 @@ is unchanged.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
+import json
 import multiprocessing
 import os
 import pickle
@@ -47,11 +47,11 @@ import numpy as np
 
 from repro.experiments.harness import ExperimentResult, ExperimentSpec, run_experiment
 from repro.stats.collectors import RunStats
-from repro.traffic import LoadSchedule
 
 #: bump when the simulator or the wire format changes in a way that makes
-#: previously cached results stale.
-CACHE_VERSION = 1
+#: previously cached results stale.  (2: fingerprints re-based on the
+#: serialized spec schema instead of dataclass introspection.)
+CACHE_VERSION = 2
 
 #: default location of the on-disk result cache, relative to the CWD.
 DEFAULT_CACHE_DIR = Path(".cache") / "experiments"
@@ -72,29 +72,28 @@ def derive_run_seed(base_seed: int, run_index: int) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
-def _canonical(value):
-    """Recursively reduce ``value`` to primitives with a stable repr."""
-    if isinstance(value, LoadSchedule):
-        return ("LoadSchedule", tuple((p.start_ns, p.load) for p in value.phases))
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = tuple(
-            (f.name, _canonical(getattr(value, f.name)))
-            for f in dataclasses.fields(value)
-        )
-        return (type(value).__name__, fields)
-    if isinstance(value, dict):
-        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_canonical(v) for v in value)
+def _json_default(value):
+    """Reduce the few non-JSON scalars a spec may carry (numpy numbers)."""
     if isinstance(value, (np.floating, np.integer)):
         return value.item()
-    return value
+    raise TypeError(f"spec contains an unserializable value: {value!r}")
 
 
 def spec_fingerprint(spec: ExperimentSpec) -> str:
-    """Stable content hash of a spec, usable as an on-disk cache key."""
-    payload = repr((CACHE_VERSION, _canonical(spec)))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    """Stable content hash of a spec, usable as an on-disk cache key.
+
+    The hash covers the *canonical serialized form* of the spec
+    (:meth:`ExperimentSpec.to_dict`, which embeds a schema-version field and
+    sorts keys here), not the Python dataclass layout — so cache keys are
+    insensitive to field reordering, name-spelling variants and future
+    dataclass refactors, and any two specs with equal serialized forms share
+    one cache entry regardless of how they were built (figure driver, study
+    file, or hand-written code).
+    """
+    payload = json.dumps(
+        spec.to_dict(), sort_keys=True, separators=(",", ":"), default=_json_default,
+    )
+    return hashlib.sha256(f"{CACHE_VERSION}:{payload}".encode("utf-8")).hexdigest()
 
 
 # --------------------------------------------------------------- wire format

@@ -130,11 +130,16 @@ _SCALES: Dict[str, ExperimentScale] = {
 }
 
 
+def available_scales() -> list:
+    """Names accepted by :func:`scale_by_name`."""
+    return sorted(_SCALES)
+
+
 def scale_by_name(name: str) -> ExperimentScale:
     """Look up a scale preset by name."""
     key = name.strip().lower()
     if key not in _SCALES:
-        raise ValueError(f"unknown scale {name!r}; known: {sorted(_SCALES)}")
+        raise ValueError(f"unknown scale {name!r}; known: {available_scales()}")
     return _SCALES[key]
 
 

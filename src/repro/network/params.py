@@ -7,7 +7,7 @@ VC buffers of 20 packets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
 from repro.topology.dragonfly import DragonflyTopology, PortType
@@ -98,6 +98,24 @@ class NetworkParams:
     def with_num_vcs(self, num_vcs: int) -> "NetworkParams":
         """Copy of these parameters with ``num_vcs`` resolved."""
         return replace(self, num_vcs=num_vcs)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """JSON-ready form: every field, including those at their defaults."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkParams":
+        """Strict inverse of :meth:`to_dict`.
+
+        Unknown keys are an error; omitted keys keep their Section 5.1
+        defaults (so hand-written scenario files only state what they change).
+        """
+        from repro.scenarios.serialize import check_keys
+
+        names = tuple(f.name for f in fields(cls))
+        check_keys(data, optional=names, context="NetworkParams")
+        return cls(**dict(data))
 
     # ---------------------------------------------------------------- presets
     @classmethod

@@ -14,83 +14,119 @@ PAR      UGALn plus one in-source-group re-evaluation
 ======== =============================================================
 
 The learned algorithms (Q-adaptive, Q-routing) live in :mod:`repro.core` and
-are registered here as well so that :func:`make_routing` can build any
-algorithm from its paper name.
+are registered here *lazily* — their entries carry an import callback instead
+of the class, so listing algorithms never triggers the
+``repro.core`` → ``repro.routing.base`` circular import and
+:func:`make_routing` can still build them by paper name.
+
+The registry itself (:data:`ROUTING_REGISTRY`) is a
+:class:`repro.scenarios.registry.Registry`; user code can plug in additional
+algorithms with :func:`register_algorithm` and they become visible to
+``available_algorithms()``, the CLI listings and scenario files.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, List, Optional, Sequence
 
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.minimal import MinimalRouting
 from repro.routing.par import ParRouting
 from repro.routing.ugal import UgalGRouting, UgalNRouting
 from repro.routing.valiant import ValiantGlobalRouting, ValiantNodeRouting
+from repro.scenarios.registry import Registry
 
 __all__ = [
     "MinimalRouting",
     "ParRouting",
+    "ROUTING_REGISTRY",
     "RoutingAlgorithm",
     "UgalGRouting",
     "UgalNRouting",
     "ValiantGlobalRouting",
     "ValiantNodeRouting",
     "available_algorithms",
+    "canonical_routing_name",
     "make_routing",
     "register_algorithm",
 ]
 
-_REGISTRY: Dict[str, Callable[..., RoutingAlgorithm]] = {}
+#: the single source of truth for routing algorithm names.
+ROUTING_REGISTRY = Registry("routing algorithm")
 
 
-def register_algorithm(name: str, factory: Callable[..., RoutingAlgorithm]) -> None:
-    """Register a routing algorithm factory under its paper name."""
-    _REGISTRY[name.lower()] = factory
+def register_algorithm(
+    name: str,
+    factory: Optional[Callable[..., RoutingAlgorithm]] = None,
+    *,
+    loader: Optional[Callable[[], Callable[..., RoutingAlgorithm]]] = None,
+    aliases: Sequence[str] = (),
+    metadata: Optional[dict] = None,
+    replace: bool = False,
+) -> None:
+    """Register a routing algorithm factory under its paper name.
+
+    Either ``factory`` (the class / callable itself) or ``loader`` (a zero-arg
+    callable returning it, resolved on first build) must be given.  Aliases
+    are matched insensitively to case, spaces, underscores and hyphens.
+    """
+    ROUTING_REGISTRY.register(
+        name, factory, loader=loader, aliases=aliases, metadata=metadata,
+        replace=replace,
+    )
 
 
 def available_algorithms() -> List[str]:
-    """Names accepted by :func:`make_routing` (canonical capitalisation)."""
-    return sorted({factory().name for factory in _REGISTRY.values()})
+    """Names accepted by :func:`make_routing` (canonical capitalisation).
+
+    Purely a registry listing: no factory is imported or instantiated, and
+    the learned algorithms (``Q-adp``, ``Q-routing``) are present from the
+    first call, before any :func:`make_routing` build.
+    """
+    return sorted(ROUTING_REGISTRY.names())
+
+
+def canonical_routing_name(name: str) -> str:
+    """Canonical display name for any accepted spelling (``"qadp"`` → ``"Q-adp"``)."""
+    return ROUTING_REGISTRY.canonical_name(name)
 
 
 def make_routing(name: str, **kwargs) -> RoutingAlgorithm:
     """Build a fresh routing algorithm instance from its paper name.
 
-    Accepted names (case-insensitive): ``MIN``, ``VALg``, ``VALn``, ``UGALg``,
-    ``UGALn``, ``PAR``, ``Q-adp`` (aliases ``Q-adaptive``, ``qadaptive``) and
-    ``Q-routing`` (alias ``qrouting``).
+    Accepted names (case/space/hyphen-insensitive): ``MIN``, ``VALg``,
+    ``VALn``, ``UGALg``, ``UGALn``, ``PAR``, ``Q-adp`` (aliases
+    ``Q-adaptive``, ``qadaptive``) and ``Q-routing`` (alias ``qrouting``).
     """
-    key = name.lower()
-    if key not in _REGISTRY:
-        _register_learned()
-    if key not in _REGISTRY:
-        raise ValueError(f"unknown routing algorithm {name!r}; known: {available_algorithms()}")
-    return _REGISTRY[key](**kwargs)
+    return ROUTING_REGISTRY.build(name, **kwargs)
 
 
-register_algorithm("min", MinimalRouting)
-register_algorithm("minimal", MinimalRouting)
-register_algorithm("valg", ValiantGlobalRouting)
-register_algorithm("valn", ValiantNodeRouting)
-register_algorithm("ugalg", UgalGRouting)
-register_algorithm("ugaln", UgalNRouting)
-register_algorithm("par", ParRouting)
-
-
-def _register_learned() -> None:
-    """Register the RL algorithms.
-
-    Deferred to the first :func:`make_routing` call that needs them:
-    ``repro.core`` imports :mod:`repro.routing.base`, so registering at import
-    time would create a circular import.
-    """
+def _load_qadaptive() -> Callable[..., RoutingAlgorithm]:
     from repro.core.qadaptive import QAdaptiveRouting
+
+    return QAdaptiveRouting
+
+
+def _load_qrouting() -> Callable[..., RoutingAlgorithm]:
     from repro.core.qrouting import QRoutingAlgorithm
 
-    register_algorithm("q-adp", QAdaptiveRouting)
-    register_algorithm("qadp", QAdaptiveRouting)
-    register_algorithm("q-adaptive", QAdaptiveRouting)
-    register_algorithm("qadaptive", QAdaptiveRouting)
-    register_algorithm("q-routing", QRoutingAlgorithm)
-    register_algorithm("qrouting", QRoutingAlgorithm)
+    return QRoutingAlgorithm
+
+
+register_algorithm("MIN", MinimalRouting, aliases=("minimal",),
+                   metadata={"summary": "minimal (shortest-path) routing"})
+register_algorithm("VALg", ValiantGlobalRouting,
+                   metadata={"summary": "Valiant via a random intermediate group"})
+register_algorithm("VALn", ValiantNodeRouting,
+                   metadata={"summary": "Valiant via a random intermediate router"})
+register_algorithm("UGALg", UgalGRouting,
+                   metadata={"summary": "adaptive MIN vs VALg at the source router"})
+register_algorithm("UGALn", UgalNRouting,
+                   metadata={"summary": "adaptive MIN vs VALn at the source router"})
+register_algorithm("PAR", ParRouting,
+                   metadata={"summary": "UGALn plus one in-source-group re-evaluation"})
+register_algorithm("Q-adp", loader=_load_qadaptive,
+                   aliases=("Q-adaptive", "qadaptive"),
+                   metadata={"summary": "Q-adaptive multi-agent RL routing (the paper)"})
+register_algorithm("Q-routing", loader=_load_qrouting, aliases=("qrouting",),
+                   metadata={"summary": "naive Q-routing with a maxQ hop threshold"})

@@ -1,0 +1,406 @@
+"""Named studies: every paper figure and ablation as a declarative scenario.
+
+Each builder maps an :class:`~repro.experiments.presets.ExperimentScale` to a
+:class:`~repro.scenarios.study.Study` whose expansion produces *exactly* the
+specs the corresponding ``repro.experiments.figures`` driver runs — the
+figure drivers are thin reducers over these studies, so ``repro-sim figure
+fig5`` and ``repro-sim study run fig5`` (or a serialized ``fig5.json``)
+share cache fingerprints and results bit-for-bit.
+
+Builders are registered in :data:`STUDIES` (a
+:class:`~repro.scenarios.registry.Registry`), so ``repro-sim study list``
+and :func:`study_by_name` see user-registered studies too.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.presets import (
+    PAPER_ALGORITHMS,
+    ExperimentScale,
+    REDUCED_SCALE,
+    default_scale,
+)
+from repro.scenarios.registry import Registry
+from repro.scenarios.study import Scenario, Study
+from repro.traffic import LoadSchedule, canonical_pattern_name
+
+__all__ = [
+    "STUDIES",
+    "ablation_hyperparams_study",
+    "ablation_maxq_study",
+    "available_studies",
+    "fig5_study",
+    "fig6_study",
+    "fig7_study",
+    "fig8_study",
+    "fig9_study",
+    "headline_study",
+    "load_study",
+    "register_study",
+    "study_by_name",
+]
+
+#: registry of named study builders (each callable: ``builder(scale) -> Study``).
+STUDIES = Registry("study")
+
+
+def register_study(name, builder=None, *, aliases=(), metadata=None, replace=False):
+    """Register a study builder (``builder(scale: ExperimentScale) -> Study``)."""
+    STUDIES.register(name, builder, aliases=aliases, metadata=metadata,
+                     replace=replace)
+
+
+def available_studies() -> Dict[str, str]:
+    """``{name: summary}`` of every registered study, in registration order."""
+    return {row["name"]: row.get("summary", "") for row in STUDIES.describe()}
+
+
+def study_by_name(name: str, scale: Optional[ExperimentScale] = None, **options) -> Study:
+    """Build a registered study at a scale (default: the env-selected scale)."""
+    builder = STUDIES.factory(name)
+    return builder(scale, **options)
+
+
+def load_study(target: str, scale: Optional[ExperimentScale] = None) -> Study:
+    """Resolve a study from a scenario file path or a registered name.
+
+    Anything that exists on disk (or looks like a ``.json``/``.yaml`` path)
+    is loaded as a scenario file; everything else is treated as a name in
+    :data:`STUDIES`.
+    """
+    lowered = target.lower()
+    if os.path.exists(target) or lowered.endswith((".json", ".yaml", ".yml")):
+        return Study.load(target)
+    return study_by_name(target, scale)
+
+
+# ------------------------------------------------------------------ helpers
+def _reference_load(scale: ExperimentScale, pattern: str) -> float:
+    """Reference load with UR's only for UR itself (figures 6 and the maxQ
+    ablation treat every non-UR pattern as adversarial-like)."""
+    if canonical_pattern_name(pattern).upper() == "UR":
+        return scale.ur_reference_load
+    return scale.adv_reference_load
+
+
+def _scaleup_reference_load(scale: ExperimentScale, pattern: str) -> float:
+    """Reference load with ADV's only for the ADV+i family (figure 9 runs the
+    HPC workloads — stencil, many-to-many, neighbours — at UR's load)."""
+    if canonical_pattern_name(pattern).upper().startswith("ADV"):
+        return scale.adv_reference_load
+    return scale.ur_reference_load
+
+
+def _qadp_kwargs(scale: ExperimentScale, scaleup: bool = False) -> Dict[str, Dict]:
+    params = scale.qadaptive_scaleup_params if scaleup else scale.qadaptive_params
+    return {"Q-adp": {"params": params}}
+
+
+# ------------------------------------------------------------------- figures
+def fig5_study(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    loads_by_pattern: Optional[Dict[str, Sequence[float]]] = None,
+) -> Study:
+    """Figure 5: offered-load sweep of every algorithm under UR / ADV+i."""
+    scale = scale or default_scale()
+    algorithms = tuple(algorithms or PAPER_ALGORITHMS)
+    patterns = tuple(patterns or ("UR", "ADV+1", "ADV+4"))
+    loads_of = {
+        pattern: tuple(
+            (loads_by_pattern or {}).get(
+                pattern, scale.ur_loads if pattern.upper() == "UR" else scale.adv_loads
+            )
+        )
+        for pattern in patterns
+    }
+    return Study(
+        name="fig5",
+        description="Figure 5: latency / throughput / hops vs offered load",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        scenarios=[
+            Scenario(
+                name="sweep",
+                routing=algorithms,
+                pattern=patterns,
+                loads_by_pattern=loads_of,
+                routing_kwargs=_qadp_kwargs(scale),
+            )
+        ],
+    )
+
+
+def fig6_study(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    loads: Optional[Dict[str, float]] = None,
+) -> Study:
+    """Figure 6: latency distribution at one fixed load per pattern."""
+    scale = scale or default_scale()
+    algorithms = tuple(algorithms or PAPER_ALGORITHMS)
+    patterns = tuple(patterns or ("UR", "ADV+1", "ADV+4"))
+    load_of = {
+        pattern: (loads[pattern] if loads and pattern in loads
+                  else _reference_load(scale, pattern))
+        for pattern in patterns
+    }
+    return Study(
+        name="fig6",
+        description="Figure 6: packet latency distribution (mean/p95/p99)",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        scenarios=[
+            Scenario(
+                name="tail",
+                routing=algorithms,
+                pattern=patterns,
+                loads_by_pattern={p: (load_of[p],) for p in patterns},
+                routing_kwargs=_qadp_kwargs(scale),
+            )
+        ],
+    )
+
+
+def fig7_study(
+    scale: Optional[ExperimentScale] = None,
+    cases: Optional[Sequence[Tuple[str, float]]] = None,
+    bin_ns: float = 5_000.0,
+) -> Study:
+    """Figure 7: Q-adaptive convergence from an empty network."""
+    scale = scale or default_scale()
+    if cases is None:
+        cases = (
+            ("UR", round(scale.ur_reference_load / 2, 3)),
+            ("UR", scale.ur_reference_load),
+            ("ADV+1", round(scale.adv_reference_load / 2, 3)),
+            ("ADV+4", round(scale.adv_reference_load / 2, 3)),
+            ("ADV+1", scale.adv_reference_load),
+            ("ADV+4", scale.adv_reference_load),
+        )
+    return Study(
+        name="fig7",
+        description="Figure 7: Q-adaptive latency over time from an empty network",
+        config=scale.config,
+        sim_time_ns=scale.convergence_ns,
+        warmup_ns=0.0,
+        stats_bin_ns=bin_ns,
+        seed=scale.seed,
+        scenarios=[
+            Scenario(
+                name=f"{pattern} load {load}",
+                routing=("Q-adp",),
+                pattern=(pattern,),
+                loads=(load,),
+                routing_kwargs=_qadp_kwargs(scale),
+            )
+            for pattern, load in cases
+        ],
+    )
+
+
+def fig8_study(
+    scale: Optional[ExperimentScale] = None,
+    cases: Optional[Sequence[Tuple[str, float, float]]] = None,
+    bin_ns: float = 5_000.0,
+) -> Study:
+    """Figure 8: throughput while the offered load steps up or down."""
+    scale = scale or default_scale()
+    if cases is None:
+        ur_hi, ur_lo = scale.ur_reference_load, round(scale.ur_reference_load / 2, 3)
+        adv_hi, adv_lo = scale.adv_reference_load, round(scale.adv_reference_load / 2, 3)
+        cases = (
+            ("UR", ur_lo, ur_hi),
+            ("UR", ur_hi, ur_lo),
+            ("ADV+4", adv_lo, adv_hi),
+            ("ADV+4", adv_hi, adv_lo),
+        )
+    step_time = scale.convergence_ns
+    return Study(
+        name="fig8",
+        description="Figure 8: system throughput under a stepped offered load",
+        config=scale.config,
+        sim_time_ns=2 * scale.convergence_ns,
+        warmup_ns=0.0,
+        stats_bin_ns=bin_ns,
+        seed=scale.seed,
+        scenarios=[
+            Scenario(
+                name=f"{pattern} {initial}->{new}",
+                routing=("Q-adp",),
+                pattern=(pattern,),
+                schedule=LoadSchedule.step(initial, step_time, new),
+                routing_kwargs=_qadp_kwargs(scale),
+            )
+            for pattern, initial, new in cases
+        ],
+    )
+
+
+def fig9_study(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    load: Optional[float] = None,
+) -> Study:
+    """Figure 9: latency distributions on the scale-up system, five patterns."""
+    scale = scale or default_scale()
+    algorithms = tuple(algorithms or PAPER_ALGORITHMS)
+    patterns = tuple(
+        patterns or ("UR", "ADV+1", "3D Stencil", "Many to Many", "Random Neighbors")
+    )
+    load_of = {
+        pattern: (load if load is not None else _scaleup_reference_load(scale, pattern))
+        for pattern in patterns
+    }
+    return Study(
+        name="fig9",
+        description="Figure 9: scale-up case study, five traffic patterns",
+        config=scale.scaleup_config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        scenarios=[
+            Scenario(
+                name="scaleup",
+                routing=algorithms,
+                pattern=patterns,
+                loads_by_pattern={p: (load_of[p],) for p in patterns},
+                routing_kwargs=_qadp_kwargs(scale, scaleup=True),
+            )
+        ],
+    )
+
+
+# ----------------------------------------------------------------- ablations
+def ablation_maxq_study(
+    scale: Optional[ExperimentScale] = None,
+    maxq_values: Sequence[int] = (1, 3, 5, 7),
+    patterns: Optional[Sequence[str]] = None,
+    load: Optional[float] = None,
+) -> Study:
+    """Section 2.3.2: naive Q-routing with a maxQ hop threshold."""
+    scale = scale or default_scale()
+    patterns = tuple(patterns or ("UR", "ADV+1", "ADV+4"))
+    load_of = {
+        pattern: (load if load is not None else _reference_load(scale, pattern))
+        for pattern in patterns
+    }
+    return Study(
+        name="ablation-maxq",
+        description="Section 2.3.2: no single maxQ suits both UR and ADV+i",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        scenarios=[
+            Scenario(
+                name=f"maxQ={maxq}",
+                routing=("Q-routing",),
+                pattern=patterns,
+                loads_by_pattern={p: (load_of[p],) for p in patterns},
+                routing_kwargs={"Q-routing": {"max_q": int(maxq)}},
+            )
+            for maxq in maxq_values
+        ],
+    )
+
+
+def ablation_hyperparams_study(
+    scale: Optional[ExperimentScale] = None,
+    pattern: str = "ADV+1",
+    load: Optional[float] = None,
+    q_thld1_values: Sequence[float] = (0.0, 0.2, 0.5),
+    feedback_modes: Sequence[str] = ("onpolicy", "greedy"),
+) -> Study:
+    """Section 4 design knobs: minimal-path bias threshold and feedback rule."""
+    scale = scale or default_scale()
+    if load is None:
+        load = _scaleup_reference_load(scale, pattern)
+    base = scale.qadaptive_params
+    return Study(
+        name="ablation-hyperparams",
+        description="Section 4: q_thld1 threshold x feedback rule ablation",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        scenarios=[
+            Scenario(
+                name=f"{feedback} q_thld1={thld1}",
+                routing=("Q-adp",),
+                pattern=(pattern,),
+                loads=(load,),
+                routing_kwargs={
+                    "Q-adp": {
+                        "params": type(base)(
+                            alpha=base.alpha,
+                            beta=base.beta,
+                            epsilon=base.epsilon,
+                            q_thld1=thld1,
+                            q_thld2=base.q_thld2,
+                            feedback=feedback,
+                        )
+                    }
+                },
+            )
+            for feedback in feedback_modes
+            for thld1 in q_thld1_values
+        ],
+    )
+
+
+# ------------------------------------------------------------------ headline
+def headline_study(
+    scale: Optional[ExperimentScale] = None,
+    cases: Sequence[Tuple[str, float]] = (("UR", 0.5), ("UR", 0.7), ("ADV+1", 0.35)),
+    algorithms: Optional[Sequence[str]] = None,
+) -> Study:
+    """The reduced-scale headline table recorded in EXPERIMENTS.md."""
+    scale = scale or REDUCED_SCALE
+    algorithms = tuple(algorithms or PAPER_ALGORITHMS)
+    return Study(
+        name="headline",
+        description="EXPERIMENTS.md headline comparison (reduced scale)",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        scenarios=[
+            Scenario(
+                name=f"{pattern}@{load}",
+                routing=algorithms,
+                pattern=(pattern,),
+                loads=(load,),
+                routing_kwargs=_qadp_kwargs(scale),
+            )
+            for pattern, load in cases
+        ],
+    )
+
+
+register_study("fig5", fig5_study, aliases=("figure5",),
+               metadata={"summary": "Figure 5: latency/throughput/hops vs load"})
+register_study("fig6", fig6_study, aliases=("figure6",),
+               metadata={"summary": "Figure 6: latency distribution per pattern"})
+register_study("fig7", fig7_study, aliases=("figure7",),
+               metadata={"summary": "Figure 7: Q-adaptive convergence curves"})
+register_study("fig8", fig8_study, aliases=("figure8",),
+               metadata={"summary": "Figure 8: throughput under dynamic load"})
+register_study("fig9", fig9_study, aliases=("figure9",),
+               metadata={"summary": "Figure 9: scale-up case study"})
+register_study("ablation-maxq", ablation_maxq_study,
+               metadata={"summary": "Section 2.3.2: Q-routing maxQ ablation"})
+register_study("ablation-hyperparams", ablation_hyperparams_study,
+               metadata={"summary": "Section 4: q_thld1/feedback ablation"})
+register_study("headline", headline_study,
+               metadata={"summary": "EXPERIMENTS.md headline table (reduced scale)"})

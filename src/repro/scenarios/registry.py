@@ -1,0 +1,240 @@
+"""Unified plugin registry used by the routing and traffic factories.
+
+Both ``repro.routing`` and ``repro.traffic`` historically grew their own
+string-to-factory mapping (a lowercase dict and a regex/if-chain); this module
+replaces them with one :class:`Registry` that supports:
+
+* **canonical names** — each entry has one display name (``"Q-adp"``,
+  ``"3D Stencil"``) and any number of aliases; lookup is insensitive to case,
+  whitespace, underscores and hyphens.
+* **lazy factories** — an entry may be registered with a ``loader`` callable
+  instead of the factory itself, so listing names never imports (or
+  instantiates) anything.  This is how the learned algorithms avoid the
+  ``repro.routing`` ↔ ``repro.core`` circular import.
+* **parameterised names** — an entry may carry a ``match`` hook that parses
+  dynamic names such as ``"ADV+4"`` into the canonical display form plus the
+  implied constructor kwargs (``{"shift": 4}``).
+* **kwarg introspection** — :meth:`Registry.signature` reports the keyword
+  arguments a factory accepts (loading it on demand, never instantiating).
+* **user plugins** — :meth:`Registry.register` is public; downstream code can
+  add algorithms/patterns and they show up in every listing, the CLI included.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["MatchResult", "Registry", "RegistryEntry", "normalize_key"]
+
+_KEY_RE = re.compile(r"[\s_\-]+")
+
+#: what a ``match`` hook returns for a recognised dynamic name: the canonical
+#: display form of that name and the constructor kwargs it implies.
+MatchResult = Tuple[str, Dict[str, Any]]
+
+
+def normalize_key(name: str) -> str:
+    """Normalise a lookup name: lowercase, strip spaces/underscores/hyphens."""
+    return _KEY_RE.sub("", name.strip().lower())
+
+
+@dataclass
+class RegistryEntry:
+    """One registered factory plus its lookup and documentation metadata."""
+
+    canonical: str
+    factory: Optional[Callable[..., Any]] = None
+    loader: Optional[Callable[[], Callable[..., Any]]] = None
+    aliases: Tuple[str, ...] = ()
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    match: Optional[Callable[[str], Optional[MatchResult]]] = None
+
+    def __post_init__(self) -> None:
+        if (self.factory is None) == (self.loader is None):
+            raise ValueError(
+                f"entry {self.canonical!r} needs exactly one of factory or loader"
+            )
+
+    @property
+    def loaded(self) -> bool:
+        return self.factory is not None
+
+    def load(self) -> Callable[..., Any]:
+        """Return the factory, resolving a lazy loader on first use."""
+        if self.factory is None:
+            self.factory = self.loader()  # type: ignore[misc]
+        return self.factory
+
+    def keys(self) -> Tuple[str, ...]:
+        """Every normalised key this entry answers to (canonical + aliases)."""
+        return tuple(dict.fromkeys(
+            normalize_key(name) for name in (self.canonical, *self.aliases)
+        ))
+
+
+class Registry:
+    """Name → factory mapping with aliases, lazy loading and introspection.
+
+    ``kind`` is a human-readable noun ("routing algorithm", "traffic
+    pattern", "study") used in error messages.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry] = {}  # canonical key → entry
+        self._alias_of: Dict[str, str] = {}  # normalised alias → canonical key
+
+    # -------------------------------------------------------------- mutation
+    def register(
+        self,
+        canonical: str,
+        factory: Optional[Callable[..., Any]] = None,
+        *,
+        loader: Optional[Callable[[], Callable[..., Any]]] = None,
+        aliases: Sequence[str] = (),
+        metadata: Optional[Dict[str, Any]] = None,
+        match: Optional[Callable[[str], Optional[MatchResult]]] = None,
+        replace: bool = False,
+    ) -> RegistryEntry:
+        """Register a factory (or a lazy ``loader`` for one) under a name.
+
+        Raises :class:`ValueError` when any of the names is already taken,
+        unless ``replace=True`` (which first unregisters the clashing entry).
+        """
+        entry = RegistryEntry(
+            canonical=canonical,
+            factory=factory,
+            loader=loader,
+            aliases=tuple(aliases),
+            metadata=dict(metadata or {}),
+            match=match,
+        )
+        taken = [key for key in entry.keys() if key in self._alias_of]
+        if taken:
+            if not replace:
+                owners = sorted({self._entries[self._alias_of[k]].canonical for k in taken})
+                raise ValueError(
+                    f"{self.kind} name(s) {taken} already registered by {owners}; "
+                    "pass replace=True to override"
+                )
+            for key in taken:
+                self.unregister(self._entries[self._alias_of[key]].canonical)
+        key = normalize_key(canonical)
+        self._entries[key] = entry
+        for alias_key in entry.keys():
+            self._alias_of[alias_key] = key
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (looked up by canonical name or alias)."""
+        key = self._alias_of.get(normalize_key(name))
+        if key is None:
+            raise ValueError(self._unknown_message(name))
+        entry = self._entries.pop(key)
+        for alias_key in entry.keys():
+            if self._alias_of.get(alias_key) == key:
+                del self._alias_of[alias_key]
+
+    # --------------------------------------------------------------- lookup
+    def resolve(self, name: str) -> Tuple[RegistryEntry, str, Dict[str, Any]]:
+        """Resolve a name to ``(entry, canonical_display, implied_kwargs)``.
+
+        Exact (alias) matches win; otherwise each entry's ``match`` hook gets
+        a chance to parse a dynamic name like ``"ADV+4"``.
+        """
+        key = normalize_key(name)
+        canonical_key = self._alias_of.get(key)
+        if canonical_key is not None:
+            entry = self._entries[canonical_key]
+            return entry, entry.canonical, {}
+        for entry in self._entries.values():
+            if entry.match is not None:
+                result = entry.match(key)
+                if result is not None:
+                    display, implied = result
+                    return entry, display, dict(implied)
+        raise ValueError(self._unknown_message(name))
+
+    def canonical_name(self, name: str) -> str:
+        """Canonical display form of ``name`` (e.g. ``"q-adp"`` → ``"Q-adp"``)."""
+        return self.resolve(name)[1]
+
+    def get(self, name: str) -> RegistryEntry:
+        return self.resolve(name)[0]
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+        except ValueError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RegistryEntry]:
+        return iter(self._entries.values())
+
+    # -------------------------------------------------------------- listing
+    def names(self) -> List[str]:
+        """Canonical names in registration order.
+
+        Every listed name resolves through :meth:`resolve` / :meth:`build`
+        verbatim, and producing the list neither loads lazy factories nor
+        instantiates anything.
+        """
+        return [entry.canonical for entry in self._entries.values()]
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """One metadata row per entry (for ``repro-sim list ...``)."""
+        rows = []
+        for entry in self._entries.values():
+            row: Dict[str, Any] = {"name": entry.canonical}
+            if entry.aliases:
+                row["aliases"] = list(entry.aliases)
+            row.update(entry.metadata)
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------- building
+    def factory(self, name: str) -> Callable[..., Any]:
+        """The factory behind a name, loading it lazily if needed."""
+        return self.resolve(name)[0].load()
+
+    def build(self, name: str, **kwargs) -> Any:
+        """Instantiate the factory behind ``name``.
+
+        Kwargs implied by a parameterised name (``"ADV+4"`` → ``shift=4``)
+        conflict with explicit ones: passing both is an error rather than a
+        silent override.
+        """
+        entry, display, implied = self.resolve(name)
+        overlap = sorted(set(implied) & set(kwargs))
+        if overlap:
+            raise ValueError(
+                f"{self.kind} {display!r} already fixes {overlap}; "
+                "drop the explicit keyword(s) or use the base name"
+            )
+        return entry.load()(**implied, **kwargs)
+
+    def signature(self, name: str) -> Dict[str, Any]:
+        """Keyword arguments the factory accepts: ``{kwarg: default}``.
+
+        Required arguments map to :data:`inspect.Parameter.empty`.  Loads the
+        factory if it was registered lazily, but never instantiates it.
+        """
+        factory = self.factory(name)
+        params: Dict[str, Any] = {}
+        for parameter in inspect.signature(factory).parameters.values():
+            if parameter.kind in (inspect.Parameter.VAR_POSITIONAL,
+                                  inspect.Parameter.VAR_KEYWORD):
+                continue
+            params[parameter.name] = parameter.default
+        return params
+
+    # ------------------------------------------------------------- internals
+    def _unknown_message(self, name: str) -> str:
+        return f"unknown {self.kind} {name!r}; known: {self.names()}"

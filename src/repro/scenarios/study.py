@@ -1,0 +1,457 @@
+"""Declarative scenario grids: :class:`Scenario` and :class:`Study`.
+
+A :class:`Scenario` is one named grid — routing × pattern × load × seed
+replicates, plus per-scenario overrides (a different topology, a load
+schedule, routing hyper-parameters, a finer stats bin).  A :class:`Study`
+composes scenarios with shared defaults, expands them deterministically into
+:class:`~repro.experiments.harness.ExperimentSpec` instances, and runs them
+through a :class:`~repro.experiments.parallel.SweepRunner` — so a study gets
+worker-pool fan-out and on-disk memoization for free, and its cache entries
+are shared with every other path that builds the same specs (the figure
+drivers, the CLI, hand-written code).
+
+Studies serialize to JSON/YAML documents (``to_dict``/``from_dict``,
+``save``/``load``): the whole paper evaluation can be expressed, versioned
+and shipped as scenario files and replayed with
+``repro-sim study run <file>``.
+
+Expansion order is part of the contract: scenarios in declaration order, then
+pattern → routing → load → replicate within each scenario.  Replicate 0 keeps
+the scenario's base seed (so one-replicate studies reproduce single runs
+bit-for-bit); higher replicates derive their seed with
+:func:`~repro.experiments.parallel.derive_run_seed`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.network.params import NetworkParams
+from repro.routing import canonical_routing_name
+from repro.scenarios.serialize import (
+    STUDY_SCHEMA_VERSION,
+    check_keys,
+    check_schema,
+    decode_kwargs,
+    encode_kwargs,
+)
+from repro.topology.config import DragonflyConfig
+from repro.traffic import LoadSchedule, canonical_pattern_name
+
+if TYPE_CHECKING:  # imported lazily at runtime: the harness sits above this
+    # module in the import graph (it pulls in repro.experiments.figures,
+    # which reduces over the catalog, which is built from these classes).
+    from repro.experiments.harness import ExperimentResult, ExperimentSpec
+
+__all__ = ["Scenario", "Study", "StudyPoint", "StudyResult"]
+
+
+def _names_tuple(value: Union[str, Sequence[str]], canonical) -> Tuple[str, ...]:
+    """Accept one name or a sequence; canonicalise each against a registry."""
+    if isinstance(value, str):
+        value = (value,)
+    return tuple(canonical(name) for name in value)
+
+
+@dataclass
+class Scenario:
+    """One named grid of experiments inside a :class:`Study`.
+
+    ``None`` fields fall back to the owning study's defaults at expansion
+    time.  ``loads_by_pattern`` overrides ``loads`` for specific patterns
+    (e.g. UR sweeps further than ADV+i before saturating); a ``schedule``
+    replaces the load axis entirely (Figure 8 style dynamic-load runs).
+    """
+
+    name: str
+    routing: Union[str, Sequence[str]] = ("MIN",)
+    pattern: Union[str, Sequence[str]] = ("UR",)
+    loads: Sequence[float] = ()
+    loads_by_pattern: Dict[str, Sequence[float]] = field(default_factory=dict)
+    schedule: Optional[LoadSchedule] = None
+    replicates: int = 1
+    config: Optional[DragonflyConfig] = None
+    sim_time_ns: Optional[float] = None
+    warmup_ns: Optional[float] = None
+    stats_bin_ns: Optional[float] = None
+    seed: Optional[int] = None
+    arrival: Optional[str] = None
+    network_params: Optional[NetworkParams] = None
+    routing_kwargs: Dict[str, Dict] = field(default_factory=dict)
+    pattern_kwargs: Dict[str, Dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"a scenario needs a non-empty string name, got {self.name!r}")
+        self.routing = _names_tuple(self.routing, canonical_routing_name)
+        self.pattern = _names_tuple(self.pattern, canonical_pattern_name)
+        self.loads = tuple(float(load) for load in self.loads)
+        self.loads_by_pattern = {
+            canonical_pattern_name(pattern): tuple(float(l) for l in loads)
+            for pattern, loads in self.loads_by_pattern.items()
+        }
+        self.routing_kwargs = {
+            canonical_routing_name(routing): dict(kwargs)
+            for routing, kwargs in self.routing_kwargs.items()
+        }
+        self.pattern_kwargs = {
+            canonical_pattern_name(pattern): dict(kwargs)
+            for pattern, kwargs in self.pattern_kwargs.items()
+        }
+        if self.replicates < 1:
+            raise ValueError(f"replicates must be >= 1, got {self.replicates}")
+        if self.schedule is not None and (self.loads or self.loads_by_pattern):
+            raise ValueError(
+                f"scenario {self.name!r}: specify loads or a schedule, not both"
+            )
+        if self.schedule is None and not self.loads and not self.loads_by_pattern:
+            raise ValueError(
+                f"scenario {self.name!r} needs a loads axis or a schedule"
+            )
+
+    def loads_for(self, pattern: str) -> Tuple[float, ...]:
+        """The load axis effective for one (canonical) pattern name."""
+        return tuple(self.loads_by_pattern.get(pattern, self.loads))
+
+    def with_overrides(self, **kwargs) -> "Scenario":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "name": self.name,
+            "routing": list(self.routing),
+            "pattern": list(self.pattern),
+        }
+        if self.loads:
+            data["loads"] = list(self.loads)
+        if self.loads_by_pattern:
+            data["loads_by_pattern"] = {
+                pattern: list(loads) for pattern, loads in self.loads_by_pattern.items()
+            }
+        if self.schedule is not None:
+            data["schedule"] = self.schedule.to_dict()
+        if self.replicates != 1:
+            data["replicates"] = self.replicates
+        if self.config is not None:
+            data["config"] = self.config.to_dict()
+        for name in ("sim_time_ns", "warmup_ns", "stats_bin_ns", "seed", "arrival"):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        if self.network_params is not None:
+            data["network_params"] = self.network_params.to_dict()
+        if self.routing_kwargs:
+            data["routing_kwargs"] = {
+                routing: encode_kwargs(kwargs, f"Scenario[{self.name!r}].routing_kwargs")
+                for routing, kwargs in self.routing_kwargs.items()
+            }
+        if self.pattern_kwargs:
+            data["pattern_kwargs"] = {
+                pattern: encode_kwargs(kwargs, f"Scenario[{self.name!r}].pattern_kwargs")
+                for pattern, kwargs in self.pattern_kwargs.items()
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Scenario":
+        context = f"Scenario[{data.get('name', '?')!r}]"
+        check_keys(
+            data,
+            required=("name",),
+            optional=("routing", "pattern", "loads", "loads_by_pattern", "schedule",
+                      "replicates", "config", "sim_time_ns", "warmup_ns",
+                      "stats_bin_ns", "seed", "arrival", "network_params",
+                      "routing_kwargs", "pattern_kwargs"),
+            context=context,
+        )
+        kwargs: Dict = {"name": data["name"]}
+        for name in ("routing", "pattern", "loads", "replicates", "sim_time_ns",
+                     "warmup_ns", "stats_bin_ns", "seed", "arrival"):
+            if name in data:
+                kwargs[name] = data[name]
+        if "loads_by_pattern" in data:
+            kwargs["loads_by_pattern"] = dict(data["loads_by_pattern"])
+        if "schedule" in data:
+            kwargs["schedule"] = LoadSchedule.from_dict(data["schedule"])
+        if "config" in data:
+            kwargs["config"] = DragonflyConfig.from_dict(data["config"])
+        if "network_params" in data:
+            kwargs["network_params"] = NetworkParams.from_dict(data["network_params"])
+        if "routing_kwargs" in data:
+            kwargs["routing_kwargs"] = {
+                routing: decode_kwargs(kw, f"{context}.routing_kwargs")
+                for routing, kw in data["routing_kwargs"].items()
+            }
+        if "pattern_kwargs" in data:
+            kwargs["pattern_kwargs"] = {
+                pattern: decode_kwargs(kw, f"{context}.pattern_kwargs")
+                for pattern, kw in data["pattern_kwargs"].items()
+            }
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class StudyPoint:
+    """One expanded experiment: which scenario/replicate produced which spec."""
+
+    scenario: str
+    replicate: int
+    spec: "ExperimentSpec"
+
+
+@dataclass
+class Study:
+    """A named composition of scenarios with shared defaults."""
+
+    name: str
+    config: DragonflyConfig
+    scenarios: Sequence[Scenario] = ()
+    sim_time_ns: float = 50_000.0
+    warmup_ns: float = 25_000.0
+    stats_bin_ns: float = 2_000.0
+    seed: int = 1
+    arrival: str = "exponential"
+    network_params: Optional[NetworkParams] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"a study needs a non-empty string name, got {self.name!r}")
+        self.scenarios = tuple(self.scenarios)
+        if not self.scenarios:
+            raise ValueError(f"study {self.name!r} has no scenarios")
+        seen = set()
+        for scenario in self.scenarios:
+            if scenario.name in seen:
+                raise ValueError(
+                    f"study {self.name!r} has duplicate scenario name {scenario.name!r}"
+                )
+            seen.add(scenario.name)
+
+    # -------------------------------------------------------------- expansion
+    def expand(self) -> List[StudyPoint]:
+        """Deterministically expand every scenario grid into study points."""
+        from repro.experiments.harness import ExperimentSpec
+        from repro.experiments.parallel import derive_run_seed
+
+        points: List[StudyPoint] = []
+        for scenario in self.scenarios:
+            config = scenario.config or self.config
+            sim_time = self._effective(scenario, "sim_time_ns")
+            warmup = self._effective(scenario, "warmup_ns")
+            stats_bin = self._effective(scenario, "stats_bin_ns")
+            base_seed = self._effective(scenario, "seed")
+            arrival = self._effective(scenario, "arrival")
+            network_params = scenario.network_params or self.network_params
+            for pattern in scenario.pattern:
+                if scenario.schedule is not None:
+                    loads: Tuple[Optional[float], ...] = (None,)
+                else:
+                    loads = scenario.loads_for(pattern)
+                    if not loads:
+                        raise ValueError(
+                            f"study {self.name!r}, scenario {scenario.name!r}: "
+                            f"no loads for pattern {pattern!r} (add it to "
+                            "loads_by_pattern or set a default loads axis)"
+                        )
+                for routing in scenario.routing:
+                    routing_kwargs = scenario.routing_kwargs.get(routing, {})
+                    pattern_kwargs = scenario.pattern_kwargs.get(pattern, {})
+                    for load in loads:
+                        for index in range(scenario.replicates):
+                            spec = ExperimentSpec(
+                                config=config,
+                                routing=routing,
+                                pattern=pattern,
+                                offered_load=load,
+                                schedule=scenario.schedule,
+                                sim_time_ns=sim_time,
+                                warmup_ns=warmup,
+                                seed=derive_run_seed(base_seed, index),
+                                routing_kwargs=dict(routing_kwargs),
+                                pattern_kwargs=dict(pattern_kwargs),
+                                network_params=network_params,
+                                arrival=arrival,
+                                stats_bin_ns=stats_bin,
+                            )
+                            points.append(StudyPoint(scenario.name, index, spec))
+        return points
+
+    def specs(self) -> List[ExperimentSpec]:
+        return [point.spec for point in self.expand()]
+
+    def _effective(self, scenario: Scenario, name: str):
+        value = getattr(scenario, name)
+        return getattr(self, name) if value is None else value
+
+    # -------------------------------------------------------------- execution
+    def run(self, runner=None) -> "StudyResult":
+        """Execute every expanded spec through a sweep runner.
+
+        ``runner=None`` honours the ``REPRO_WORKERS`` / ``REPRO_CACHE``
+        environment variables (serial, uncached when unset), exactly like the
+        figure drivers.
+        """
+        from repro.experiments.parallel import resolve_runner
+
+        runner = resolve_runner(runner)
+        points = self.expand()
+        results = runner.run([point.spec for point in points])
+        return StudyResult(study=self, points=points, results=results)
+
+    def with_overrides(self, **kwargs) -> "Study":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict:
+        """Versioned, JSON-ready document describing the whole study."""
+        data: Dict = {
+            "schema": STUDY_SCHEMA_VERSION,
+            "name": self.name,
+            "config": self.config.to_dict(),
+            "sim_time_ns": float(self.sim_time_ns),
+            "warmup_ns": float(self.warmup_ns),
+            "stats_bin_ns": float(self.stats_bin_ns),
+            "seed": int(self.seed),
+            "arrival": self.arrival,
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+        }
+        if self.network_params is not None:
+            data["network_params"] = self.network_params.to_dict()
+        if self.description:
+            data["description"] = self.description
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Study":
+        check_keys(
+            data,
+            required=("schema", "name", "config", "scenarios"),
+            optional=("sim_time_ns", "warmup_ns", "stats_bin_ns", "seed",
+                      "arrival", "network_params", "description"),
+            context="Study",
+        )
+        check_schema(data, STUDY_SCHEMA_VERSION, "Study")
+        if not isinstance(data["scenarios"], (list, tuple)):
+            raise ValueError("Study: 'scenarios' must be a list")
+        kwargs: Dict = {
+            "name": data["name"],
+            "config": DragonflyConfig.from_dict(data["config"]),
+            "scenarios": [Scenario.from_dict(item) for item in data["scenarios"]],
+        }
+        for name, convert in (("sim_time_ns", float), ("warmup_ns", float),
+                              ("stats_bin_ns", float), ("seed", int)):
+            if name in data:
+                kwargs[name] = convert(data[name])
+        for name in ("arrival", "description"):
+            if name in data:
+                kwargs[name] = data[name]
+        if "network_params" in data:
+            kwargs["network_params"] = NetworkParams.from_dict(data["network_params"])
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------ files
+    def save(self, path) -> Path:
+        """Write the study as a scenario file (JSON, or YAML by extension)."""
+        path = Path(path)
+        if path.suffix.lower() in (".yaml", ".yml"):
+            yaml = _yaml_module()
+            text = yaml.safe_dump(self.to_dict(), sort_keys=False)
+        else:
+            text = json.dumps(self.to_dict(), indent=2) + "\n"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Study":
+        """Read a scenario file written by :meth:`save` (or by hand)."""
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        if path.suffix.lower() in (".yaml", ".yml"):
+            yaml = _yaml_module()
+            data = yaml.safe_load(text)
+        else:
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _yaml_module():
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise RuntimeError(
+            "YAML scenario files need the optional PyYAML dependency; "
+            "install pyyaml or use a .json file"
+        ) from exc
+    return yaml
+
+
+@dataclass
+class StudyResult:
+    """The outcome of :meth:`Study.run`: points and results, index-aligned."""
+
+    study: Study
+    points: List[StudyPoint]
+    results: List[ExperimentResult]
+
+    def __iter__(self) -> Iterator[Tuple[StudyPoint, ExperimentResult]]:
+        return iter(zip(self.points, self.results))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def rows(self) -> List[Dict]:
+        """Flat summary rows (JSON-friendly), one per executed spec."""
+        rows = []
+        for point, result in self:
+            row: Dict = {"scenario": point.scenario, "replicate": point.replicate}
+            row.update(result.summary_row())
+            rows.append(row)
+        return rows
+
+    def filter(
+        self,
+        scenario: Optional[str] = None,
+        routing: Optional[str] = None,
+        pattern: Optional[str] = None,
+    ) -> List[ExperimentResult]:
+        """Results matching the given coordinates (names canonicalised)."""
+        if routing is not None:
+            routing = canonical_routing_name(routing)
+        if pattern is not None:
+            pattern = canonical_pattern_name(pattern)
+        matches = []
+        for point, result in self:
+            if scenario is not None and point.scenario != scenario:
+                continue
+            if routing is not None and point.spec.routing != routing:
+                continue
+            if pattern is not None and point.spec.pattern != pattern:
+                continue
+            matches.append(result)
+        return matches
+
+    def get(self, **coordinates) -> ExperimentResult:
+        """The single result at the given coordinates (error if not unique)."""
+        matches = self.filter(**coordinates)
+        if len(matches) != 1:
+            raise ValueError(
+                f"expected exactly one result for {coordinates}, found {len(matches)}"
+            )
+        return matches[0]

@@ -100,6 +100,26 @@ class DragonflyConfig:
         """Each group terminates ``a * h`` global link endpoints."""
         return self.a * self.h
 
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """JSON-ready form: just the three defining integers."""
+        return {"p": self.p, "a": self.a, "h": self.h}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DragonflyConfig":
+        """Strict inverse of :meth:`to_dict` (unknown/missing keys are errors)."""
+        from repro.scenarios.serialize import check_keys
+
+        check_keys(data, required=("p", "a", "h"), context="DragonflyConfig")
+        values = {}
+        for name in ("p", "a", "h"):
+            raw = data[name]
+            if isinstance(raw, bool) or int(raw) != raw:
+                raise ValueError(f"DragonflyConfig field {name!r} must be an integer, "
+                                 f"got {raw!r}")
+            values[name] = int(raw)
+        return cls(**values)
+
     def describe(self) -> dict:
         """Return the Table 1 row for this configuration as a dictionary."""
         return {

@@ -3,13 +3,22 @@
 Patterns from the paper: UR, ADV+i, 3D Stencil, Many to Many, Random
 Neighbors; extras: Permutation, Hotspot.  Use :func:`make_pattern` to build a
 pattern from its paper name (e.g. ``"UR"``, ``"ADV+4"``).
+
+Pattern names live in :data:`PATTERN_REGISTRY`, a
+:class:`repro.scenarios.registry.Registry`: every name listed by
+:func:`available_patterns` is accepted verbatim by :func:`make_pattern`
+(lookup ignores case, spaces, underscores and hyphens), and the adversarial
+family is a *parameterised* entry whose ``match`` hook parses any ``ADV+<i>``
+into ``AdversarialTraffic(shift=i)``.  User patterns plug in through
+:func:`register_pattern`.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List
+from typing import Callable, List, Optional, Sequence
 
+from repro.scenarios.registry import MatchResult, Registry
 from repro.traffic.adversarial import AdversarialTraffic
 from repro.traffic.base import TrafficPattern, default_grid_dims
 from repro.traffic.generator import LoadPhase, LoadSchedule, TrafficGenerator
@@ -26,6 +35,7 @@ __all__ = [
     "LoadPhase",
     "LoadSchedule",
     "ManyToManyTraffic",
+    "PATTERN_REGISTRY",
     "PermutationTraffic",
     "RandomNeighborsTraffic",
     "Stencil3DTraffic",
@@ -33,24 +43,56 @@ __all__ = [
     "TrafficPattern",
     "UniformRandomTraffic",
     "available_patterns",
+    "canonical_pattern_name",
     "default_grid_dims",
     "make_pattern",
+    "register_pattern",
 ]
+
+#: the single source of truth for traffic pattern names.
+PATTERN_REGISTRY = Registry("traffic pattern")
 
 _ADV_RE = re.compile(r"^adv\+?(\d+)$")
 
 
+def _match_adv(key: str) -> Optional[MatchResult]:
+    """Parse a normalised ``adv+<i>`` name into its canonical form + shift."""
+    match = _ADV_RE.match(key)
+    if match is None:
+        return None
+    shift = int(match.group(1))
+    return f"ADV+{shift}", {"shift": shift}
+
+
+def register_pattern(
+    name: str,
+    factory: Optional[Callable[..., TrafficPattern]] = None,
+    *,
+    loader: Optional[Callable[[], Callable[..., TrafficPattern]]] = None,
+    aliases: Sequence[str] = (),
+    metadata: Optional[dict] = None,
+    match: Optional[Callable[[str], Optional[MatchResult]]] = None,
+    replace: bool = False,
+) -> None:
+    """Register a traffic pattern factory under its paper name."""
+    PATTERN_REGISTRY.register(
+        name, factory, loader=loader, aliases=aliases, metadata=metadata,
+        match=match, replace=replace,
+    )
+
+
 def available_patterns() -> List[str]:
-    """Pattern names accepted by :func:`make_pattern`."""
-    return [
-        "UR",
-        "ADV+<i>",
-        "3D Stencil",
-        "Many to Many",
-        "Random Neighbors",
-        "Permutation",
-        "Hotspot",
-    ]
+    """Pattern names accepted verbatim by :func:`make_pattern`.
+
+    The adversarial family is listed by its default member ``"ADV+1"``; any
+    other shift parses the same way (``"ADV+4"``, ``"adv2"``, ...).
+    """
+    return PATTERN_REGISTRY.names()
+
+
+def canonical_pattern_name(name: str) -> str:
+    """Canonical display name for any accepted spelling (``"m2m"`` → ``"Many to Many"``)."""
+    return PATTERN_REGISTRY.canonical_name(name)
 
 
 def make_pattern(name: str, **kwargs) -> TrafficPattern:
@@ -59,23 +101,26 @@ def make_pattern(name: str, **kwargs) -> TrafficPattern:
     Examples: ``make_pattern("UR")``, ``make_pattern("ADV+4")``,
     ``make_pattern("3d stencil")``, ``make_pattern("random neighbors")``.
     """
-    key = name.strip().lower().replace("_", " ").replace("-", " ")
-    compact = key.replace(" ", "")
-    if compact in ("ur", "uniform", "uniformrandom"):
-        return UniformRandomTraffic(**kwargs)
-    match = _ADV_RE.match(compact)
-    if match:
-        return AdversarialTraffic(shift=int(match.group(1)), **kwargs)
-    if compact in ("adv", "adversarial"):
-        return AdversarialTraffic(**kwargs)
-    if compact in ("3dstencil", "stencil", "stencil3d"):
-        return Stencil3DTraffic(**kwargs)
-    if compact in ("manytomany", "m2m", "alltoall"):
-        return ManyToManyTraffic(**kwargs)
-    if compact in ("randomneighbors", "randomneighbor", "neighbors"):
-        return RandomNeighborsTraffic(**kwargs)
-    if compact in ("permutation", "perm"):
-        return PermutationTraffic(**kwargs)
-    if compact in ("hotspot", "hot"):
-        return HotspotTraffic(**kwargs)
-    raise ValueError(f"unknown traffic pattern {name!r}; known: {available_patterns()}")
+    return PATTERN_REGISTRY.build(name, **kwargs)
+
+
+register_pattern("UR", UniformRandomTraffic,
+                 aliases=("uniform", "uniform random"),
+                 metadata={"summary": "uniform random destinations"})
+register_pattern("ADV+1", AdversarialTraffic,
+                 aliases=("adv", "adversarial"), match=_match_adv,
+                 metadata={"summary": "adversarial group shift (any ADV+<i>)",
+                           "family": "ADV+<i>"})
+register_pattern("3D Stencil", Stencil3DTraffic,
+                 aliases=("stencil", "stencil3d"),
+                 metadata={"summary": "nearest neighbours on a 3-D process grid"})
+register_pattern("Many to Many", ManyToManyTraffic,
+                 aliases=("m2m", "all to all"),
+                 metadata={"summary": "all-to-all within sub-communicators"})
+register_pattern("Random Neighbors", RandomNeighborsTraffic,
+                 aliases=("random neighbor", "neighbors"),
+                 metadata={"summary": "each rank draws a random neighbour set"})
+register_pattern("Permutation", PermutationTraffic, aliases=("perm",),
+                 metadata={"summary": "fixed random permutation of the ranks"})
+register_pattern("Hotspot", HotspotTraffic, aliases=("hot",),
+                 metadata={"summary": "a fraction of traffic aimed at hot nodes"})

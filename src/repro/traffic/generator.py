@@ -30,6 +30,11 @@ class LoadPhase:
     def __post_init__(self) -> None:
         if self.load < 0.0:
             raise ValueError("offered load cannot be negative")
+        if self.load > 1.0:
+            raise ValueError(
+                f"offered load cannot exceed 1.0 (the injection bandwidth), "
+                f"got {self.load}"
+            )
 
 
 class LoadSchedule:
@@ -67,6 +72,38 @@ class LoadSchedule:
 
     def max_load(self) -> float:
         return max(phase.load for phase in self.phases)
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-ready form: ``{"phases": [[start_ns, load], ...]}``."""
+        return {"phases": [[phase.start_ns, phase.load] for phase in self.phases]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoadSchedule":
+        """Strict inverse of :meth:`to_dict`."""
+        from repro.scenarios.serialize import check_keys
+
+        check_keys(data, required=("phases",), context="LoadSchedule")
+        phases = data["phases"]
+        if not isinstance(phases, (list, tuple)):
+            raise ValueError(f"LoadSchedule phases must be a list, got {phases!r}")
+        pairs = []
+        for item in phases:
+            if not isinstance(item, (list, tuple)) or len(item) != 2:
+                raise ValueError(
+                    f"LoadSchedule phase must be a [start_ns, load] pair, got {item!r}"
+                )
+            pairs.append((float(item[0]), float(item[1])))
+        return cls(pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LoadSchedule):
+            return NotImplemented
+        return self.phases == other.phases
+
+    def __repr__(self) -> str:
+        steps = ", ".join(f"{p.load}@{p.start_ns}ns" for p in self.phases)
+        return f"<LoadSchedule {steps}>"
 
 
 class TrafficGenerator:

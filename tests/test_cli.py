@@ -91,3 +91,82 @@ def test_custom_config_string(capsys):
 def test_bad_config_string_errors():
     with pytest.raises(SystemExit):
         main(["run", "--config", "bogus", "--time-us", "5"])
+
+
+# --------------------------------------------------------------- study verbs
+def test_list_algorithms_and_patterns(capsys):
+    assert main(["list", "algorithms"]) == 0
+    out = capsys.readouterr().out
+    assert "Q-adp" in out and "Q-routing" in out and "MIN" in out
+    assert main(["list", "patterns"]) == 0
+    out = capsys.readouterr().out
+    assert "ADV+1" in out and "3D Stencil" in out
+    assert main(["list", "scales"]) == 0
+    assert "bench" in capsys.readouterr().out
+    assert main(["list", "studies"]) == 0
+    assert "fig5" in capsys.readouterr().out
+
+
+def test_study_list_names_every_figure(capsys):
+    assert main(["study", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig5", "fig6", "fig7", "fig8", "fig9",
+                 "ablation-maxq", "ablation-hyperparams"):
+        assert name in out
+
+
+def test_study_show_emits_loadable_document(capsys):
+    from repro.scenarios import Study
+
+    assert main(["study", "show", "fig5", "--scale", "bench"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    study = Study.from_dict(data)
+    assert study.name == "fig5"
+    assert study.specs()
+
+
+def test_study_run_scenario_file(tmp_path, capsys):
+    from repro.scenarios import Scenario, Study
+    from repro.topology.config import DragonflyConfig
+
+    study = Study(
+        name="cli-demo", config=DragonflyConfig.tiny(),
+        sim_time_ns=4_000.0, warmup_ns=2_000.0,
+        scenarios=[Scenario(name="mini", routing=("MIN",), pattern=("UR",),
+                            loads=(0.2,))],
+    )
+    path = study.save(tmp_path / "demo.json")
+    assert main(["study", "run", str(path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["study"] == "cli-demo"
+    assert payload["runs"] == 1 and payload["simulated"] == 1
+    assert payload["rows"][0]["routing"] == "MIN"
+    # --table renders the same rows as text
+    assert main(["study", "run", str(path), "--table"]) == 0
+    assert "mean_latency_us" in capsys.readouterr().out
+
+
+def test_study_run_shares_cache_between_file_and_figure_paths(tmp_path, capsys, monkeypatch):
+    """CLI-level acceptance: study run + figure share fingerprints/cache."""
+    from repro.scenarios.catalog import fig7_study
+    from repro.experiments.presets import BENCH_SCALE
+    from repro.topology.config import DragonflyConfig
+
+    tiny_scale = BENCH_SCALE.with_overrides(
+        config=DragonflyConfig.tiny(), scaleup_config=DragonflyConfig.tiny(),
+        convergence_ns=4_000.0, ur_reference_load=0.3, adv_reference_load=0.2,
+    )
+    path = fig7_study(tiny_scale, cases=(("UR", 0.2),)).save(tmp_path / "fig7.json")
+    cache = tmp_path / "cache"
+    assert main(["study", "run", str(path), "--cache-dir", str(cache)]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["simulated"] == 1
+    assert main(["study", "run", str(path), "--cache-dir", str(cache)]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["simulated"] == 0 and second["cache_hits"] == 1
+    assert second["rows"] == first["rows"]
+
+
+def test_study_run_unknown_name_errors():
+    with pytest.raises(SystemExit, match="unknown study"):
+        main(["study", "run", "not-a-study"])

@@ -1,0 +1,177 @@
+"""Tests for the versioned spec serialization and the re-based fingerprints."""
+
+import json
+
+import pytest
+
+from repro.core.qadaptive import QAdaptiveParams
+from repro.core.qrouting import QRoutingParams
+from repro.experiments import ExperimentSpec, spec_fingerprint
+from repro.experiments.presets import scale_by_name
+from repro.network.params import NetworkParams
+from repro.scenarios.catalog import STUDIES, study_by_name
+from repro.topology.config import DragonflyConfig
+from repro.traffic import LoadSchedule
+
+TINY = DragonflyConfig.tiny()
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        config=TINY, routing="MIN", pattern="UR", offered_load=0.2,
+        sim_time_ns=4_000.0, warmup_ns=2_000.0, seed=3,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+# ----------------------------------------------------------- component types
+def test_dragonfly_config_round_trip_and_strictness():
+    config = DragonflyConfig.paper_1056()
+    assert DragonflyConfig.from_dict(config.to_dict()) == config
+    with pytest.raises(ValueError, match="unknown field"):
+        DragonflyConfig.from_dict({"p": 4, "a": 8, "h": 4, "radix": 15})
+    with pytest.raises(ValueError, match="missing required"):
+        DragonflyConfig.from_dict({"p": 4, "a": 8})
+    with pytest.raises(ValueError, match="must be an integer"):
+        DragonflyConfig.from_dict({"p": 4.5, "a": 8, "h": 4})
+
+
+def test_network_params_round_trip_and_partial_dicts():
+    params = NetworkParams(vc_buffer_packets=4, num_vcs=3)
+    assert NetworkParams.from_dict(params.to_dict()) == params
+    assert NetworkParams.from_dict({}) == NetworkParams()
+    assert NetworkParams.from_dict({"packet_bytes": 64}).packet_bytes == 64
+    with pytest.raises(ValueError, match="unknown field"):
+        NetworkParams.from_dict({"bandwidth": 4.0})
+
+
+def test_load_schedule_round_trip_and_equality():
+    schedule = LoadSchedule.step(0.1, 1_000.0, 0.4)
+    clone = LoadSchedule.from_dict(schedule.to_dict())
+    assert clone == schedule
+    assert clone != LoadSchedule.step(0.1, 1_000.0, 0.5)
+    with pytest.raises(ValueError, match="pair"):
+        LoadSchedule.from_dict({"phases": [[0.0, 0.1, 7.0]]})
+    with pytest.raises(ValueError, match="unknown field"):
+        LoadSchedule.from_dict({"phases": [[0.0, 0.1]], "loop": True})
+
+
+def test_load_schedule_rejects_loads_above_one():
+    with pytest.raises(ValueError, match="exceed 1.0"):
+        LoadSchedule.constant(1.5)
+
+
+def test_qparams_round_trips():
+    qadp = QAdaptiveParams(q_thld1=0.05, feedback="greedy")
+    assert QAdaptiveParams.from_dict(qadp.to_dict()) == qadp
+    qr = QRoutingParams(max_q=7, beta=0.01)
+    assert QRoutingParams.from_dict(qr.to_dict()) == qr
+    with pytest.raises(ValueError, match="unknown field"):
+        QAdaptiveParams.from_dict({"gamma": 0.9})
+
+
+# -------------------------------------------------------------- spec schema
+def test_spec_round_trip_with_all_optional_fields():
+    spec = _spec(
+        routing="Q-adp",
+        pattern="ADV+4",
+        routing_kwargs={"params": QAdaptiveParams(q_thld1=0.1)},
+        network_params=NetworkParams(vc_buffer_packets=4),
+        label="custom",
+    )
+    clone = ExperimentSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert isinstance(clone.routing_kwargs["params"], QAdaptiveParams)
+    assert spec_fingerprint(clone) == spec_fingerprint(spec)
+
+
+def test_spec_round_trip_with_schedule():
+    spec = _spec(offered_load=None, schedule=LoadSchedule.step(0.1, 1_000.0, 0.3),
+                 warmup_ns=0.0)
+    clone = ExperimentSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.schedule == spec.schedule
+    assert spec_fingerprint(clone) == spec_fingerprint(spec)
+
+
+def test_spec_dict_is_json_ready_and_versioned():
+    spec = _spec(routing_kwargs={"max_q": 3}, routing="Q-routing")
+    data = spec.to_dict()
+    assert data["schema"] == 1
+    json.dumps(data)  # no custom types anywhere
+
+
+def test_spec_from_dict_strictness():
+    data = _spec().to_dict()
+    bad = dict(data)
+    bad["routng"] = "MIN"
+    with pytest.raises(ValueError, match="unknown field.*routng"):
+        ExperimentSpec.from_dict(bad)
+    stale = dict(data)
+    stale["schema"] = 99
+    with pytest.raises(ValueError, match="unsupported schema version"):
+        ExperimentSpec.from_dict(stale)
+    versionless = {k: v for k, v in data.items() if k != "schema"}
+    with pytest.raises(ValueError, match="missing required"):
+        ExperimentSpec.from_dict(versionless)
+
+
+# -------------------------------------------------------------- fingerprints
+def test_fingerprint_stable_across_field_order_shuffle():
+    spec = _spec(routing="Q-adp",
+                 routing_kwargs={"params": QAdaptiveParams()},
+                 network_params=NetworkParams(vc_buffer_packets=4))
+    data = spec.to_dict()
+    shuffled = dict(reversed(list(data.items())))
+    assert list(shuffled) != list(data)
+    assert spec_fingerprint(ExperimentSpec.from_dict(shuffled)) == spec_fingerprint(spec)
+
+
+def test_fingerprint_insensitive_to_name_spelling():
+    assert spec_fingerprint(_spec(routing="minimal", pattern="uniform")) == \
+        spec_fingerprint(_spec(routing="MIN", pattern="UR"))
+    assert spec_fingerprint(_spec(pattern="adv4")) == spec_fingerprint(_spec(pattern="ADV+4"))
+
+
+# ------------------------------------------------------- validation hardening
+@pytest.mark.parametrize("overrides,message", [
+    (dict(sim_time_ns=0.0), "sim_time_ns must be positive"),
+    (dict(sim_time_ns=-5.0), "sim_time_ns must be positive"),
+    (dict(warmup_ns=-1.0), "warmup_ns cannot be negative"),
+    (dict(stats_bin_ns=0.0), "stats_bin_ns must be positive"),
+    (dict(offered_load=0.0), r"offered_load must be in \(0, 1\]"),
+    (dict(offered_load=-0.2), r"offered_load must be in \(0, 1\]"),
+    (dict(offered_load=1.5), r"offered_load must be in \(0, 1\]"),
+])
+def test_spec_validation_rejects_nonsense(overrides, message):
+    base = dict(config=TINY, offered_load=0.2, sim_time_ns=4_000.0, warmup_ns=1_000.0)
+    base.update(overrides)
+    with pytest.raises(ValueError, match=message):
+        ExperimentSpec(**base)
+
+
+def test_spec_validation_still_accepts_boundary_values():
+    assert ExperimentSpec(config=TINY, offered_load=1.0).offered_load == 1.0
+    assert ExperimentSpec(config=TINY, offered_load=0.2, warmup_ns=0.0).warmup_ns == 0.0
+
+
+# ---------------------------------------------- every scale x every figure
+@pytest.mark.parametrize("scale_name", ["bench", "reduced", "paper-1056", "paper-2550"])
+@pytest.mark.parametrize("study_name", [
+    "fig5", "fig6", "fig7", "fig8", "fig9",
+    "ablation-maxq", "ablation-hyperparams", "headline",
+])
+def test_every_figure_spec_round_trips_at_every_scale(scale_name, study_name):
+    """ExperimentSpec.from_dict(spec.to_dict()) for the full paper grid."""
+    scale = scale_by_name(scale_name)
+    study = study_by_name(study_name, scale)
+    specs = study.specs()
+    assert specs, "study expanded to nothing"
+    for spec in specs:
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert spec_fingerprint(clone) == spec_fingerprint(spec)
+    # the study document itself round-trips too
+    assert type(study).from_dict(study.to_dict()).to_dict() == study.to_dict()
+    assert study_name in STUDIES

@@ -136,6 +136,14 @@ def test_hotspot_explicit_nodes_and_validation():
         _setup(HotspotTraffic(hotspot_nodes=[10_000]))
 
 
+def test_every_available_pattern_name_is_accepted_verbatim():
+    """available_patterns() must only list names make_pattern() parses."""
+    from repro.traffic import available_patterns
+
+    for name in available_patterns():
+        assert make_pattern(name) is not None
+
+
 def test_make_pattern_names():
     assert isinstance(make_pattern("UR"), UniformRandomTraffic)
     adv = make_pattern("ADV+4")
