@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Measure single-worker simulator-core throughput (events/sec).
+
+Three kinds of workloads, all pinned (fixed topology, seed, and duration) so
+that results are comparable across commits:
+
+* ``engine_churn`` — a pure :class:`~repro.engine.simulator.Simulator` loop of
+  self-rescheduling callbacks with timer-cancel churn; measures the event
+  calendar alone (heap push/pop, cancellation, compaction).
+* ``qadp_ur`` / ``min_ur`` — end-to-end network runs (Q-adaptive and minimal
+  routing under uniform-random traffic on the 72-node system); these also
+  emit a *determinism fingerprint* (``events_processed`` plus the aggregate
+  statistics), which must be bit-for-bit identical on every machine.
+* ``fig5_fast_sweep`` — wall time of the fast-scale Figure 5 sweep, the
+  workload behind ``BENCH_parallel.json`` (full mode only).
+
+``--smoke`` runs the short ``smoke_*`` variants only (the CI perf gate);
+``--check BASELINE.json`` compares the fresh numbers against a committed
+baseline: events/sec may not regress by more than ``--tolerance`` (default
+40%), and determinism fingerprints must match exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                                "benchmarks"))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                                "src"))
+
+from repro.engine.simulator import Simulator  # noqa: E402
+from repro.experiments.harness import ExperimentSpec, build_network  # noqa: E402
+from repro.topology.config import DragonflyConfig  # noqa: E402
+
+SEED = 7
+CONFIG = DragonflyConfig.small_72()
+
+
+# ------------------------------------------------------------------ workloads
+def _noop() -> None:
+    """Expired-watchdog callback of the churn workload."""
+
+
+class _Chain:
+    """One self-rescheduling event chain with timer-cancel churn.
+
+    Models what a busy component does on a large system: every firing
+    reschedules itself and re-arms a timeout watchdog (cancelling the
+    previous one).  Timeouts sit far in the future relative to the event
+    period — as real timeouts do — so almost every watchdog is cancelled
+    long before its time comes.  This is the classic DES pattern that fills
+    the calendar with dead entries and is exactly what the event core's
+    compaction exists for.
+    """
+
+    __slots__ = ("sim", "period", "left", "timer")
+
+    #: timeout horizon in event periods (timeouts ≫ period, as in real protocols)
+    TIMEOUT_PERIODS = 100.0
+
+    def __init__(self, sim: Simulator, period: float, start: float, left: int) -> None:
+        self.sim = sim
+        self.period = period
+        self.left = left
+        self.timer = None
+        sim.after(start, self.fire)
+
+    def fire(self) -> None:
+        left = self.left - 1
+        if left < 0:
+            return
+        self.left = left
+        sim = self.sim
+        timer = self.timer
+        if timer is not None:
+            timer.cancel()
+        self.timer = sim.after(self.period * self.TIMEOUT_PERIODS, _noop)
+        sim.after(self.period, self.fire)
+
+
+def engine_churn(chains: int = 4096, events_per_chain: int = 40) -> dict:
+    """Pure event-calendar churn at a paper-scale calendar size.
+
+    ``chains`` concurrent self-rescheduling chains keep the heap at a depth
+    comparable to a multi-thousand-node simulation; together with the
+    watchdog cancel churn this isolates the push/pop/cancel/compaction cost
+    of the event core from any network logic.
+    """
+    sim = Simulator()
+    keep = [
+        _Chain(sim, float(i % 7) + 1.5, float(i % 13) + 1.0, events_per_chain)
+        for i in range(chains)
+    ]
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    assert keep  # chains stay alive for the duration of the run
+    return {
+        "kind": "engine",
+        "chains": chains,
+        "events_processed": sim.events_processed,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(sim.events_processed / wall, 1),
+    }
+
+
+def network_run(routing: str, pattern: str, offered_load: float,
+                sim_time_ns: float, warmup_ns: float) -> dict:
+    """One pinned end-to-end run; returns throughput plus a determinism fingerprint."""
+    spec = ExperimentSpec(
+        config=CONFIG,
+        routing=routing,
+        pattern=pattern,
+        offered_load=offered_load,
+        sim_time_ns=sim_time_ns,
+        warmup_ns=warmup_ns,
+        seed=SEED,
+    )
+    network, generator = build_network(spec)
+    generator.start()
+    started = time.perf_counter()
+    network.run(until=spec.sim_time_ns)
+    wall = time.perf_counter() - started
+    stats = network.finalize()
+    events = network.sim.events_processed
+    return {
+        "kind": "network",
+        "routing": spec.routing,
+        "pattern": spec.pattern,
+        "offered_load": offered_load,
+        "sim_time_ns": sim_time_ns,
+        "events_processed": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall, 1),
+        # Machine-independent fingerprint: must be identical everywhere.
+        "fingerprint": {
+            "events_processed": events,
+            "generated_packets": stats.generated_packets,
+            "delivered_packets": stats.delivered_packets,
+            "measured_packets": stats.measured_packets,
+            "mean_latency_ns": stats.mean_latency_ns,
+            "mean_hops": stats.mean_hops,
+            "throughput": stats.throughput,
+            "latency_p99_ns": stats.latency.p99,
+        },
+    }
+
+
+def fig5_fast_sweep() -> dict:
+    """Single-worker wall time of the fast-scale Figure 5 sweep."""
+    from conftest import bench_scale
+
+    from repro.experiments import SweepRunner, figure5_sweep
+
+    scale = bench_scale()
+    runner = SweepRunner(workers=1)
+    started = time.perf_counter()
+    figure5_sweep(scale, ("MIN", "VALn", "UGALn", "Q-adp"), ("UR", "ADV+1"), runner=runner)
+    wall = time.perf_counter() - started
+    return {
+        "kind": "sweep",
+        "runs": runner.simulated,
+        "wall_s": round(wall, 2),
+    }
+
+
+def collect(smoke_only: bool) -> dict:
+    workloads: dict = {}
+    workloads["smoke_engine_churn"] = engine_churn(chains=2048, events_per_chain=30)
+    workloads["smoke_qadp_ur"] = network_run("Q-adp", "UR", 0.5, 8_000.0, 3_000.0)
+    workloads["smoke_min_ur"] = network_run("MIN", "UR", 0.5, 8_000.0, 3_000.0)
+    if not smoke_only:
+        workloads["engine_churn"] = engine_churn(chains=4096, events_per_chain=60)
+        workloads["qadp_ur"] = network_run("Q-adp", "UR", 0.5, 30_000.0, 10_000.0)
+        workloads["min_ur"] = network_run("MIN", "UR", 0.5, 30_000.0, 10_000.0)
+        workloads["fig5_fast_sweep"] = fig5_fast_sweep()
+    return workloads
+
+
+# ---------------------------------------------------------------- comparison
+def check_against(fresh: dict, baseline_path: str, tolerance: float) -> int:
+    """Regression gate: events/sec within tolerance, fingerprints identical."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_workloads = baseline.get("workloads", {})
+    failures = []
+    for name, result in fresh.items():
+        base = base_workloads.get(name)
+        if base is None:
+            print(f"[check] {name}: no baseline entry, skipping")
+            continue
+        base_eps = base.get("events_per_sec")
+        eps = result.get("events_per_sec")
+        if base_eps and eps:
+            floor = base_eps * (1.0 - tolerance)
+            verdict = "ok" if eps >= floor else "REGRESSION"
+            print(f"[check] {name}: {eps:,.0f} ev/s vs baseline {base_eps:,.0f} "
+                  f"(floor {floor:,.0f}) -> {verdict}")
+            if eps < floor:
+                failures.append(f"{name}: {eps:,.0f} ev/s is more than "
+                                f"{tolerance:.0%} below baseline {base_eps:,.0f}")
+        if "fingerprint" in result and "fingerprint" in base:
+            if result["fingerprint"] != base["fingerprint"]:
+                failures.append(f"{name}: determinism fingerprint changed: "
+                                f"{result['fingerprint']} != {base['fingerprint']}")
+            else:
+                print(f"[check] {name}: determinism fingerprint identical")
+    if failures:
+        print("\nFAILED perf/determinism gate:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the short smoke_* workloads (CI perf gate)")
+    parser.add_argument("--output", default=None,
+                        help="write results JSON here (default: BENCH_core.json, "
+                             "or bench-core-smoke.json with --smoke)")
+    parser.add_argument("--check", default=None, metavar="BASELINE_JSON",
+                        help="compare against a committed baseline; exit 1 on "
+                             ">tolerance throughput regression or any fingerprint drift")
+    parser.add_argument("--tolerance", type=float, default=0.4,
+                        help="allowed fractional events/sec regression (default 0.4)")
+    args = parser.parse_args()
+
+    output = args.output or ("bench-core-smoke.json" if args.smoke else "BENCH_core.json")
+    workloads = collect(smoke_only=args.smoke)
+    for name, result in workloads.items():
+        eps = result.get("events_per_sec")
+        shown = f"{eps:,.0f} events/s" if eps else f"{result['wall_s']} s"
+        print(f"{name}: {shown}")
+
+    payload = {
+        "benchmark": "simulator-core throughput (single worker)",
+        "seed": SEED,
+        "config": {"p": CONFIG.p, "a": CONFIG.a, "h": CONFIG.h},
+        "workloads": workloads,
+        "machine": {"cpu_count": multiprocessing.cpu_count(),
+                    "python": platform.python_version(),
+                    "platform": platform.platform()},
+        "note": "events/sec is machine dependent; the fingerprint blocks are not "
+                "and must be bit-for-bit identical on every machine",
+    }
+    with open(output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {output}")
+
+    if args.check:
+        return check_against(workloads, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

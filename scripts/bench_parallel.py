@@ -35,6 +35,16 @@ def main() -> None:
     parser.add_argument("--output", default="BENCH_parallel.json")
     args = parser.parse_args()
 
+    cpu_count = multiprocessing.cpu_count()
+    if cpu_count == 1:
+        print(
+            "WARNING: this machine reports a single CPU — worker pools cannot "
+            "run concurrently here, so every pool size will show the same wall "
+            "time (plus fork overhead).  The recorded JSON notes the cpu_count; "
+            "re-run on a multi-core box to measure real speedup.",
+            file=sys.stderr,
+        )
+
     scale = bench_scale()
     timings = {}
     runs = None
@@ -52,12 +62,15 @@ def main() -> None:
         "workload": {"algorithms": list(ALGORITHMS), "patterns": list(PATTERNS),
                      "runs": runs},
         "wall_time_s": timings,
-        "machine": {"cpu_count": multiprocessing.cpu_count(),
+        "machine": {"cpu_count": cpu_count,
                     "python": platform.python_version(),
                     "platform": platform.platform()},
         "note": "parallel speedup is bounded by the CPU count of the recording machine; "
                 "re-run scripts/bench_parallel.py on a multi-core box for real fan-out",
     }
+    if cpu_count == 1:
+        payload["warning"] = ("recorded on a 1-core machine: worker pools cannot run "
+                              "concurrently, so no speedup is expected in these numbers")
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

@@ -41,7 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments import (
     ExperimentSpec,
@@ -64,7 +64,7 @@ from repro.routing import ROUTING_REGISTRY, available_algorithms
 from repro.scenarios import available_studies, load_study
 from repro.stats.report import comparison_table, format_table
 from repro.topology.config import DragonflyConfig
-from repro.traffic import PATTERN_REGISTRY, available_patterns
+from repro.traffic import PATTERN_REGISTRY
 
 FIGURES = {
     "table1": lambda scale, runner: table1_configurations(),

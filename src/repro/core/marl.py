@@ -65,6 +65,14 @@ class TabularMarlRouting(RoutingAlgorithm):
     # ----------------------------------------------------------------- wiring
     def _setup(self) -> None:
         self.tables = [self._build_table(r) for r in self.topo.all_routers()]
+        # Hot-path caches: host-port math and a direct event-queue push for
+        # the delayed feedback (bypassing the Simulator.after wrapper).
+        self._p = self.topo.p
+        self._sim = self.network.sim
+        self._push = self.network.sim._queue.push
+        # Candidate list for ε-greedy exploration, shared by both tabular
+        # algorithms: built once instead of per decision.
+        self._all_network_ports = list(self.topo.non_host_ports)
 
     def table(self, router_id: int) -> _PortQTable:
         """Value table of one router (inspection / tests)."""
@@ -85,10 +93,11 @@ class TabularMarlRouting(RoutingAlgorithm):
         (``feedback_mode="onpolicy"``).
         """
         if packet.dst_router == router.id:
-            out_port = self.topo.host_port_of_node(packet.dst_node)
+            out_port = packet.dst_node % self._p  # the ejection host port
         else:
             out_port = self.decide(router, packet, in_port)
-        self._send_feedback(router, packet, in_port, out_port)
+        if packet.qfeedback is not None:
+            self._send_feedback(router, packet, in_port, out_port)
         return out_port
 
     def _send_feedback(self, router: Router, packet: Packet, in_port: int,
@@ -102,7 +111,7 @@ class TabularMarlRouting(RoutingAlgorithm):
         reward = packet.router_arrival_ns - prev_arrival_ns
         if router.id == packet.dst_router:
             q_next = 0.0
-        elif self.feedback_mode == "onpolicy" and out_port >= self.topo.p:
+        elif self.feedback_mode == "onpolicy" and out_port >= self._p:
             q_next = self.tables[router.id].value(row, out_port)
         else:
             q_next = self.tables[router.id].min_value(row)
@@ -111,17 +120,18 @@ class TabularMarlRouting(RoutingAlgorithm):
         if self.instant_feedback:
             self._apply_feedback(prev_router, row, column, target)
             return
-        reverse_latency = router.channels[in_port].latency_ns
-        self.network.sim.after(reverse_latency, self._apply_feedback,
-                               prev_router, row, column, target)
+        reverse_latency = router._lat[in_port]
+        self._push(self._sim._now + reverse_latency, self._apply_feedback,
+                   (prev_router, row, column, target))
 
     def _apply_feedback(self, router_id: int, row: int, column: int, target: float) -> None:
         """Hysteretic update of one table entry (Equation 3)."""
         table = self.tables[router_id]
-        current = table.values[row, column]
+        values = table.values
+        current = values.item(row, column)
         delta = target - current
         rate = self.hysteretic.alpha if delta < 0.0 else self.hysteretic.beta
-        table.values[row, column] = current + rate * delta
+        values[row, column] = current + rate * delta
         table.updates += 1
         self.feedback_applied += 1
 

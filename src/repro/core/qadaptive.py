@@ -119,6 +119,11 @@ class QAdaptiveRouting(TabularMarlRouting):
         return 5
 
     # ------------------------------------------------------------------ tables
+    def _setup(self) -> None:
+        super()._setup()
+        # Local-port candidates for the intermediate-group ε-greedy decision.
+        self._local_ports = list(self.topo.local_ports)
+
     def _build_table(self, router_id: int) -> TwoLevelQTable:
         table = TwoLevelQTable(router_id, self.topo)
         table.initialize_uncongested(self.network.params.timing())
@@ -132,16 +137,22 @@ class QAdaptiveRouting(TabularMarlRouting):
         topo = self.topo
         # (1) Destination group: always forward minimally.
         if router.group == packet.dst_group:
-            return self.minimal_port(router, packet)
+            return self._min_next(router.id, packet.dst_router)
 
         table = self.tables[router.id]
         row = self._row_for(packet)
 
         # (2) Source router: ΔV rule over the whole row with threshold q_thld1.
         if router.id == packet.src_router and packet.hops == 0:
-            min_port = self.minimal_port(router, packet)
-            q_min = table.value(row, min_port)
-            best_port, q_best = table.best_port(row)
+            min_port = self._min_next(router.id, packet.dst_router)
+            # One bulk tolist() is cheaper than separate numpy scalar reads
+            # for q_min and the row argmin; list.index(min(...)) matches
+            # argmin's first-occurrence tie-breaking exactly.
+            first_port = table.first_port
+            row_values = table.values[row].tolist()
+            q_min = row_values[min_port - first_port]
+            q_best = min(row_values)
+            best_port = row_values.index(q_best) + first_port
             temp_port, _ = select_with_threshold(
                 min_port, q_min, best_port, q_best, self.params.q_thld1
             )
@@ -150,7 +161,7 @@ class QAdaptiveRouting(TabularMarlRouting):
             else:
                 self.source_best_decisions += 1
             return epsilon_greedy(
-                self.rng, temp_port, list(topo.non_host_ports), self.params.epsilon
+                self.rng, temp_port, self._all_network_ports, self.params.epsilon
             )
 
         # (3) First intermediate-group router visited by the packet.
@@ -160,8 +171,8 @@ class QAdaptiveRouting(TabularMarlRouting):
             if direct is not None:
                 self.intermediate_minimal += 1
                 return direct
-            min_port = self.minimal_port(router, packet)
-            local_ports = list(topo.local_ports)
+            min_port = self._min_next(router.id, packet.dst_router)
+            local_ports = self._local_ports
             best_port = local_ports[self.rng.randrange(len(local_ports))]
             q_min = table.value(row, min_port)
             q_best = table.value(row, best_port)
@@ -175,7 +186,7 @@ class QAdaptiveRouting(TabularMarlRouting):
             return epsilon_greedy(self.rng, temp_port, local_ports, self.params.epsilon)
 
         # (4) Everywhere else: minimal forwarding.
-        return self.minimal_port(router, packet)
+        return self._min_next(router.id, packet.dst_router)
 
     # ------------------------------------------------------------- diagnostics
     def mean_q_value(self) -> float:

@@ -102,11 +102,11 @@ class QRoutingAlgorithm(TabularMarlRouting):
         if packet.hops >= self.params.max_q:
             # Naive livelock/deadlock fix: fall back to minimal routing.
             self.forced_minimal += 1
-            return self.minimal_port(router, packet)
+            return self._min_next(router.id, packet.dst_router)
         table = self.tables[router.id]
         row = packet.dst_router
         best_port, _ = table.best_port(row)
         self.greedy_decisions += 1
         return epsilon_greedy(
-            self.rng, best_port, list(self.topo.non_host_ports), self.params.epsilon
+            self.rng, best_port, self._all_network_ports, self.params.epsilon
         )

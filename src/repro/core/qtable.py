@@ -52,14 +52,19 @@ class _PortQTable:
 
     # ------------------------------------------------------------------ access
     def value(self, row: int, port: int) -> float:
-        return float(self.values[row, self.column_of_port(port)])
+        # Per-hop hot path: ndarray.item() hands back a Python float directly,
+        # skipping both the bounds helper and a numpy-scalar round trip.
+        col = port - self.first_port
+        if col < 0 or col >= self.num_ports:
+            raise ValueError(f"port {port} has no Q-table column (host port?)")
+        return self.values.item(row, col)
 
     def set_value(self, row: int, port: int, value: float) -> None:
         self.values[row, self.column_of_port(port)] = value
 
     def min_value(self, row: int) -> float:
         """Smallest estimated delivery time of the row (the row's Q_y)."""
-        return float(self.values[row].min())
+        return self.values[row].min().item()
 
     def best_port(self, row: int, candidate_ports: Optional[Sequence[int]] = None
                   ) -> Tuple[int, float]:
@@ -67,13 +72,14 @@ class _PortQTable:
         row_values = self.values[row]
         if candidate_ports is None:
             col = int(row_values.argmin())
-            return self.port_of_column(col), float(row_values[col])
+            return col + self.first_port, row_values.item(col)
         best_port = -1
         best_value = float("inf")
+        first_port = self.first_port
         for port in candidate_ports:
-            value = row_values[port - self.first_port]
+            value = row_values.item(port - first_port)
             if value < best_value:
-                best_value = float(value)
+                best_value = value
                 best_port = port
         return best_port, best_value
 

@@ -3,93 +3,218 @@
 Events are ordered by ``(time, sequence)``; the monotonically increasing
 sequence number makes ordering stable for simultaneous events, which keeps
 simulations bit-for-bit reproducible regardless of heap tie-breaking.
+
+Performance notes
+-----------------
+The calendar is the hottest structure in the simulator, so it is built for
+speed:
+
+* An :class:`Event` *is* its own heap entry — a 5-slot list
+  ``[time, seq, callback, args, queue]``.  ``heapq`` then compares entries
+  with C-level ``list`` comparison (``time`` first, then the unique ``seq``),
+  never entering a Python ``__lt__`` frame.
+* Executed and reclaimed-cancelled entries are pooled and reused by later
+  ``push`` calls, which removes most per-event allocation.
+* Cancellation stays lazy (``cancel`` just clears the callback slot), but the
+  queue now counts dead entries and **compacts** the heap as soon as
+  cancelled entries outnumber live ones, so a cancel-heavy workload no longer
+  grows its heap without bound.  ``EventQueue.compactions`` counts how often
+  that happened.
+
+The pooling contract: an :class:`Event` handle is only meaningful until its
+callback has run or it has been cancelled and reclaimed.  Do not retain
+handles past that point — the entry may be serving a different event.  (No
+component of this package stores handles at all; they are returned for the
+immediate ``cancel()`` pattern.)
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Iterator, Optional
 
+#: Upper bound on pooled (recycled) event entries per queue.  Sized to cover
+#: the live calendar of a large simulation (so compaction passes can return
+#: whole batches of dead entries) while staying a bounded ~1 MB of slack.
+POOL_CAP = 8192
 
-class Event:
-    """A scheduled callback.
+#: Compaction only triggers past this many dead entries, so tiny calendars
+#: (unit tests, drained queues) don't churn through rebuilds.
+MIN_COMPACT_SIZE = 8
+
+
+class Event(list):
+    """A scheduled callback; also the raw heap entry of its queue.
 
     Instances are returned by :meth:`repro.engine.simulator.Simulator.at` /
     ``after`` and can be cancelled with :meth:`cancel`.  Cancelled events stay
-    in the heap but are skipped when popped (lazy deletion), which is cheaper
-    than re-heapifying.
+    in the heap (lazy deletion) until popped over or reclaimed by a
+    compaction pass.
+
+    Layout: ``self[0]`` time, ``self[1]`` sequence number, ``self[2]``
+    callback (``None`` once cancelled or executed), ``self[3]`` args tuple,
+    ``self[4]`` owning queue (``None`` for standalone events).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ()
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Optional[Callable[..., Any]],
+        args: tuple,
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        list.__init__(self, (time, seq, callback, args, queue))
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def callback(self) -> Optional[Callable[..., Any]]:
+        return self[2]
+
+    @property
+    def args(self) -> tuple:
+        return self[3]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[2] is None
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time comes."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        if self[2] is None:
+            return  # already cancelled or already executed
+        self[2] = None
+        self[3] = ()
+        queue = self[4]
+        if queue is not None:
+            # Inlined EventQueue._note_cancelled: count the dead entry and
+            # compact once the dead outnumber the live.
+            cancelled = queue._cancelled + 1
+            queue._cancelled = cancelled
+            if cancelled * 2 > len(queue._heap) and cancelled >= MIN_COMPACT_SIZE:
+                queue._compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = " cancelled" if self.cancelled else ""
-        name = getattr(self.callback, "__qualname__", repr(self.callback))
-        return f"<Event t={self.time:.1f}ns #{self.seq} {name}{state}>"
+        state = " cancelled" if self[2] is None else ""
+        name = getattr(self[2], "__qualname__", repr(self[2]))
+        return f"<Event t={self[0]:.1f}ns #{self[1]} {name}{state}>"
 
 
 class EventQueue:
-    """A stable binary-heap event calendar."""
+    """A stable binary-heap event calendar with entry pooling and compaction."""
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_seq", "_cancelled", "_pool", "compactions")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
-        self._counter = itertools.count()
-        self._live = 0
+        self._seq = 0
+        self._cancelled = 0
+        self._pool: list[Event] = []
+        self.compactions = 0
 
     def __len__(self) -> int:
-        return self._live
+        # Live events only; dead entries are tracked in ``_cancelled`` so the
+        # hot push/pop paths never maintain a separate live counter.
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
-        return self._live > 0
+        return len(self._heap) > self._cancelled
+
+    @property
+    def cancelled_events(self) -> int:
+        """Dead entries currently sitting in the heap (pre-compaction)."""
+        return self._cancelled
 
     def push(self, time: float, callback: Callable[..., Any], args: tuple = ()) -> Event:
         """Insert a callback at absolute ``time`` and return its handle."""
-        event = Event(time, next(self._counter), callback, args)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event[0] = time
+            event[1] = seq
+            event[2] = callback
+            event[3] = args
+        else:
+            event = Event(time, seq, callback, args, self)
         heapq.heappush(self._heap, event)
-        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or ``None``."""
+        """Remove and return the earliest non-cancelled event, or ``None``.
+
+        The returned entry keeps its callback/args (callers invoke them) but
+        is detached from the queue, so a late ``cancel()`` on the handle is a
+        harmless local no-op instead of corrupting the dead-entry count.
+        """
         heap = self._heap
+        pool = self._pool
         while heap:
             event = heapq.heappop(heap)
-            if event.cancelled:
+            if event[2] is None:
+                self._cancelled -= 1
+                if len(pool) < POOL_CAP:
+                    event[3] = ()
+                    pool.append(event)
                 continue
-            self._live -= 1
+            event[4] = None
             return event
-        self._live = 0
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event without removing it."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        pool = self._pool
+        while heap and heap[0][2] is None:
+            event = heapq.heappop(heap)
+            self._cancelled -= 1
+            if len(pool) < POOL_CAP:
+                event[3] = ()
+                pool.append(event)
+        return heap[0][0] if heap else None
 
     def clear(self) -> None:
+        # Detach every discarded entry so retained handles cannot touch the
+        # queue's accounting afterwards.
+        for event in self._heap:
+            event[4] = None
         self._heap.clear()
-        self._live = 0
+        self._cancelled = 0
+
+    # ------------------------------------------------------------ compaction
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors.
+
+        Pop order is unaffected: a binary heap always yields the smallest
+        ``(time, seq)`` entry regardless of its internal arrangement.  The
+        heap is compacted *in place* so that hot loops holding a reference to
+        the list (see ``Simulator.run``) stay valid across compactions.
+        """
+        pool = self._pool
+        heap = self._heap
+        live: list[Event] = []
+        for event in heap:
+            if event[2] is None:
+                if len(pool) < POOL_CAP:
+                    event[3] = ()
+                    pool.append(event)
+            else:
+                live.append(event)
+        heap[:] = live
+        heapq.heapify(heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debugging aid
-        return iter(sorted(e for e in self._heap if not e.cancelled))
+        return iter(sorted(e for e in self._heap if e[2] is not None))

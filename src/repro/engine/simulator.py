@@ -8,13 +8,19 @@ Typical use::
 
 Components hold a reference to the shared :class:`Simulator` and schedule
 their own callbacks; the kernel knows nothing about networks or routers.
+
+``run`` operates directly on the calendar's raw heap entries (see
+:mod:`repro.engine.events`): one monomorphic loop with no per-event method
+dispatch, attribute chasing, or handle churn — executed entries go straight
+back to the queue's pool before their callback runs.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
-from repro.engine.events import Event, EventQueue
+from repro.engine.events import POOL_CAP, Event, EventQueue
 
 
 class SimulationError(RuntimeError):
@@ -55,19 +61,48 @@ class Simulator:
         return len(self._queue)
 
     # ------------------------------------------------------------- scheduling
+    # at()/after() inline EventQueue.push — they are the public scheduling API
+    # and sit on the per-event hot path of every component and client script.
     def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} ns: clock is already at {self._now} ns"
             )
-        return self._queue.push(time, callback, args)
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        pool = queue._pool
+        if pool:
+            event = pool.pop()
+            event[0] = time
+            event[1] = seq
+            event[2] = callback
+            event[3] = args
+        else:
+            event = Event(time, seq, callback, args, queue)
+        heappush(queue._heap, event)
+        return event
 
     def after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` ``delay`` nanoseconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} ns")
-        return self._queue.push(self._now + delay, callback, args)
+        time = self._now + delay
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        pool = queue._pool
+        if pool:
+            event = pool.pop()
+            event[0] = time
+            event[1] = seq
+            event[2] = callback
+            event[3] = args
+        else:
+            event = Event(time, seq, callback, args, queue)
+        heappush(queue._heap, event)
+        return event
 
     # ---------------------------------------------------------------- running
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -105,14 +140,33 @@ class Simulator:
         self._running = True
         executed = 0
         queue = self._queue
+        pool = queue._pool
+        # Sentinels keep the inner loop monomorphic: one float compare per
+        # event instead of ``is not None`` branches.
+        bound = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
         try:
+            # Both the heap and the pool lists are only ever mutated in
+            # place (compaction included), so the locals stay valid across
+            # arbitrary callback side effects.
+            heap = queue._heap
+            pool_append = pool.append
             while True:
-                next_time = queue.peek_time()
-                if next_time is None:
+                if not heap:
                     if until is not None and until > self._now:
                         self._now = until
                     break
-                if until is not None and next_time > until:
+                entry = heap[0]
+                if entry[2] is None:
+                    # Lazily-cancelled head: reclaim it and look again.
+                    heappop(heap)
+                    queue._cancelled -= 1
+                    if len(pool) < POOL_CAP:
+                        entry[3] = ()
+                        pool_append(entry)
+                    continue
+                next_time = entry[0]
+                if next_time > bound:
                     self._now = until
                     break
                 # Charge the event budget only for events that would actually
@@ -120,17 +174,24 @@ class Simulator:
                 # nothing left before ``until``), the clock must still advance
                 # to ``until`` exactly like an unlimited run, so that callers
                 # composing run() with at()/after() see one consistent clock.
-                if max_events is not None and executed >= max_events:
+                if executed >= budget:
                     break
-                event = queue.pop()
-                if event is None:  # pragma: no cover - defensive
-                    break
-                self._now = event.time
-                event.callback(*event.args)
+                heappop(heap)
+                self._now = next_time
+                callback = entry[2]
+                args = entry[3]
+                # Recycle the entry before the callback runs: the callback and
+                # args are safe in locals, and any push() the callback makes
+                # can reuse the slot immediately.
+                entry[2] = None
+                entry[3] = ()
+                if len(pool) < POOL_CAP:
+                    pool_append(entry)
+                callback(*args)
                 executed += 1
-                self._events_processed += 1
         finally:
             self._running = False
+            self._events_processed += executed
         return self._now
 
     def step(self) -> bool:
@@ -138,8 +199,10 @@ class Simulator:
         event = self._queue.pop()
         if event is None:
             return False
-        self._now = event.time
-        event.callback(*event.args)
+        self._now = event[0]
+        callback = event[2]
+        args = event[3]
+        callback(*args)
         self._events_processed += 1
         return True
 

@@ -68,7 +68,7 @@ class DragonflyNetwork:
         stats_bin_ns: float = 1_000.0,
     ) -> None:
         self.config = config
-        self.topo = DragonflyTopology(config)
+        self.topo = DragonflyTopology.for_config(config)
         base_params = params if params is not None else NetworkParams()
         num_vcs = base_params.num_vcs
         if num_vcs is None:
@@ -152,17 +152,27 @@ class DragonflyNetwork:
         if src_node == dst_node:
             raise ValueError("source and destination node must differ")
         topo = self.topo
+        num_nodes = topo.num_nodes
+        if not (0 <= src_node < num_nodes and 0 <= dst_node < num_nodes):
+            raise ValueError(f"node out of range [0, {num_nodes}): {src_node}, {dst_node}")
         if now is None:
-            now = self.sim.now
+            now = self.sim._now
+        # Inlined id mapping (node // p is the router, node % p its local
+        # index): one packet is created per generated message, so the helper
+        # calls would dominate this constructor.
+        p = topo.p
+        src_router = src_node // p
+        dst_router = dst_node // p
+        router_group = topo._router_group
         packet = Packet(
             pid=self._packet_counter,
             src_node=src_node,
             dst_node=dst_node,
-            src_router=topo.router_of_node(src_node),
-            dst_router=topo.router_of_node(dst_node),
-            src_group=topo.group_of_node(src_node),
-            dst_group=topo.group_of_node(dst_node),
-            src_node_local=topo.node_local_index(src_node),
+            src_router=src_router,
+            dst_router=dst_router,
+            src_group=router_group[src_router],
+            dst_group=router_group[dst_router],
+            src_node_local=src_node % p,
             size_bytes=self.params.packet_bytes,
             create_time_ns=now,
         )

@@ -36,6 +36,13 @@ class Nic:
         "dropped_packets",
         "_retry_pending",
         "serialization_ns",
+        "_push",
+        "_recv_cb",
+        "_lat",
+        "_hop_delay",
+        "_remote",
+        "_cred_counts",
+        "_cred_infinite",
     )
 
     def __init__(self, node: int, params: NetworkParams, sim) -> None:
@@ -52,12 +59,26 @@ class Nic:
         self.dropped_packets = 0
         self._retry_pending = False
         self.serialization_ns = params.serialization_ns
+        # Flattened host-link state (filled by connect()), mirroring Router.
+        self._push = sim._queue.push
+        self._recv_cb: Optional[Callable] = None
+        self._lat = 0.0
+        self._hop_delay = 0.0
+        self._remote = 0
+        self._cred_counts: Optional[list] = None
+        self._cred_infinite = False
 
     # ----------------------------------------------------------------- wiring
     def connect(self, channel: Channel, router_credits: OutputCredits) -> None:
         """Attach the host link towards this node's router."""
         self.channel = channel
         self.credits = router_credits
+        self._recv_cb = channel.endpoint.receive_packet
+        self._lat = channel.latency_ns
+        self._hop_delay = self.serialization_ns + channel.latency_ns
+        self._remote = channel.remote_port
+        self._cred_counts = router_credits._credits
+        self._cred_infinite = router_credits._infinite
 
     # -------------------------------------------------------------- injection
     @property
@@ -80,30 +101,26 @@ class Nic:
         return True
 
     def _try_inject(self) -> None:
-        now = self.sim.now
-        while self.inject_queue:
+        now = self.sim._now
+        queue = self.inject_queue
+        while queue:
             if self.busy_until > now:
                 self._schedule_retry(self.busy_until)
                 return
-            if not self.credits.available(0):
+            if not (self._cred_infinite or self._cred_counts[0] > 0):
                 # Wait for the router to return a credit; credit_return() retries.
                 return
-            packet = self.inject_queue.popleft()
+            packet = queue.popleft()
             ser = self.serialization_ns
             self.busy_until = now + ser
-            self.credits.take(0)
+            if not self._cred_infinite:
+                self._cred_counts[0] -= 1
             packet.inject_time_ns = now
             if packet.path is not None:
                 packet.path.append(-1)  # sentinel marking the injection point
             self.injected_packets += 1
-            self.sim.after(
-                ser + self.channel.latency_ns,
-                self.channel.endpoint.receive_packet,
-                packet,
-                self.channel.remote_port,
-                0,
-            )
-            now = self.sim.now  # unchanged, loop exits through the busy check
+            self._push(now + self._hop_delay, self._recv_cb, (packet, self._remote, 0))
+            # the clock is unchanged, so the loop exits through the busy check
 
     def _schedule_retry(self, at_time: float) -> None:
         if self._retry_pending:

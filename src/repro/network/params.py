@@ -7,7 +7,7 @@ VC buffers of 20 packets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Optional
 
 from repro.topology.dragonfly import DragonflyTopology, PortType

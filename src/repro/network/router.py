@@ -19,6 +19,14 @@ Model
 The router delegates all path selection to the attached routing algorithm via
 ``routing.route(router, packet, in_port)`` and notifies it of forwards through
 ``routing.on_forward`` (used by the RL algorithms for reward feedback).
+
+Hot-path layout: :meth:`connect` flattens each channel into parallel per-port
+arrays (receive callback, latency, remote port, credit counters) so that the
+per-flit code in :meth:`_forward` / :meth:`_serve_waiting` runs on plain list
+indexing and direct event-queue pushes instead of chasing ``Channel`` /
+``OutputCredits`` attributes per packet.  Event-push order and timestamp
+arithmetic exactly mirror the un-flattened code, keeping runs bit-for-bit
+deterministic.
 """
 
 from __future__ import annotations
@@ -52,6 +60,18 @@ class Router:
         "serialization_ns",
         "forwarded_packets",
         "ejected_packets",
+        "_p",
+        "_max_vc",
+        "_buf_cap",
+        "_push",
+        "_recv_cb",
+        "_ret_cb",
+        "_lat",
+        "_remote",
+        "_cred_counts",
+        "_cred_infinite",
+        "_cred_cap",
+        "_hop_delay",
     )
 
     def __init__(
@@ -85,11 +105,37 @@ class Router:
         self.forwarded_packets = 0
         self.ejected_packets = 0
 
+        # Flattened per-port hot-path state (filled by connect()).
+        self._p = topo.p
+        self._max_vc = num_vcs - 1
+        self._buf_cap = params.vc_buffer_packets
+        self._push = sim._queue.push
+        self._recv_cb = [None] * k  # endpoint.receive_packet across the port
+        self._ret_cb = [None] * k  # endpoint.credit_return across the port
+        self._lat: List[float] = [0.0] * k  # channel propagation latency
+        self._remote: List[int] = [0] * k  # endpoint input port fed by the port
+        self._cred_counts: List[Optional[List[int]]] = [None] * k
+        self._cred_infinite: List[bool] = [False] * k
+        self._cred_cap: List[Optional[int]] = [None] * k
+        # serialization + propagation for the link behind each port; the sum
+        # is precomputed once so event timestamps keep the exact float
+        # grouping ``now + (ser + latency)`` of the unflattened code.
+        self._hop_delay: List[float] = [0.0] * k
+
     # ----------------------------------------------------------------- wiring
     def connect(self, port: int, channel: Channel, downstream_credits: OutputCredits) -> None:
         """Attach ``channel`` (and the matching credit counters) to ``port``."""
         self.channels[port] = channel
         self.credits[port] = downstream_credits
+        endpoint = channel.endpoint
+        self._recv_cb[port] = endpoint.receive_packet
+        self._ret_cb[port] = endpoint.credit_return
+        self._lat[port] = channel.latency_ns
+        self._remote[port] = channel.remote_port
+        self._cred_counts[port] = downstream_credits._credits
+        self._cred_infinite[port] = downstream_credits._infinite
+        self._cred_cap[port] = downstream_credits.capacity
+        self._hop_delay[port] = self.serialization_ns + channel.latency_ns
 
     def attach_routing(self, routing) -> None:
         self.routing = routing
@@ -98,13 +144,13 @@ class Router:
     def receive_packet(self, packet: Packet, in_port: int, vc: int) -> None:
         """A packet finished traversing the link feeding ``in_port`` on ``vc``."""
         buf = self.input_bufs[in_port][vc]
-        if self.params.vc_buffer_packets and len(buf) >= self.params.vc_buffer_packets:
+        if self._buf_cap and len(buf) >= self._buf_cap:
             # The upstream credit check makes this impossible; a failure here
             # indicates a flow-control bug, so fail loudly instead of dropping.
             raise RuntimeError(
                 f"router {self.id} input buffer overflow on port {in_port} vc {vc}"
             )
-        packet.router_arrival_ns = self.sim.now
+        packet.router_arrival_ns = self.sim._now
         if packet.path is not None:
             packet.path.append(self.id)
         buf.append(packet)
@@ -113,7 +159,11 @@ class Router:
 
     def credit_return(self, out_port: int, vc: int) -> None:
         """The downstream of ``out_port`` freed one buffer slot on ``vc``."""
-        self.credits[out_port].put(vc)
+        if not self._cred_infinite[out_port]:
+            counts = self._cred_counts[out_port]
+            if counts[vc] >= self._cred_cap[out_port]:
+                raise RuntimeError(f"credit overflow on vc {vc}: more returns than takes")
+            counts[vc] += 1
         self._serve_waiting(out_port)
 
     # ------------------------------------------------------------ forwarding
@@ -121,17 +171,18 @@ class Router:
         packet = self.input_bufs[in_port][vc][0]
         out_port = self.routing.route(self, packet, in_port)
         packet.out_port = out_port
-        if self.topo.is_host_port(out_port):
-            packet.out_vc = 0
+        if out_port < self._p:
+            out_vc = 0
         else:
-            packet.out_vc = min(packet.hops, self.num_vcs - 1)
-        self._try_forward(in_port, vc, packet)
-
-    def _try_forward(self, in_port: int, vc: int, packet: Packet) -> None:
-        out_port = packet.out_port
-        now = self.sim.now
-        if self.out_busy_until[out_port] > now or not self.credits[out_port].available(
-            packet.out_vc
+            out_vc = packet.hops
+            max_vc = self._max_vc
+            if out_vc > max_vc:
+                out_vc = max_vc
+        packet.out_vc = out_vc
+        # Forward immediately when the port is idle and credits are there;
+        # otherwise the packet queues as a waiter of its output port.
+        if self.out_busy_until[out_port] > self.sim._now or not (
+            self._cred_infinite[out_port] or self._cred_counts[out_port][out_vc] > 0
         ):
             self.waiting[out_port].append((in_port, vc, packet))
             return
@@ -139,7 +190,7 @@ class Router:
 
     def _forward(self, in_port: int, vc: int, packet: Packet) -> None:
         """Move the head packet of ``(in_port, vc)`` onto its output link."""
-        now = self.sim.now
+        now = self.sim._now
         out_port = packet.out_port
         out_vc = packet.out_vc
         buf = self.input_bufs[in_port][vc]
@@ -148,35 +199,28 @@ class Router:
 
         ser = self.serialization_ns
         self.out_busy_until[out_port] = now + ser
-        self.credits[out_port].take(out_vc)
+        if not self._cred_infinite[out_port]:
+            self._cred_counts[out_port][out_vc] -= 1
 
+        push = self._push
+        hop_delay = self._hop_delay
         # Return a credit for the freed input slot to the upstream sender.
-        upstream = self.channels[in_port]
-        self.sim.after(
-            ser + upstream.latency_ns, upstream.endpoint.credit_return, upstream.remote_port, vc
-        )
+        push(now + hop_delay[in_port], self._ret_cb[in_port], (self._remote[in_port], vc))
 
         # Notify the routing algorithm (RL algorithms register reward feedback here).
         self.routing.on_forward(self, packet, in_port, out_port, now)
 
-        is_ejection = out_port < self.topo.p
-        if not is_ejection:
+        if out_port < self._p:  # ejection to the attached node
+            self.ejected_packets += 1
+        else:
             packet.hops += 1
             self.forwarded_packets += 1
-        else:
-            self.ejected_packets += 1
 
-        channel = self.channels[out_port]
-        self.sim.after(
-            ser + channel.latency_ns,
-            channel.endpoint.receive_packet,
-            packet,
-            channel.remote_port,
-            out_vc,
-        )
+        push(now + hop_delay[out_port], self._recv_cb[out_port],
+             (packet, self._remote[out_port], out_vc))
 
         # The output port frees after serialization; wake any waiters then.
-        self.sim.after(ser, self._serve_waiting, out_port)
+        push(now + ser, self._serve_waiting, (out_port,))
 
         # The next packet in this input VC becomes head: route it now.
         if buf:
@@ -193,21 +237,23 @@ class Router:
         waiters = self.waiting[out_port]
         if not waiters:
             return
-        if self.out_busy_until[out_port] > self.sim.now:
+        if self.out_busy_until[out_port] > self.sim._now:
             return
-        credits = self.credits[out_port]
+        infinite = self._cred_infinite[out_port]
+        counts = self._cred_counts[out_port]
+        input_bufs = self.input_bufs
         scanned = 0
         skipped = 0
         total = len(waiters)
         while scanned < total and waiters:
             in_port, vc, packet = waiters[0]
-            buf = self.input_bufs[in_port][vc]
+            buf = input_bufs[in_port][vc]
             if not buf or buf[0] is not packet:
                 # Stale entry (the packet was already forwarded): drop it.
                 waiters.popleft()
                 scanned += 1
                 continue
-            if credits.available(packet.out_vc):
+            if infinite or counts[packet.out_vc] > 0:
                 waiters.popleft()
                 # Restore the skipped waiters to the front, in original order,
                 # before _forward runs (it can append new waiters at the back).

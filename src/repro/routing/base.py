@@ -45,6 +45,8 @@ class RoutingAlgorithm(abc.ABC):
         self.network = network
         self.topo = network.topo
         self.rng = network.rng.py(f"routing:{self.name}")
+        self._host_ports = network.topo.p  # cached for the ejection fast path
+        self._min_next = network.topo.minimal_next_port  # bound, memoized
         self._setup()
 
     def _setup(self) -> None:
@@ -69,7 +71,7 @@ class RoutingAlgorithm(abc.ABC):
         """
         self.observe(router, packet, in_port)
         if packet.dst_router == router.id:
-            return self.topo.host_port_of_node(packet.dst_node)
+            return packet.dst_node % self._host_ports  # the ejection host port
         return self.decide(router, packet, in_port)
 
     def observe(self, router: Router, packet: Packet, in_port: int) -> None:
@@ -85,8 +87,12 @@ class RoutingAlgorithm(abc.ABC):
 
     # -------------------------------------------------------------- utilities
     def minimal_port(self, router: Router, packet: Packet) -> int:
-        """Next port of the minimal path towards the packet's destination router."""
-        return self.topo.minimal_next_port(router.id, packet.dst_router)
+        """Next port of the minimal path towards the packet's destination router.
+
+        Hot decide() implementations may call the cached ``self._min_next``
+        bound method directly to skip this wrapper frame.
+        """
+        return self._min_next(router.id, packet.dst_router)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{self.__class__.__name__} name={self.name!r}>"

@@ -24,4 +24,4 @@ class MinimalRouting(RoutingAlgorithm):
         return 3
 
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
-        return self.minimal_port(router, packet)
+        return self._min_next(router.id, packet.dst_router)

@@ -35,10 +35,10 @@ class ParRouting(_UgalBase):
             return self._follow_nonminimal(router, packet)
         if router.id == packet.src_router and packet.hops == 0:
             if packet.src_group == packet.dst_group:
-                return self.minimal_port(router, packet)
+                return self._min_next(router.id, packet.dst_router)
             if self._adaptive_choice(router, packet):
                 return self._follow_nonminimal(router, packet)
-            return self.minimal_port(router, packet)
+            return self._min_next(router.id, packet.dst_router)
         # Progressive step: a minimally-routed packet still inside its source
         # group gets one chance to divert onto a non-minimal path.
         if (
@@ -51,4 +51,4 @@ class ParRouting(_UgalBase):
             if self._adaptive_choice(router, packet):
                 self.diverted_packets += 1
                 return self._follow_nonminimal(router, packet)
-        return self.minimal_port(router, packet)
+        return self._min_next(router.id, packet.dst_router)

@@ -43,7 +43,7 @@ class _UgalBase(RoutingAlgorithm):
     def _first_hop_towards_router(self, router: Router, target_router: int) -> int:
         if router.id == target_router:
             raise ValueError("candidate target equals the current router")
-        return self.topo.minimal_next_port(router.id, target_router)
+        return self._min_next(router.id, target_router)
 
     def _sample_nonminimal(self, router: Router, packet: Packet):
         """Sample a non-minimal candidate; returns (first_port, hops, imd_router, imd_group)."""
@@ -70,7 +70,7 @@ class _UgalBase(RoutingAlgorithm):
     def _adaptive_choice(self, router: Router, packet: Packet) -> bool:
         """Run the UGAL comparison; commits the packet and returns True if non-minimal."""
         topo = self.topo
-        min_port = self.minimal_port(router, packet)
+        min_port = self._min_next(router.id, packet.dst_router)
         min_hops = max(topo.minimal_hops(router.id, packet.dst_router), 1)
         nm_port, nm_hops, imd_router, imd_group = self._sample_nonminimal(router, packet)
         q_min = router.port_congestion(min_port)
@@ -92,16 +92,16 @@ class _UgalBase(RoutingAlgorithm):
             if not packet.intgrp_decided and router.id == packet.imd_router:
                 packet.intgrp_decided = True
             if packet.intgrp_decided or router.group == packet.dst_group:
-                return self.minimal_port(router, packet)
-            return topo.minimal_next_port(router.id, packet.imd_router)
+                return self._min_next(router.id, packet.dst_router)
+            return self._min_next(router.id, packet.imd_router)
         # group-valiant (UGALg) phase logic
         if router.group == packet.dst_group or router.group == packet.imd_group:
-            return self.minimal_port(router, packet)
+            return self._min_next(router.id, packet.dst_router)
         direct = topo.global_port_to_group(router.id, packet.imd_group)
         if direct is not None:
             return direct
         entry_router = topo.gateway_router(packet.imd_group, router.group)
-        return topo.minimal_next_port(router.id, entry_router)
+        return self._min_next(router.id, entry_router)
 
     # ---------------------------------------------------------------- routing
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
@@ -109,11 +109,11 @@ class _UgalBase(RoutingAlgorithm):
             return self._follow_nonminimal(router, packet)
         if router.id == packet.src_router and packet.hops == 0:
             if packet.src_group == packet.dst_group:
-                return self.minimal_port(router, packet)
+                return self._min_next(router.id, packet.dst_router)
             if self._adaptive_choice(router, packet):
                 return self._follow_nonminimal(router, packet)
-            return self.minimal_port(router, packet)
-        return self.minimal_port(router, packet)
+            return self._min_next(router.id, packet.dst_router)
+        return self._min_next(router.id, packet.dst_router)
 
 
 class UgalGRouting(_UgalBase):

@@ -57,13 +57,13 @@ class ValiantGlobalRouting(RoutingAlgorithm):
                 packet.nonminimal = True
         if router.group == packet.dst_group or router.group == packet.imd_group:
             # Second phase: head for the destination.
-            return self.minimal_port(router, packet)
+            return self._min_next(router.id, packet.dst_router)
         # First phase: head minimally towards the intermediate group's entry router.
         entry_router = topo.gateway_router(packet.imd_group, router.group)
         direct = topo.global_port_to_group(router.id, packet.imd_group)
         if direct is not None:
             return direct
-        return topo.minimal_next_port(router.id, entry_router)
+        return self._min_next(router.id, entry_router)
 
 
 class ValiantNodeRouting(RoutingAlgorithm):
@@ -88,5 +88,5 @@ class ValiantNodeRouting(RoutingAlgorithm):
         if not packet.intgrp_decided and router.id == packet.imd_router:
             packet.intgrp_decided = True
         if packet.intgrp_decided or router.group == packet.dst_group:
-            return self.minimal_port(router, packet)
-        return topo.minimal_next_port(router.id, packet.imd_router)
+            return self._min_next(router.id, packet.dst_router)
+        return self._min_next(router.id, packet.imd_router)

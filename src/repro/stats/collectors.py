@@ -92,9 +92,13 @@ class StatsCollector:
     def record_delivery(self, packet: Packet, now: float) -> None:
         latency = now - packet.create_time_ns
         self.delivered += 1
-        self.latency_series.add(now, latency)
-        self.delivery_series.add(now, packet.size_bytes)
-        self.hop_series.add(now, packet.hops)
+        # All three series share one bin width: compute the bin index once
+        # and update the underlying accumulators directly (this runs once per
+        # delivered packet).
+        idx = int(now // self.latency_series.bin_ns)
+        self.latency_series.add_to_bin(idx, latency)
+        self.delivery_series.add_to_bin(idx, packet.size_bytes)
+        self.hop_series.add_to_bin(idx, packet.hops)
         # The measurement window is defined by the *delivery* time: this keeps
         # throughput an unbiased steady-state flux and lets saturated runs
         # (source queues growing without bound) still report the latency of

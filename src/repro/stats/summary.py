@@ -8,7 +8,7 @@ exactly those quantities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Sequence
 
 import numpy as np

@@ -27,7 +27,11 @@ class TimeSeries:
 
     def add(self, time_ns: float, value: float) -> None:
         """Record ``value`` at ``time_ns``."""
-        idx = int(time_ns // self.bin_ns)
+        self.add_to_bin(int(time_ns // self.bin_ns), value)
+
+    def add_to_bin(self, idx: int, value: float) -> None:
+        """Record ``value`` in bin ``idx`` (callers sharing one bin width can
+        compute the index once for several series)."""
         self._sums[idx] = self._sums.get(idx, 0.0) + value
         self._counts[idx] = self._counts.get(idx, 0) + 1
 

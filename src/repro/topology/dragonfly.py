@@ -44,6 +44,25 @@ class DragonflyTopology:
     ``global_port_to_group``) are O(1) array lookups.
     """
 
+    #: process-wide cache for :meth:`for_config`; topologies are immutable
+    #: after construction (the lazy memo tables are value-transparent), so
+    #: every network of the same size can share one instance.
+    _instances: dict = {}
+
+    @classmethod
+    def for_config(cls, config: DragonflyConfig) -> "DragonflyTopology":
+        """Shared topology instance for ``config``.
+
+        Building the wiring tables is O(k·m) and a parameter sweep builds
+        hundreds of identical networks; sharing the topology also shares its
+        memoized routing queries across runs of one process.
+        """
+        topo = cls._instances.get(config)
+        if topo is None:
+            topo = cls(config)
+            cls._instances[config] = topo
+        return topo
+
     def __init__(self, config: DragonflyConfig) -> None:
         self.config = config
         self.p = config.p
@@ -115,6 +134,34 @@ class DragonflyTopology:
         self._global_port_to_group = global_port_to_group
         self._gateway_router = gateway_router
 
+        # Plain-Python mirrors of the hot lookup tables: indexing a nested
+        # list returns an ``int`` directly, where indexing the NumPy arrays
+        # above returns a numpy scalar that every caller would convert.
+        self._router_group: List[int] = [r // a for r in range(m)]
+        self._neighbor_pairs: List[List[Optional[Tuple[int, int]]]] = [
+            [
+                (int(neighbor_router[r, port]), int(neighbor_port[r, port]))
+                if neighbor_router[r, port] >= 0
+                else None
+                for port in range(k)
+            ]
+            for r in range(m)
+        ]
+        self._global_port_lists: List[List[Optional[int]]] = [
+            [int(port) if port >= 0 else None for port in row]
+            for row in global_port_to_group
+        ]
+        self._gateway_lists: List[List[int]] = [
+            [int(router) for router in row] for row in gateway_router
+        ]
+
+        # Memo tables for the per-packet routing queries; filled lazily so
+        # construction stays O(k·m) even for the 2,550-node system.  Keys are
+        # flat ``router * m + dest`` ints (cheaper to hash than tuples).
+        self._min_port_cache: dict = {}
+        self._min_hops_cache: dict = {}
+        self._min_path_cache: dict = {}
+
     # ------------------------------------------------------------- id mapping
     def router_of_node(self, node: int) -> int:
         """Router to which compute node ``node`` attaches."""
@@ -144,8 +191,9 @@ class DragonflyTopology:
 
     def group_of_router(self, router: int) -> int:
         """Group that ``router`` belongs to."""
-        self._check_router(router)
-        return router // self.a
+        if 0 <= router < self.num_routers:
+            return self._router_group[router]
+        raise ValueError(f"router {router} out of range [0, {self.num_routers})")
 
     def group_of_node(self, node: int) -> int:
         """Group that compute node ``node`` belongs to."""
@@ -192,10 +240,7 @@ class DragonflyTopology:
         Returns ``None`` for host ports (the other side is a compute node).
         """
         self._check_router(router)
-        nbr = int(self._neighbor_router[router, port])
-        if nbr < 0:
-            return None
-        return nbr, int(self._neighbor_port[router, port])
+        return self._neighbor_pairs[router][port]
 
     def local_port_to(self, router: int, other: int) -> int:
         """Local port of ``router`` that reaches ``other`` (same group, one hop)."""
@@ -211,8 +256,7 @@ class DragonflyTopology:
         """Global port of ``router`` directly reaching ``dest_group``, or ``None``."""
         self._check_router(router)
         self._check_group(dest_group)
-        port = int(self._global_port_to_group[router, dest_group])
-        return None if port < 0 else port
+        return self._global_port_lists[router][dest_group]
 
     def gateway_router(self, src_group: int, dest_group: int) -> int:
         """Router of ``src_group`` owning the global link towards ``dest_group``."""
@@ -220,7 +264,7 @@ class DragonflyTopology:
         self._check_group(dest_group)
         if src_group == dest_group:
             raise ValueError("no gateway between a group and itself")
-        return int(self._gateway_router[src_group, dest_group])
+        return self._gateway_lists[src_group][dest_group]
 
     def connected_group(self, router: int, global_port: int) -> int:
         """Group reached through ``global_port`` of ``router``."""
@@ -234,22 +278,41 @@ class DragonflyTopology:
         """Next output port on a minimal path from ``router`` towards ``dest_router``.
 
         Raises if ``router == dest_router`` (ejection is the caller's decision,
-        since it needs the destination *node*).
+        since it needs the destination *node*).  Results are memoized — every
+        packet of a run asks the same questions over and over.
         """
+        self._check_router(router)
+        self._check_router(dest_router)
+        port = self._min_port_cache.get(router * self.num_routers + dest_router)
+        if port is not None:
+            return port
         if router == dest_router:
             raise ValueError("already at the destination router; eject instead")
         src_group = self.group_of_router(router)
         dst_group = self.group_of_router(dest_router)
         if src_group == dst_group:
-            return self.local_port_to(router, dest_router)
-        direct = self.global_port_to_group(router, dst_group)
-        if direct is not None:
-            return direct
-        gateway = self.gateway_router(src_group, dst_group)
-        return self.local_port_to(router, gateway)
+            port = self.local_port_to(router, dest_router)
+        else:
+            direct = self._global_port_lists[router][dst_group]
+            if direct is not None:
+                port = direct
+            else:
+                gateway = self._gateway_lists[src_group][dst_group]
+                port = self.local_port_to(router, gateway)
+        self._min_port_cache[router * self.num_routers + dest_router] = port
+        return port
 
     def minimal_router_path(self, src_router: int, dest_router: int) -> List[int]:
-        """Sequence of routers (inclusive of both ends) along the minimal path."""
+        """Sequence of routers (inclusive of both ends) along the minimal path.
+
+        Memoized; callers receive a fresh copy and may mutate it freely.
+        """
+        self._check_router(src_router)
+        self._check_router(dest_router)
+        key = src_router * self.num_routers + dest_router
+        path = self._min_path_cache.get(key)
+        if path is not None:
+            return list(path)
         path = [src_router]
         current = src_router
         while current != dest_router:
@@ -260,23 +323,31 @@ class DragonflyTopology:
             path.append(current)
             if len(path) > 4:  # diameter-3 topology: at most 4 routers on a minimal path
                 raise RuntimeError("minimal path exceeded the Dragonfly diameter; wiring bug")
-        return path
+        self._min_path_cache[key] = path
+        return list(path)
 
     def minimal_hops(self, src_router: int, dest_router: int) -> int:
-        """Number of router-to-router hops on the minimal path (0 to 3)."""
+        """Number of router-to-router hops on the minimal path (0 to 3). Memoized."""
+        self._check_router(src_router)
+        self._check_router(dest_router)
+        key = src_router * self.num_routers + dest_router
+        hops = self._min_hops_cache.get(key)
+        if hops is not None:
+            return hops
         if src_router == dest_router:
-            return 0
-        src_group = self.group_of_router(src_router)
-        dst_group = self.group_of_router(dest_router)
-        if src_group == dst_group:
-            return 1
-        hops = 1  # the global hop
-        gateway = self.gateway_router(src_group, dst_group)
-        if gateway != src_router:
-            hops += 1
-        entry = self.gateway_router(dst_group, src_group)
-        if entry != dest_router:
-            hops += 1
+            hops = 0
+        else:
+            src_group = self.group_of_router(src_router)
+            dst_group = self.group_of_router(dest_router)
+            if src_group == dst_group:
+                hops = 1
+            else:
+                hops = 1  # the global hop
+                if self._gateway_lists[src_group][dst_group] != src_router:
+                    hops += 1
+                if self._gateway_lists[dst_group][src_group] != dest_router:
+                    hops += 1
+        self._min_hops_cache[key] = hops
         return hops
 
     # ----------------------------------------------------------- enumerations

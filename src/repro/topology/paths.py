@@ -11,9 +11,25 @@ without any congestion through a minimal routing path").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.topology.dragonfly import DragonflyTopology, PortType
+
+
+def _memo(topo: DragonflyTopology) -> Dict:
+    """Per-topology memo table shared by every helper in this module.
+
+    Stored on the topology instance so it lives exactly as long as the wiring
+    it caches, and so sharing a topology across networks (see
+    :meth:`DragonflyTopology.for_config`) shares the memoized answers too.
+    All helpers are pure functions of (topology, arguments), which makes the
+    memoization value-transparent.
+    """
+    memo = getattr(topo, "_paths_memo", None)
+    if memo is None:
+        memo = {}
+        topo._paths_memo = memo
+    return memo
 
 
 @dataclass(frozen=True)
@@ -63,14 +79,21 @@ def valiant_global_route(
     minimally onwards to the destination.  If the intermediate group equals
     the source or destination group the path degenerates to the minimal path.
     """
-    src_group = topo.group_of_router(src_router)
-    dst_group = topo.group_of_router(dest_router)
-    if intermediate_group in (src_group, dst_group):
-        return minimal_route(topo, src_router, dest_router)
-    entry_router = topo.gateway_router(intermediate_group, src_group)
-    first_leg = topo.minimal_router_path(src_router, entry_router)
-    second_leg = topo.minimal_router_path(entry_router, dest_router)
-    return first_leg + second_leg[1:]
+    key = ("valg", src_router, dest_router, intermediate_group)
+    memo = _memo(topo)
+    route = memo.get(key)
+    if route is None:
+        src_group = topo.group_of_router(src_router)
+        dst_group = topo.group_of_router(dest_router)
+        if intermediate_group in (src_group, dst_group):
+            route = minimal_route(topo, src_router, dest_router)
+        else:
+            entry_router = topo.gateway_router(intermediate_group, src_group)
+            first_leg = topo.minimal_router_path(src_router, entry_router)
+            second_leg = topo.minimal_router_path(entry_router, dest_router)
+            route = first_leg + second_leg[1:]
+        memo[key] = route
+    return list(route)
 
 
 def valiant_node_route(
@@ -82,14 +105,21 @@ def valiant_node_route(
     (one extra local hop inside that group compared with VALg), which removes
     the intermediate-group local-link bottleneck of adversarial patterns.
     """
-    src_group = topo.group_of_router(src_router)
-    dst_group = topo.group_of_router(dest_router)
-    imd_group = topo.group_of_router(intermediate_router)
-    if imd_group in (src_group, dst_group):
-        return minimal_route(topo, src_router, dest_router)
-    first_leg = topo.minimal_router_path(src_router, intermediate_router)
-    second_leg = topo.minimal_router_path(intermediate_router, dest_router)
-    return first_leg + second_leg[1:]
+    key = ("valn", src_router, dest_router, intermediate_router)
+    memo = _memo(topo)
+    route = memo.get(key)
+    if route is None:
+        src_group = topo.group_of_router(src_router)
+        dst_group = topo.group_of_router(dest_router)
+        imd_group = topo.group_of_router(intermediate_router)
+        if imd_group in (src_group, dst_group):
+            route = minimal_route(topo, src_router, dest_router)
+        else:
+            first_leg = topo.minimal_router_path(src_router, intermediate_router)
+            second_leg = topo.minimal_router_path(intermediate_router, dest_router)
+            route = first_leg + second_leg[1:]
+        memo[key] = route
+    return list(route)
 
 
 def route_ports(topo: DragonflyTopology, router_path: List[int]) -> List[Tuple[int, int]]:
@@ -115,10 +145,15 @@ def route_ports(topo: DragonflyTopology, router_path: List[int]) -> List[Tuple[i
 # --------------------------------------------------------------------- timing
 def path_time(topo: DragonflyTopology, router_path: List[int], timing: LinkTiming) -> float:
     """Congestion-free traversal time of ``router_path`` plus final ejection."""
-    total = 0.0
-    for current, out_port in route_ports(topo, router_path):
-        total += timing.hop_time(topo.port_type(out_port))
-    total += timing.hop_time(PortType.HOST)  # ejection to the destination node
+    key = ("ptime", tuple(router_path), timing)
+    memo = _memo(topo)
+    total = memo.get(key)
+    if total is None:
+        total = 0.0
+        for current, out_port in route_ports(topo, router_path):
+            total += timing.hop_time(topo.port_type(out_port))
+        total += timing.hop_time(PortType.HOST)  # ejection to the destination node
+        memo[key] = total
     return total
 
 
@@ -132,13 +167,20 @@ def min_time_router_to_group(
     initialisation (per-destination-router detail is below the granularity of
     the two-level Q-table).
     """
-    group = topo.group_of_router(router)
-    eject = timing.hop_time(PortType.HOST)
-    if group == dest_group:
-        return eject
-    if topo.global_port_to_group(router, dest_group) is not None:
-        return timing.hop_time(PortType.GLOBAL) + eject
-    return timing.hop_time(PortType.LOCAL) + timing.hop_time(PortType.GLOBAL) + eject
+    key = ("mintime", router, dest_group, timing)
+    memo = _memo(topo)
+    total = memo.get(key)
+    if total is None:
+        group = topo.group_of_router(router)
+        eject = timing.hop_time(PortType.HOST)
+        if group == dest_group:
+            total = eject
+        elif topo.global_port_to_group(router, dest_group) is not None:
+            total = timing.hop_time(PortType.GLOBAL) + eject
+        else:
+            total = timing.hop_time(PortType.LOCAL) + timing.hop_time(PortType.GLOBAL) + eject
+        memo[key] = total
+    return total
 
 
 def uncongested_delivery_time(
@@ -150,17 +192,29 @@ def uncongested_delivery_time(
     the link behind ``out_port`` and continue minimally from the neighbour.
     Host ports are invalid here (Q-tables only cover network ports).
     """
-    port_type = topo.port_type(out_port)
-    if port_type is PortType.HOST:
-        raise ValueError("uncongested_delivery_time is undefined for host ports")
-    neighbor = topo.neighbor_of(router, out_port)
-    assert neighbor is not None
-    first_hop = timing.hop_time(port_type)
-    return first_hop + min_time_router_to_group(topo, neighbor[0], dest_group, timing)
+    key = ("uncong", router, out_port, dest_group, timing)
+    memo = _memo(topo)
+    total = memo.get(key)
+    if total is None:
+        port_type = topo.port_type(out_port)
+        if port_type is PortType.HOST:
+            raise ValueError("uncongested_delivery_time is undefined for host ports")
+        neighbor = topo.neighbor_of(router, out_port)
+        assert neighbor is not None
+        first_hop = timing.hop_time(port_type)
+        total = first_hop + min_time_router_to_group(topo, neighbor[0], dest_group, timing)
+        memo[key] = total
+    return total
 
 
 def minimal_delivery_time(
     topo: DragonflyTopology, src_router: int, dest_router: int, timing: LinkTiming
 ) -> float:
     """Congestion-free delivery time along the exact minimal path (incl. ejection)."""
-    return path_time(topo, minimal_route(topo, src_router, dest_router), timing)
+    key = ("mindeliv", src_router, dest_router, timing)
+    memo = _memo(topo)
+    total = memo.get(key)
+    if total is None:
+        total = path_time(topo, minimal_route(topo, src_router, dest_router), timing)
+        memo[key] = total
+    return total

@@ -137,6 +137,11 @@ class TrafficGenerator:
         self._rng = network.rng.py("traffic:arrivals")
         self._packet_time_ns = network.params.serialization_ns
         network.collector.offered_load = self.schedule.phases[0].load
+        # Fast-path caches for the per-packet driving loop: after the last
+        # phase boundary the load never changes again (for a constant
+        # schedule that is the whole run).
+        self._last_change_ns = self.schedule.phases[-1].start_ns
+        self._final_load = self.schedule.phases[-1].load
 
     # ----------------------------------------------------------------- driving
     def start(self) -> None:
@@ -173,10 +178,13 @@ class TrafficGenerator:
 
     def _generate(self, node: int) -> None:
         sim = self.network.sim
-        now = sim.now
+        now = sim._now
         if self.stop_ns is not None and now >= self.stop_ns:
             return
-        load = self.schedule.load_at(now)
+        if now >= self._last_change_ns:
+            load = self._final_load
+        else:
+            load = self.schedule.load_at(now)
         if load > 0.0:
             dest = self.pattern.destination(node)
             packet = self.network.create_packet(node, dest, now)
@@ -197,7 +205,10 @@ class TrafficGenerator:
         late (the Figure 8 experiment depends on this).
         """
         sim = self.network.sim
-        change = self.schedule.next_change_after(now)
+        if now >= self._last_change_ns:
+            change = None
+        else:
+            change = self.schedule.next_change_after(now)
         if delay == float("inf"):
             # Idle phase: sleep until the next load change (or stop for good).
             if change is None:
@@ -207,7 +218,9 @@ class TrafficGenerator:
         if change is not None and now + delay > change:
             sim.at(change, self._resample, node)
             return
-        sim.after(delay, self._generate, node)
+        # Direct queue push: the interval is non-negative by construction and
+        # this runs once per generated packet.
+        sim._queue.push(now + delay, self._generate, (node,))
 
     def _resample(self, node: int) -> None:
         """Phase boundary reached: discard the stale interval and redraw."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.traffic.base import TrafficPattern, default_grid_dims
-from repro.traffic.stencil import coords_to_node, node_to_coords
+from repro.traffic.stencil import coords_to_node
 
 
 class ManyToManyTraffic(TrafficPattern):

@@ -1,0 +1,133 @@
+"""Determinism regression tests for the optimized simulator kernel.
+
+``tests/data/golden_determinism.json`` was recorded with the pre-optimization
+(seed) kernel: one short pinned run per (routing, pattern) pair at seed 11.
+The optimized event core, flattened router path, and memoized topology
+lookups must reproduce every fingerprint **bit-for-bit** — the optimization
+contract is "same seed ⇒ identical events and statistics".
+
+The property tests pin down the ordering rules the fingerprints rely on:
+stable FIFO order for simultaneous events, regardless of heap internals,
+cancellations, or compactions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.events import EventQueue
+from repro.engine.simulator import Simulator
+from repro.experiments.harness import ExperimentSpec, build_network
+from repro.topology.config import DragonflyConfig
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_determinism.json")
+
+with open(GOLDEN_PATH) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+def _fingerprint(routing: str, pattern: str) -> dict:
+    spec = ExperimentSpec(
+        config=DragonflyConfig.small_72(),
+        routing=routing,
+        pattern=pattern,
+        offered_load=0.3,
+        sim_time_ns=6_000.0,
+        warmup_ns=2_000.0,
+        seed=11,
+    )
+    network, generator = build_network(spec)
+    generator.start()
+    network.run(until=spec.sim_time_ns)
+    stats = network.finalize()
+    return {
+        "events_processed": network.sim.events_processed,
+        "generated_packets": stats.generated_packets,
+        "delivered_packets": stats.delivered_packets,
+        "measured_packets": stats.measured_packets,
+        "mean_latency_ns": stats.mean_latency_ns,
+        "mean_hops": stats.mean_hops,
+        "throughput": stats.throughput,
+        "latency_median_ns": stats.latency.median,
+        "latency_p99_ns": stats.latency.p99,
+    }
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_fingerprint_is_reproduced(key):
+    routing, pattern = key.split("/", 1)
+    assert _fingerprint(routing, pattern) == GOLDEN[key]
+
+
+def test_same_seed_same_summary_row_across_runs():
+    """Two fresh builds of the same spec must agree field-for-field."""
+    from repro.experiments.harness import run_experiment
+
+    spec = ExperimentSpec(
+        config=DragonflyConfig.small_72(),
+        routing="Q-adp",
+        pattern="ADV+1",
+        offered_load=0.25,
+        sim_time_ns=5_000.0,
+        warmup_ns=1_000.0,
+        seed=3,
+    )
+    first = run_experiment(spec)
+    second = run_experiment(spec)
+    assert first.summary_row() == second.summary_row()
+    assert first.stats.to_dict() == second.stats.to_dict()
+
+
+# ----------------------------------------------------------- property tests
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=1, max_size=60))
+def test_equal_and_mixed_times_pop_in_push_order(times):
+    """Events pop by (time, insertion order): ties always resolve FIFO."""
+    queue = EventQueue()
+    handles = [queue.push(t, lambda: None) for t in times]
+    # stable sort on time == (time, seq) order
+    expected = [handles[i] for _, i in sorted((t, i) for i, t in enumerate(times))]
+    popped = []
+    while queue:
+        popped.append(queue.pop())
+    assert popped == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                       st.booleans()),
+             min_size=1, max_size=80)
+)
+def test_tie_order_survives_cancellation_and_compaction(entries):
+    """Cancelling any subset (forcing compactions) never reorders survivors."""
+    queue = EventQueue()
+    handles = [(queue.push(t, lambda: None), t, cancel) for t, cancel in entries]
+    for handle, _, cancel in handles:
+        if cancel:
+            handle.cancel()
+    survivors = [(t, i) for i, (_, t, cancel) in enumerate(handles) if not cancel]
+    expected = [handles[i][0] for _, i in sorted(survivors, key=lambda pair: pair[0])]
+    popped = []
+    while queue:
+        popped.append(queue.pop())
+    assert popped == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                min_size=1, max_size=40))
+def test_simulator_executes_simultaneous_callbacks_in_schedule_order(times):
+    sim = Simulator()
+    seen = []
+    order = sorted(range(len(times)), key=lambda i: times[i])  # stable
+    for i, t in enumerate(times):
+        sim.at(t, seen.append, i)
+    sim.run()
+    assert seen == order

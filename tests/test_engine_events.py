@@ -72,3 +72,96 @@ def test_event_ordering_operator():
     assert early < late
     assert early < same_time
     assert not (late < early)
+
+
+# --------------------------------------------------------------- compaction
+def test_len_decreases_on_cancel():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(4)]
+    events[0].cancel()
+    events[2].cancel()
+    assert len(queue) == 2
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert len(queue) == 1
+    assert queue.cancelled_events == 1
+
+
+def test_compaction_reclaims_majority_cancelled_heap():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(40)]
+    assert queue.compactions == 0
+    # Cancel from the back so the heap keeps dead entries below the root.
+    for event in events[10:]:
+        event.cancel()
+    # The dead fraction crossed 1/2 along the way: at least one rebuild ran
+    # and the physical heap stays proportional to the live count.
+    assert queue.compactions >= 1
+    assert len(queue._heap) < 40
+    assert len(queue) == 10
+    popped = [queue.pop() for _ in range(10)]
+    assert popped == events[:10]  # live events and their order are untouched
+    assert queue.pop() is None
+
+
+def test_no_compaction_below_minimum_size():
+    queue = EventQueue()
+    live = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None).cancel()
+    queue.push(3.0, lambda: None).cancel()
+    assert queue.compactions == 0  # tiny calendars are not worth rebuilding
+    assert queue.pop() is live
+
+
+def test_cancelled_heap_does_not_grow_without_bound():
+    """The seed kernel kept every cancelled entry until its timestamp was
+    reached; the calendar must now stay proportional to the live count."""
+    queue = EventQueue()
+    keeper = queue.push(1e12, lambda: None)
+    for i in range(10_000):
+        queue.push(1e9 + i, lambda: None).cancel()
+    assert len(queue) == 1
+    assert len(queue._heap) < 100
+    assert queue.compactions > 0
+    assert queue.pop() is keeper
+
+
+def test_cancel_after_pop_is_harmless():
+    """A handle whose event already ran must not corrupt the accounting."""
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    later = queue.push(2.0, lambda: None)
+    assert queue.pop() is event
+    event.cancel()
+    assert len(queue) == 1  # not under-counted
+    assert queue.cancelled_events == 0
+    assert queue.pop() is later
+
+
+def test_cancel_after_clear_is_harmless():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.clear()
+    event.cancel()
+    assert len(queue) == 0
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 1
+
+
+# ------------------------------------------------------------------ pooling
+def test_pop_skipped_cancelled_entries_are_pooled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    second = queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.pop() is second
+    reused = queue.push(3.0, lambda: None)
+    assert reused is first  # the dead entry was recycled for the new event
+    assert reused.time == 3.0
+    assert not reused.cancelled

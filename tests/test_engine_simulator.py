@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.simulator import SimulationError, Simulator
+from repro.engine.simulator import SimulationError
 
 
 def test_clock_starts_at_zero(sim):

@@ -1,7 +1,5 @@
 """Unit tests for NIC injection behaviour."""
 
-import pytest
-
 from repro.network.network import DragonflyNetwork
 from repro.network.params import NetworkParams
 from repro.routing.minimal import MinimalRouting
