@@ -6,6 +6,13 @@ scale: MIN/VALn/UGALn/Q-adp under UR and ADV+1) once per worker-pool size and
 writes the timings to ``BENCH_parallel.json``.  The speedup is bounded by the
 CPU count of the machine; the committed file records the box it was produced
 on.
+
+Also times the train-once/eval-many mode of ``run_load_sweep``: a Q-adp load
+sweep where one training run feeds every load point (each then only paying a
+short settling warm-up) against the cold sweep where every load point
+re-learns from scratch during its own full warm-up.  Unlike worker-pool
+fan-out this reduction does not depend on the CPU count — it removes
+simulated time.
 """
 
 from __future__ import annotations
@@ -16,16 +23,53 @@ import multiprocessing
 import os
 import platform
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                                 "benchmarks"))
 from conftest import bench_scale  # noqa: E402
 
-from repro.experiments import SweepRunner, figure5_sweep  # noqa: E402
+from repro.experiments import SweepRunner, figure5_sweep, run_load_sweep  # noqa: E402
 
 ALGORITHMS = ("MIN", "VALn", "UGALn", "Q-adp")
 PATTERNS = ("UR", "ADV+1")
+
+#: load axis of the train-once/eval-many comparison (>= 4 points).
+TRAIN_ONCE_LOADS = (0.1, 0.3, 0.5, 0.7)
+
+
+def time_train_once_eval_many(scale) -> dict:
+    """Wall time of a cold Q-adp load sweep vs the same sweep warm-started
+    from a single training run (both serial, so the ratio is CPU-independent)."""
+    common = dict(
+        config=scale.config,
+        algorithms=["Q-adp"],
+        pattern="UR",
+        loads=list(TRAIN_ONCE_LOADS),
+        warmup_ns=scale.warmup_ns,
+        measure_ns=scale.measure_ns,
+        seed=scale.seed,
+    )
+    started = time.perf_counter()
+    run_load_sweep(runner=SweepRunner(workers=1), **common)
+    cold_s = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        started = time.perf_counter()
+        results = run_load_sweep(runner=SweepRunner(workers=1), train_once=True,
+                                 store=store_dir, **common)
+        warm_s = time.perf_counter() - started
+    assert len(results["Q-adp"]) == len(TRAIN_ONCE_LOADS)
+    return {
+        "loads": list(TRAIN_ONCE_LOADS),
+        "cold_wall_s": round(cold_s, 2),
+        "train_once_wall_s": round(warm_s, 2),
+        "speedup": round(cold_s / warm_s, 2),
+        "note": "cold: every load point re-learns during its full warm-up; "
+                "train-once: one training run (warmup_ns of sim time) feeds "
+                "all load points, which then only pay warmup_ns/5 settling",
+    }
 
 
 def main() -> None:
@@ -57,11 +101,18 @@ def main() -> None:
         runs = runner.simulated
         print(f"{label}: {timings[label]} s ({runs} runs)", flush=True)
 
+    print("timing train-once/eval-many vs cold Q-adp sweep...", flush=True)
+    train_once = time_train_once_eval_many(scale)
+    print(f"cold {train_once['cold_wall_s']} s vs train-once "
+          f"{train_once['train_once_wall_s']} s "
+          f"({train_once['speedup']}x)", flush=True)
+
     payload = {
         "benchmark": "bench_fig5_load_sweep (fast bench scale)",
         "workload": {"algorithms": list(ALGORITHMS), "patterns": list(PATTERNS),
                      "runs": runs},
         "wall_time_s": timings,
+        "train_once_eval_many": train_once,
         "machine": {"cpu_count": cpu_count,
                     "python": platform.python_version(),
                     "platform": platform.platform()},

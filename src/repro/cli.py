@@ -34,6 +34,16 @@ files)::
     repro-sim study run ablation-maxq --scale bench
     repro-sim list algorithms
     repro-sim list patterns
+
+Train a routing policy once, inspect the stored checkpoint, and warm-start
+later runs from it (the paper's warm-up-once/measure-many workflow)::
+
+    repro-sim train --routing Q-adp --pattern UR --load 0.5 --time-us 100 --tag warm-ur
+    repro-sim checkpoint list
+    repro-sim checkpoint show warm-ur
+    repro-sim run --routing Q-adp --pattern ADV+1 --load 0.3 --warm-start warm-ur
+    repro-sim run --routing Q-adp --pattern UR --load 0.5 --save-state my-ckpt
+    repro-sim study run transfer --scale bench
 """
 
 from __future__ import annotations
@@ -57,12 +67,14 @@ from repro.experiments import (
     run_experiment,
     table1_configurations,
     table_qtable_memory,
+    train_experiment,
 )
 from repro.experiments.parallel import DEFAULT_CACHE_DIR, ResultCache, default_runner
 from repro.experiments.presets import available_scales, default_scale, scale_by_name
 from repro.routing import ROUTING_REGISTRY, available_algorithms
 from repro.scenarios import available_studies, load_study
 from repro.stats.report import comparison_table, format_table
+from repro.store import DEFAULT_STORE_DIR, resolve_store
 from repro.topology.config import DragonflyConfig
 from repro.traffic import PATTERN_REGISTRY
 
@@ -133,13 +145,92 @@ def _build_spec(args: argparse.Namespace, routing: str) -> ExperimentSpec:
     )
 
 
+def _resolve_warm_start(args: argparse.Namespace) -> str:
+    """Turn ``--warm-start`` (store id or checkpoint path) into a path."""
+    try:
+        return str(resolve_store(args.store).load(args.warm_start).path)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(_build_spec(args, args.routing[0]))
+    spec = _build_spec(args, args.routing[0])
+    if args.warm_start:
+        spec = spec.with_overrides(warm_start=_resolve_warm_start(args))
+    try:
+        result = run_experiment(spec, save_state=args.save_state, store=args.store)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
     row = result.summary_row()
     if args.json:
-        print(json.dumps(row, indent=2))
+        payload = dict(row)
+        if "checkpoint" in result.routing_diagnostics:
+            payload["checkpoint"] = result.routing_diagnostics["checkpoint"]
+        print(json.dumps(payload, indent=2))
     else:
         print(format_table([row]))
+        if "checkpoint" in result.routing_diagnostics:
+            print(f"saved checkpoint: {result.routing_diagnostics['checkpoint']}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    routing = args.routing[0]
+    spec = _build_spec(args, routing).with_overrides(label=f"train:{routing}")
+    if args.warmup_us is None:
+        # For training the whole run is learning; the measurement window only
+        # affects the reported summary, so default it to the full run rather
+        # than _build_spec's half-time split.  An explicit --warmup-us wins.
+        spec = spec.with_overrides(warmup_ns=0.0)
+    try:
+        trained = train_experiment(spec, args.store, name=args.tag,
+                                   reuse=not args.retrain)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    payload = {
+        "checkpoint_id": trained.checkpoint.checkpoint_id,
+        "path": str(trained.checkpoint.path),
+        "reused": trained.reused,
+        "manifest": trained.checkpoint.manifest.to_dict(),
+    }
+    if trained.result is not None:
+        payload["summary"] = trained.result.summary_row()
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_checkpoint_list(args: argparse.Namespace) -> int:
+    store = resolve_store(args.store)
+    manifests = store.list()
+    if args.json:
+        print(json.dumps([m.to_dict() for m in manifests], indent=2))
+        return 0
+    if not manifests:
+        print(f"no checkpoints in {store.root}")
+        return 0
+    for m in manifests:
+        topo = m.topology
+        print(f"{m.checkpoint_id:28s} {m.routing:10s} "
+              f"p={topo.get('p')},a={topo.get('a')},h={topo.get('h')}  "
+              f"trained {m.trained_sim_ns / 1_000.0:g} us  "
+              f"{m.created_at or ''}")
+    return 0
+
+
+def _cmd_checkpoint_show(args: argparse.Namespace) -> int:
+    try:
+        checkpoint = resolve_store(args.store).load(args.ref)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(checkpoint.manifest.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_checkpoint_prune(args: argparse.Namespace) -> int:
+    store = resolve_store(args.store)
+    removed = store.prune(keep=args.keep)
+    print(json.dumps({"store": str(store.root), "removed": removed,
+                      "kept": [m.checkpoint_id for m in store.list()]}, indent=2))
     return 0
 
 
@@ -177,7 +268,10 @@ def _study_from_args(args: argparse.Namespace):
 def _cmd_study_run(args: argparse.Namespace) -> int:
     study = _study_from_args(args)
     runner = _runner_from_args(args)
-    result = study.run(runner)
+    try:
+        result = study.run(runner, store=args.store)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
     rows = result.rows()
     if args.table:
         print(format_table(rows))
@@ -190,6 +284,8 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
             "cache_hits": runner.cache_hits,
             "rows": rows,
         }
+        if result.checkpoints:
+            payload["checkpoints"] = result.checkpoints
         print(json.dumps(payload, indent=2, default=str))
     return 0
 
@@ -274,10 +370,56 @@ def build_parser() -> argparse.ArgumentParser:
         group.add_argument("--progress", action="store_true",
                            help="print one line per completed run on stderr")
 
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="checkpoint store directory "
+                            f"(default: {DEFAULT_STORE_DIR}/)")
+
     run_p = sub.add_parser("run", help="run one experiment and print its summary")
     add_common(run_p, multi_routing=False)
     run_p.add_argument("--json", action="store_true", help="print the summary as JSON")
+    run_p.add_argument("--warm-start", default=None, metavar="REF",
+                       help="restore learned routing state before the run: a "
+                            "checkpoint id in the store or a checkpoint "
+                            "directory path")
+    run_p.add_argument("--save-state", default=None, metavar="TAG",
+                       help="persist the learned routing state after the run "
+                            "as checkpoint TAG in the store")
+    add_store(run_p)
     run_p.set_defaults(func=_cmd_run)
+
+    train_p = sub.add_parser(
+        "train", help="train a learned routing policy and store its checkpoint")
+    add_common(train_p, multi_routing=False)
+    train_p.add_argument("--tag", default=None, metavar="ID",
+                         help="checkpoint id (default: content-derived)")
+    train_p.add_argument("--retrain", action="store_true",
+                         help="ignore an existing checkpoint of this exact "
+                              "training spec and re-train")
+    add_store(train_p)
+    train_p.set_defaults(func=_cmd_train)
+
+    ckpt_p = sub.add_parser(
+        "checkpoint", help="list, inspect or prune stored policy checkpoints")
+    ckpt_sub = ckpt_p.add_subparsers(dest="checkpoint_command", required=True)
+
+    clist_p = ckpt_sub.add_parser("list", help="list checkpoints in the store")
+    clist_p.add_argument("--json", action="store_true",
+                         help="print full manifests as JSON")
+    add_store(clist_p)
+    clist_p.set_defaults(func=_cmd_checkpoint_list)
+
+    cshow_p = ckpt_sub.add_parser("show", help="print one checkpoint's manifest")
+    cshow_p.add_argument("ref", help="checkpoint id or checkpoint directory path")
+    add_store(cshow_p)
+    cshow_p.set_defaults(func=_cmd_checkpoint_show)
+
+    cprune_p = ckpt_sub.add_parser(
+        "prune", help="delete checkpoints (all but the ones named via --keep)")
+    cprune_p.add_argument("--keep", nargs="*", default=[], metavar="ID",
+                          help="checkpoint ids to keep")
+    add_store(cprune_p)
+    cprune_p.set_defaults(func=_cmd_checkpoint_prune)
 
     cmp_p = sub.add_parser("compare", help="run several algorithms under one pattern")
     add_common(cmp_p, multi_routing=True)
@@ -310,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     srun_p.add_argument("--table", action="store_true",
                         help="print a summary table instead of JSON rows")
     add_parallel(srun_p)
+    add_store(srun_p)
     srun_p.set_defaults(func=_cmd_study_run)
 
     sshow_p = study_sub.add_parser(

@@ -20,13 +20,18 @@ which is how the paper argues the scheme needs no extra bandwidth.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
 
 from repro.core.hysteretic import HystereticParams
-from repro.core.qtable import _PortQTable
+from repro.core.qtable import TABLE_STATE_VERSION, _PortQTable
 from repro.network.packet import Packet
 from repro.network.router import Router
 from repro.routing.base import RoutingAlgorithm
+
+#: version of the ``export_state`` payload of a tabular MARL algorithm.
+ROUTING_STATE_VERSION = 1
 
 
 class TabularMarlRouting(RoutingAlgorithm):
@@ -161,3 +166,100 @@ class TabularMarlRouting(RoutingAlgorithm):
         if router_id is not None:
             return self.tables[router_id].snapshot()
         return [float(t.values.mean()) for t in self.tables]
+
+    # ------------------------------------------------- learned-state lifecycle
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot of all learned state (the :class:`CheckpointableRouting`
+        contract of :mod:`repro.routing.base`).
+
+        The payload bundles every per-router value table (stacked into one
+        ``(num_routers, rows, cols)`` array), the per-table update counters,
+        the feedback counters, and the learning hyper-parameters — enough to
+        resume, inspect, or transfer a trained policy.  Only valid after
+        :meth:`~repro.routing.base.RoutingAlgorithm.attach`.
+        """
+        if not self.tables:
+            raise RuntimeError(
+                f"{self.name}: cannot export state before the algorithm is "
+                "attached to a network (no tables exist yet)"
+            )
+        table_states = [table.state_dict() for table in self.tables]
+        params = getattr(self, "params", None)
+        return {
+            "version": ROUTING_STATE_VERSION,
+            "routing": self.name,
+            "topology": self.topo.config.to_dict(),
+            "table_version": TABLE_STATE_VERSION,
+            "table_kind": table_states[0]["kind"],
+            "first_port": table_states[0]["first_port"],
+            "hyperparams": params.to_dict() if params is not None else {},
+            "values": np.stack([state["values"] for state in table_states]),
+            "updates": np.array([state["updates"] for state in table_states],
+                                dtype=np.int64),
+            "feedback_sent": int(self.feedback_sent),
+            "feedback_applied": int(self.feedback_applied),
+        }
+
+    def import_state(self, state: Mapping[str, Any]) -> None:
+        """Restore an :meth:`export_state` payload into this attached algorithm.
+
+        Validation is layered: the routing-level checks (payload version,
+        routing name, topology, table count) produce errors naming what was
+        trained vs. what is being loaded, then every per-router table is
+        restored through :meth:`_PortQTable.load_state`, which re-validates
+        design and shape.  Hyper-parameters are *not* overwritten — the live
+        algorithm keeps its own (so a policy trained with exploration can be
+        evaluated greedily) — but a mismatch is visible in the payload.
+        """
+        if not self.tables:
+            raise RuntimeError(
+                f"{self.name}: cannot import state before the algorithm is "
+                "attached to a network (no tables exist yet)"
+            )
+        version = state.get("version")
+        if version != ROUTING_STATE_VERSION:
+            raise ValueError(
+                f"routing state version {version!r} is not supported "
+                f"(this build reads version {ROUTING_STATE_VERSION})"
+            )
+        routing = state.get("routing")
+        if routing != self.name:
+            raise ValueError(
+                f"checkpoint was trained with routing {routing!r}; it cannot "
+                f"be loaded into {self.name!r}"
+            )
+        topology = dict(state.get("topology", {}))
+        own_topology = self.topo.config.to_dict()
+        if topology != own_topology:
+            raise ValueError(
+                f"checkpoint was trained on topology {topology}; this network "
+                f"is {own_topology} — learned tables do not transfer across "
+                "topologies"
+            )
+        values = np.asarray(state["values"], dtype=np.float64)
+        if values.ndim != 3 or values.shape[0] != len(self.tables):
+            raise ValueError(
+                f"checkpoint holds tables for {values.shape[0] if values.ndim == 3 else '?'} "
+                f"routers; this network has {len(self.tables)}"
+            )
+        updates = np.asarray(state.get("updates", np.zeros(len(self.tables))),
+                             dtype=np.int64)
+        if updates.shape != (len(self.tables),):
+            raise ValueError(
+                f"checkpoint holds update counters for {updates.shape} routers; "
+                f"this network has {len(self.tables)} — the payload is "
+                "truncated or corrupted"
+            )
+        table_version = state.get("table_version", TABLE_STATE_VERSION)
+        table_kind = state.get("table_kind")
+        first_port = state.get("first_port", self.tables[0].first_port)
+        for table, table_values, table_updates in zip(self.tables, values, updates):
+            table.load_state({
+                "version": table_version,
+                "kind": table_kind,
+                "first_port": first_port,
+                "values": table_values,
+                "updates": int(table_updates),
+            })
+        self.feedback_sent = int(state.get("feedback_sent", 0))
+        self.feedback_applied = int(state.get("feedback_applied", 0))

@@ -17,13 +17,18 @@ travel.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.topology.config import DragonflyConfig
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.paths import LinkTiming, min_time_router_to_group, uncongested_delivery_time
+
+
+#: version of the ``state_dict`` payload of one table.  Bump when the layout
+#: of the serialized state changes incompatibly.
+TABLE_STATE_VERSION = 1
 
 
 class _PortQTable:
@@ -73,6 +78,11 @@ class _PortQTable:
         if candidate_ports is None:
             col = int(row_values.argmin())
             return col + self.first_port, row_values.item(col)
+        if len(candidate_ports) == 0:
+            raise ValueError(
+                "best_port needs at least one candidate port; an empty sequence "
+                "would yield the bogus port -1 (pass None for all network ports)"
+            )
         best_port = -1
         best_value = float("inf")
         first_port = self.first_port
@@ -100,6 +110,60 @@ class _PortQTable:
     def snapshot(self) -> np.ndarray:
         """Copy of the value matrix (for convergence diagnostics / tests)."""
         return self.values.copy()
+
+    # ------------------------------------------------------------- persistence
+    def state_dict(self) -> Dict:
+        """Versioned, copy-safe serialization of the learned table state.
+
+        The payload carries the table design (``kind``), its geometry, the
+        full value matrix, and the update counter — everything needed to
+        restore the table bit-for-bit with :meth:`load_state`.
+        """
+        return {
+            "version": TABLE_STATE_VERSION,
+            "kind": type(self).__name__,
+            "num_rows": self.num_rows,
+            "num_ports": self.num_ports,
+            "first_port": self.first_port,
+            "values": self.values.copy(),
+            "updates": int(self.updates),
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore a :meth:`state_dict` payload, validating version and shape.
+
+        Raises :class:`ValueError` with a descriptive message when the state
+        was produced by an incompatible build, a different table design, or a
+        different topology (shape mismatch) — a checkpoint must never be
+        silently coerced into the wrong table.
+        """
+        version = state.get("version")
+        if version != TABLE_STATE_VERSION:
+            raise ValueError(
+                f"Q-table state version {version!r} is not supported "
+                f"(this build reads version {TABLE_STATE_VERSION})"
+            )
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ValueError(
+                f"cannot load {kind!r} state into a {type(self).__name__} "
+                "(different table design)"
+            )
+        values = np.asarray(state["values"], dtype=np.float64)
+        if values.shape != self.values.shape:
+            raise ValueError(
+                f"Q-table shape mismatch: state has {values.shape}, this table "
+                f"expects {self.values.shape} — the checkpoint was trained on a "
+                "different topology or table configuration"
+            )
+        first_port = int(state.get("first_port", self.first_port))
+        if first_port != self.first_port:
+            raise ValueError(
+                f"Q-table port-offset mismatch: state maps columns from port "
+                f"{first_port}, this table from port {self.first_port}"
+            )
+        self.values[:, :] = values
+        self.updates = int(state.get("updates", 0))
 
 
 class QRoutingTable(_PortQTable):
@@ -195,6 +259,7 @@ def qtable_memory_comparison(config: DragonflyConfig, value_bytes: int = 8) -> D
 
 __all__ = [
     "QRoutingTable",
+    "TABLE_STATE_VERSION",
     "TwoLevelQTable",
     "qtable_memory_comparison",
     "min_time_router_to_group",

@@ -10,8 +10,10 @@ harness of this package — an eager import here would close that loop.
 from repro.experiments.harness import (
     ExperimentResult,
     ExperimentSpec,
+    TrainResult,
     run_experiment,
     run_load_sweep,
+    train_experiment,
 )
 from repro.experiments.parallel import (
     ExperimentResultData,
@@ -56,10 +58,12 @@ __all__ = [
     "figure7_convergence",
     "figure8_dynamic_load",
     "figure9_scaleup",
+    "TrainResult",
     "run_experiment",
     "run_load_sweep",
     "table1_configurations",
     "table_qtable_memory",
+    "train_experiment",
 ]
 
 _FIGURE_EXPORTS = frozenset((

@@ -1,13 +1,21 @@
-"""Single-experiment driver and load sweeps.
+"""Single-experiment driver, train/eval pipelines, and load sweeps.
 
 ``run_experiment`` builds a network + traffic generator from an
 :class:`ExperimentSpec`, runs it, and returns an :class:`ExperimentResult`
 bundling the aggregate statistics, the raw latency sample, and the binned
 time series needed by the convergence / dynamic-load figures.
+
+Learned-state lifecycle: a spec with ``warm_start`` restores a checkpoint
+(see :mod:`repro.store`) into the routing algorithm before any packet is
+injected; :func:`train_experiment` runs a spec and persists the learned
+state afterwards (memoized by spec fingerprint); and
+``run_load_sweep(train_once=True)`` feeds one training run per algorithm to
+every load point instead of re-learning from scratch at each.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -18,6 +26,7 @@ from repro.network.network import DragonflyNetwork
 from repro.network.params import NetworkParams
 from repro.routing import canonical_routing_name, make_routing
 from repro.scenarios.serialize import (
+    SPEC_SCHEMA_COMPAT,
     SPEC_SCHEMA_VERSION,
     check_keys,
     check_schema,
@@ -58,6 +67,11 @@ class ExperimentSpec:
     arrival: str = "exponential"
     stats_bin_ns: float = 2_000.0
     label: Optional[str] = None
+    #: path to a checkpoint directory (written by :mod:`repro.store`) whose
+    #: learned state is restored into the routing algorithm before injection
+    #: starts.  Folded into the serialized form and the cache fingerprint:
+    #: warm-started runs never share cache entries with cold runs.
+    warm_start: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.schedule is not None:
@@ -87,6 +101,18 @@ class ExperimentSpec:
                 f"stats_bin_ns must be positive, got {self.stats_bin_ns}; "
                 "the time series needs a non-empty bin width"
             )
+        if self.warm_start is not None:
+            try:
+                self.warm_start = os.fspath(self.warm_start)
+            except TypeError:
+                raise ValueError(
+                    f"warm_start must be a checkpoint path, got {self.warm_start!r}"
+                ) from None
+            if not isinstance(self.warm_start, str) or not self.warm_start:
+                raise ValueError(
+                    f"warm_start must be a non-empty checkpoint path, got "
+                    f"{self.warm_start!r}"
+                )
         self.routing = canonical_routing_name(self.routing)
         self.pattern = canonical_pattern_name(self.pattern)
 
@@ -132,6 +158,8 @@ class ExperimentSpec:
             data["network_params"] = self.network_params.to_dict()
         if self.label is not None:
             data["label"] = self.label
+        if self.warm_start is not None:
+            data["warm_start"] = self.warm_start
         return data
 
     @classmethod
@@ -147,10 +175,13 @@ class ExperimentSpec:
             required=("schema", "config", "routing", "pattern"),
             optional=("offered_load", "schedule", "sim_time_ns", "warmup_ns",
                       "seed", "arrival", "stats_bin_ns", "routing_kwargs",
-                      "pattern_kwargs", "network_params", "label"),
+                      "pattern_kwargs", "network_params", "label", "warm_start"),
             context="ExperimentSpec",
         )
-        check_schema(data, SPEC_SCHEMA_VERSION, "ExperimentSpec")
+        # Documents are written at SPEC_SCHEMA_VERSION; version-1 documents
+        # (pre-warm_start) migrate transparently — every field they may carry
+        # reads identically and warm_start defaults to None.
+        check_schema(data, SPEC_SCHEMA_COMPAT, "ExperimentSpec")
         kwargs: Dict = {
             "config": DragonflyConfig.from_dict(data["config"]),
             "routing": data["routing"],
@@ -175,6 +206,8 @@ class ExperimentSpec:
             kwargs["network_params"] = NetworkParams.from_dict(data["network_params"])
         if "label" in data:
             kwargs["label"] = data["label"]
+        if "warm_start" in data:
+            kwargs["warm_start"] = data["warm_start"]
         if kwargs["offered_load"] is None and "schedule" not in data:
             raise ValueError(
                 "ExperimentSpec: a serialized spec needs offered_load or schedule"
@@ -216,11 +249,15 @@ class ExperimentResult:
     def mean_hops(self) -> float:
         return self.stats.mean_hops
 
-    def summary_row(self) -> Dict[str, float]:
-        """Flat dictionary used by the report tables and EXPERIMENTS.md."""
-        # Schedule-driven runs have no single offered load; report the same
-        # "dyn" marker display_name uses instead of a None cell.
-        offered = self.spec.offered_load
+    def summary_row(self) -> Dict[str, object]:
+        """Flat dictionary used by the report tables and EXPERIMENTS.md.
+
+        Values are floats/ints except ``routing`` and ``pattern`` (names) and
+        ``offered_load``, which is the string sentinel ``"dyn"`` for
+        schedule-driven runs — they have no single offered load, and report
+        cells must not be ``None``.
+        """
+        offered: object = self.spec.offered_load
         if offered is None:
             offered = "dyn"
         return {
@@ -237,7 +274,14 @@ class ExperimentResult:
 
 
 def build_network(spec: ExperimentSpec) -> Tuple[DragonflyNetwork, TrafficGenerator]:
-    """Instantiate the network and the traffic generator described by ``spec``."""
+    """Instantiate the network and the traffic generator described by ``spec``.
+
+    When the spec names a ``warm_start`` checkpoint, the learned state is
+    restored into the routing algorithm here — after the algorithm is
+    attached (tables exist) but before any packet is injected — with the
+    checkpoint's compatibility validated against the spec's topology and
+    routing name first.
+    """
     routing = make_routing(spec.routing, **spec.routing_kwargs)
     network = DragonflyNetwork(
         spec.config,
@@ -247,6 +291,12 @@ def build_network(spec: ExperimentSpec) -> Tuple[DragonflyNetwork, TrafficGenera
         warmup_ns=spec.warmup_ns,
         stats_bin_ns=spec.stats_bin_ns,
     )
+    if spec.warm_start is not None:
+        from repro.store import Checkpoint
+
+        checkpoint = Checkpoint.load(spec.warm_start)
+        checkpoint.check_compatible(spec.routing, spec.config.to_dict())
+        checkpoint.apply(network.routing)
     pattern = make_pattern(spec.pattern, **spec.pattern_kwargs)
     generator = TrafficGenerator(
         network,
@@ -258,8 +308,9 @@ def build_network(spec: ExperimentSpec) -> Tuple[DragonflyNetwork, TrafficGenera
     return network, generator
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Run one experiment to completion and collect its results."""
+def _execute(spec: ExperimentSpec) -> Tuple[ExperimentResult, DragonflyNetwork]:
+    """Run one spec to completion; returns the result and the live network
+    (so callers can export learned state before it is garbage-collected)."""
     network, generator = build_network(spec)
     generator.start()
     started = time.perf_counter()
@@ -283,8 +334,10 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
                  "diverted_packets", "forced_minimal"):
         if hasattr(routing, attr):
             diagnostics[attr] = getattr(routing, attr)
+    if spec.warm_start is not None:
+        diagnostics["warm_start"] = spec.warm_start
 
-    return ExperimentResult(
+    result = ExperimentResult(
         spec=spec,
         stats=stats,
         latencies_ns=collector.latency_array_ns(),
@@ -294,6 +347,119 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         routing_diagnostics=diagnostics,
         wall_time_s=wall,
     )
+    return result, network
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    save_state: Optional[str] = None,
+    store=None,
+) -> ExperimentResult:
+    """Run one experiment to completion and collect its results.
+
+    ``save_state`` persists the learned routing state after the run as a
+    checkpoint named ``save_state`` in ``store`` (an
+    :class:`~repro.store.ArtifactStore`, a directory path, or ``None`` for
+    the default store); the checkpoint path lands in
+    ``result.routing_diagnostics["checkpoint"]``.  Requesting it for an
+    algorithm without learned state is an error.
+    """
+    if save_state is not None:
+        # Fail before simulating: a save request on a learned-state-free
+        # algorithm must not cost the whole run first.
+        from repro.routing.base import is_checkpointable
+        from repro.store import ArtifactStore
+
+        if not is_checkpointable(make_routing(spec.routing, **spec.routing_kwargs)):
+            raise ValueError(
+                f"routing {spec.routing!r} has no learned state to checkpoint; "
+                "save_state only makes sense for Q-adp / Q-routing "
+                "(or other checkpointable algorithms)"
+            )
+        ArtifactStore.validate_id(save_state)
+    result, network = _execute(spec)
+    if save_state is not None:
+        from repro.store import resolve_store
+
+        checkpoint = resolve_store(store).save_from(
+            network.routing,
+            trained_sim_ns=network.sim.now,
+            spec=spec,
+            name=save_state,
+        )
+        result.routing_diagnostics["checkpoint"] = str(checkpoint.path)
+    return result
+
+
+@dataclass
+class TrainResult:
+    """Outcome of :func:`train_experiment`.
+
+    ``result`` is ``None`` when the store already held a checkpoint for the
+    training spec (``reused=True``) — no simulation ran.
+    """
+
+    checkpoint: "object"
+    result: Optional[ExperimentResult]
+    reused: bool
+
+
+def train_experiment(
+    spec: ExperimentSpec,
+    store=None,
+    *,
+    name: Optional[str] = None,
+    reuse: bool = True,
+) -> TrainResult:
+    """Run a training spec and persist its learned state as a checkpoint.
+
+    Training is memoized through the store: when ``reuse`` is true (the
+    default) and a checkpoint whose manifest records this spec's fingerprint
+    already exists, it is returned without simulating — the checkpoint store
+    plays the same role for learned state that the result cache plays for
+    measurements.
+    """
+    from repro.experiments.parallel import spec_fingerprint
+    from repro.routing.base import is_checkpointable
+    from repro.store import resolve_store
+
+    if not is_checkpointable(make_routing(spec.routing, **spec.routing_kwargs)):
+        raise ValueError(
+            f"routing {spec.routing!r} has no learned state to train; "
+            "train_experiment only makes sense for Q-adp / Q-routing "
+            "(or other checkpointable algorithms)"
+        )
+    if name is not None:
+        from repro.store import ArtifactStore
+
+        ArtifactStore.validate_id(name)
+    store = resolve_store(store)
+    fingerprint = spec_fingerprint(spec)
+    if reuse:
+        existing = store.find_by_fingerprint(fingerprint)
+        if existing is not None:
+            if name is None or existing.checkpoint_id == name:
+                return TrainResult(checkpoint=existing, result=None, reused=True)
+            # Same training spec requested under a new id: re-save the stored
+            # state under that name instead of re-simulating (the copies are
+            # byte-identical, so sharing a fingerprint is harmless).
+            checkpoint = store.save(
+                existing.state(),
+                trained_sim_ns=existing.manifest.trained_sim_ns,
+                spec=spec,
+                name=name,
+            )
+            return TrainResult(checkpoint=checkpoint, result=None, reused=True)
+    result, network = _execute(spec)
+    checkpoint = store.save_from(
+        network.routing,
+        trained_sim_ns=network.sim.now,
+        spec=spec,
+        name=name,
+    )
+    result.routing_diagnostics["checkpoint"] = str(checkpoint.path)
+    return TrainResult(checkpoint=checkpoint, result=result, reused=False)
 
 
 def run_load_sweep(
@@ -307,6 +473,11 @@ def run_load_sweep(
     routing_kwargs: Optional[Dict[str, Dict]] = None,
     network_params: Optional[NetworkParams] = None,
     runner=None,
+    train_once: bool = False,
+    train_ns: Optional[float] = None,
+    train_load: Optional[float] = None,
+    eval_warmup_ns: Optional[float] = None,
+    store=None,
 ) -> Dict[str, List[ExperimentResult]]:
     """Sweep offered load for several algorithms under one traffic pattern.
 
@@ -315,25 +486,71 @@ def run_load_sweep(
     :class:`~repro.experiments.parallel.SweepRunner`; by default the sweep
     honours the ``REPRO_WORKERS`` / ``REPRO_CACHE`` environment variables
     (serial, uncached if unset).
+
+    Train-once/eval-many (``train_once=True``): instead of every load point
+    re-learning routing state from scratch during its own ``warmup_ns``, each
+    *checkpointable* algorithm is trained exactly once — for ``train_ns``
+    (default: ``warmup_ns``) at ``train_load`` (default: the median of
+    ``loads``) — and the resulting checkpoint warm-starts every load point,
+    which then only needs the short ``eval_warmup_ns`` settling window
+    (default: a fifth of ``warmup_ns``) before measuring.  Checkpoints live
+    in ``store`` (default: the standard artifact store), so worker processes
+    restore state from disk instead of receiving pickled arrays, and a
+    repeated sweep reuses the training run outright.  Algorithms without
+    learned state (MIN, UGAL, ...) are unaffected and keep the full warm-up.
     """
     from repro.experiments.parallel import resolve_runner
 
     routing_kwargs = routing_kwargs or {}
     runner = resolve_runner(runner)
-    specs = [
-        ExperimentSpec(
-            config=config,
-            routing=algorithm,
-            pattern=pattern,
-            offered_load=load,
-            sim_time_ns=warmup_ns + measure_ns,
-            warmup_ns=warmup_ns,
-            seed=seed,
-            routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
-            network_params=network_params,
-        )
-        for algorithm in algorithms
-        for load in loads
-    ]
+    loads = list(loads)
+
+    warm_starts: Dict[str, str] = {}
+    if train_once:
+        from repro.routing.base import is_checkpointable
+        from repro.store import resolve_store
+
+        if not loads:
+            raise ValueError("train_once needs a non-empty loads axis")
+        store = resolve_store(store)
+        train_time = train_ns if train_ns is not None else warmup_ns
+        reference_load = (train_load if train_load is not None
+                          else sorted(loads)[len(loads) // 2])
+        for algorithm in algorithms:
+            kwargs = dict(routing_kwargs.get(algorithm, {}))
+            if not is_checkpointable(make_routing(algorithm, **kwargs)):
+                continue
+            train_spec = ExperimentSpec(
+                config=config,
+                routing=algorithm,
+                pattern=pattern,
+                offered_load=reference_load,
+                sim_time_ns=train_time,
+                warmup_ns=0.0,
+                seed=seed,
+                routing_kwargs=kwargs,
+                network_params=network_params,
+                label=f"train:{algorithm}",
+            )
+            trained = train_experiment(train_spec, store)
+            warm_starts[algorithm] = str(trained.checkpoint.path)
+
+    eval_warmup = eval_warmup_ns if eval_warmup_ns is not None else warmup_ns / 5.0
+    specs = []
+    for algorithm in algorithms:
+        warm = warm_starts.get(algorithm)
+        for load in loads:
+            specs.append(ExperimentSpec(
+                config=config,
+                routing=algorithm,
+                pattern=pattern,
+                offered_load=load,
+                sim_time_ns=(eval_warmup if warm else warmup_ns) + measure_ns,
+                warmup_ns=eval_warmup if warm else warmup_ns,
+                seed=seed,
+                routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
+                network_params=network_params,
+                warm_start=warm,
+            ))
     flat = iter(runner.run(specs))
     return {algorithm: [next(flat) for _ in loads] for algorithm in algorithms}

@@ -50,8 +50,9 @@ from repro.stats.collectors import RunStats
 
 #: bump when the simulator or the wire format changes in a way that makes
 #: previously cached results stale.  (2: fingerprints re-based on the
-#: serialized spec schema instead of dataclass introspection.)
-CACHE_VERSION = 2
+#: serialized spec schema instead of dataclass introspection.  3: spec
+#: schema v2 — warm_start checkpoints — retires every v1-keyed entry.)
+CACHE_VERSION = 3
 
 #: default location of the on-disk result cache, relative to the CWD.
 DEFAULT_CACHE_DIR = Path(".cache") / "experiments"
@@ -89,9 +90,22 @@ def spec_fingerprint(spec: ExperimentSpec) -> str:
     dataclass refactors, and any two specs with equal serialized forms share
     one cache entry regardless of how they were built (figure driver, study
     file, or hand-written code).
+
+    Warm-started specs additionally fold in the referenced checkpoint's
+    content digest (read from its manifest): overwriting a checkpoint in
+    place — e.g. re-training a tag with ``--retrain`` — changes the
+    fingerprint, so stale cached results of the old policy are never served
+    for the new one.
     """
+    data = spec.to_dict()
+    if spec.warm_start is not None:
+        from repro.store import read_state_digest
+
+        digest = read_state_digest(spec.warm_start)
+        if digest is not None:
+            data["warm_start_digest"] = digest
     payload = json.dumps(
-        spec.to_dict(), sort_keys=True, separators=(",", ":"), default=_json_default,
+        data, sort_keys=True, separators=(",", ":"), default=_json_default,
     )
     return hashlib.sha256(f"{CACHE_VERSION}:{payload}".encode("utf-8")).hexdigest()
 

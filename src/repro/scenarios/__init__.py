@@ -32,6 +32,7 @@ __all__ = [
     "Study",
     "StudyPoint",
     "StudyResult",
+    "TrainStage",
     "available_studies",
     "load_study",
     "normalize_key",
@@ -44,6 +45,7 @@ _LAZY = {
     "Study": "repro.scenarios.study",
     "StudyPoint": "repro.scenarios.study",
     "StudyResult": "repro.scenarios.study",
+    "TrainStage": "repro.scenarios.study",
     "available_studies": "repro.scenarios.catalog",
     "load_study": "repro.scenarios.catalog",
     "register_study": "repro.scenarios.catalog",

@@ -24,7 +24,7 @@ from repro.experiments.presets import (
     default_scale,
 )
 from repro.scenarios.registry import Registry
-from repro.scenarios.study import Scenario, Study
+from repro.scenarios.study import Scenario, Study, TrainStage
 from repro.traffic import LoadSchedule, canonical_pattern_name
 
 __all__ = [
@@ -41,6 +41,8 @@ __all__ = [
     "load_study",
     "register_study",
     "study_by_name",
+    "transfer_study",
+    "warm_fig5_study",
 ]
 
 #: registry of named study builders (each callable: ``builder(scale) -> Study``).
@@ -359,6 +361,123 @@ def ablation_hyperparams_study(
     )
 
 
+# ----------------------------------------------------------- staged studies
+def transfer_study(
+    scale: Optional[ExperimentScale] = None,
+    train_pattern: str = "UR",
+    eval_patterns: Optional[Sequence[str]] = None,
+    train_ns: Optional[float] = None,
+) -> Study:
+    """Transfer/generalization: train Q-adaptive once on one traffic pattern,
+    evaluate the frozen-in-time tables under patterns it never trained on.
+
+    The default grid trains on UR (at the scale's reference load, for the
+    scale's convergence window) and evaluates on the adversarial family plus
+    a shifted-load UR sweep — the policy-robustness axis emphasised by
+    DeepCQ+-style related work.  Eval runs keep only a short settling
+    warm-up; their learning continues online from the checkpoint, exactly
+    like the paper's warmed-up measurement windows.
+    """
+    scale = scale or default_scale()
+    eval_patterns = tuple(eval_patterns or ("ADV+1", "ADV+4"))
+    eval_warmup = round(scale.warmup_ns / 5.0, 3)
+    return Study(
+        name="transfer",
+        description="Transfer: train Q-adp on UR, evaluate on adversarial + "
+                    "shifted-load traffic",
+        config=scale.config,
+        sim_time_ns=eval_warmup + scale.measure_ns,
+        warmup_ns=eval_warmup,
+        seed=scale.seed,
+        train=TrainStage(
+            pattern=train_pattern,
+            load=_reference_load(scale, train_pattern),
+            train_ns=train_ns if train_ns is not None else scale.convergence_ns,
+            routing=("Q-adp",),
+            routing_kwargs=_qadp_kwargs(scale),
+        ),
+        scenarios=[
+            Scenario(
+                name="adversarial",
+                routing=("Q-adp",),
+                pattern=eval_patterns,
+                loads=tuple(scale.adv_loads),
+                routing_kwargs=_qadp_kwargs(scale),
+            ),
+            Scenario(
+                name="shift",
+                routing=("Q-adp",),
+                pattern=(train_pattern,),
+                loads=tuple(scale.ur_loads),
+                routing_kwargs=_qadp_kwargs(scale),
+            ),
+        ],
+    )
+
+
+def warm_fig5_study(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+) -> Study:
+    """Figure 5's sweep in train-once/eval-many form.
+
+    One training run per learned algorithm replaces the per-load-point
+    re-learning warm-up of the cold ``fig5`` study; every load point then
+    warm-starts from the shared checkpoint and measures after a short
+    settling window.  Non-learned algorithms keep the cold study's full
+    warm-up (a separate scenario), so their rows stay comparable to ``fig5``.
+    """
+    from repro.routing import canonical_routing_name, make_routing
+    from repro.routing.base import is_checkpointable
+
+    scale = scale or default_scale()
+    algorithms = tuple(canonical_routing_name(a)
+                       for a in (algorithms or PAPER_ALGORITHMS))
+    patterns = tuple(patterns or ("UR", "ADV+1"))
+    eval_warmup = round(scale.warmup_ns / 5.0, 3)
+    loads_of = {
+        pattern: tuple(scale.ur_loads if pattern.upper() == "UR" else scale.adv_loads)
+        for pattern in patterns
+    }
+    learned = tuple(a for a in algorithms if is_checkpointable(make_routing(a)))
+    cold = tuple(a for a in algorithms if a not in learned)
+    scenarios = []
+    if learned:
+        scenarios.append(Scenario(
+            name="sweep-warm",
+            routing=learned,
+            pattern=patterns,
+            loads_by_pattern=loads_of,
+            routing_kwargs=_qadp_kwargs(scale),
+        ))
+    if cold:
+        scenarios.append(Scenario(
+            name="sweep-cold",
+            routing=cold,
+            pattern=patterns,
+            loads_by_pattern=loads_of,
+            sim_time_ns=scale.sim_time_ns,
+            warmup_ns=scale.warmup_ns,
+        ))
+    return Study(
+        name="warm-fig5",
+        description="Figure 5 sweep, train-once/eval-many: one checkpoint "
+                    "feeds every load point of the learned algorithms",
+        config=scale.config,
+        sim_time_ns=eval_warmup + scale.measure_ns,
+        warmup_ns=eval_warmup,
+        seed=scale.seed,
+        train=TrainStage(
+            pattern="UR",
+            load=scale.ur_reference_load,
+            train_ns=scale.warmup_ns,
+            routing_kwargs=_qadp_kwargs(scale),
+        ),
+        scenarios=scenarios,
+    )
+
+
 # ------------------------------------------------------------------ headline
 def headline_study(
     scale: Optional[ExperimentScale] = None,
@@ -404,3 +523,9 @@ register_study("ablation-hyperparams", ablation_hyperparams_study,
                metadata={"summary": "Section 4: q_thld1/feedback ablation"})
 register_study("headline", headline_study,
                metadata={"summary": "EXPERIMENTS.md headline table (reduced scale)"})
+register_study("transfer", transfer_study,
+               metadata={"summary": "staged: train Q-adp on UR, evaluate on "
+                                    "adversarial/shifted traffic"})
+register_study("warm-fig5", warm_fig5_study, aliases=("warm_fig5",),
+               metadata={"summary": "staged: fig5 sweep fed by one training "
+                                    "run per learned algorithm"})

@@ -25,10 +25,20 @@ from importlib import import_module
 from typing import Any, Dict, Mapping, Sequence, Tuple
 
 #: schema version of a serialized ExperimentSpec document.
-SPEC_SCHEMA_VERSION = 1
+#: (2: added the optional ``warm_start`` checkpoint reference.)
+SPEC_SCHEMA_VERSION = 2
+
+#: spec schema versions this build can read.  Version-1 documents predate
+#: ``warm_start``; they load unchanged with ``warm_start=None``.
+SPEC_SCHEMA_COMPAT = (1, 2)
 
 #: schema version of a serialized Study document.
-STUDY_SCHEMA_VERSION = 1
+#: (2: added the optional ``train`` stage for staged train/eval studies.)
+STUDY_SCHEMA_VERSION = 2
+
+#: study schema versions this build can read.  Version-1 documents predate
+#: the ``train`` stage; they load unchanged as single-stage studies.
+STUDY_SCHEMA_COMPAT = (1, 2)
 
 #: tag → (module, class) of hyper-parameter objects allowed inside kwargs.
 PARAM_CODECS: Dict[str, Tuple[str, str]] = {
@@ -60,13 +70,23 @@ def check_keys(
         )
 
 
-def check_schema(data: Mapping[str, Any], expected: int, context: str) -> None:
-    """Validate the ``schema`` field of a top-level document."""
+def check_schema(data: Mapping[str, Any], expected, context: str) -> None:
+    """Validate the ``schema`` field of a top-level document.
+
+    ``expected`` is either a single version or a sequence of readable
+    versions (documents are always *written* at the newest version; older
+    readable versions cover forward migration of existing files).
+    """
+    supported = expected if isinstance(expected, (tuple, list, frozenset, set)) \
+        else (expected,)
     version = data.get("schema")
-    if version != expected:
+    if version not in supported:
+        versions = sorted(supported)
+        readable = (f"version {versions[0]}" if len(versions) == 1
+                    else f"versions {versions}")
         raise ValueError(
             f"{context}: unsupported schema version {version!r} "
-            f"(this build reads version {expected})"
+            f"(this build reads {readable})"
         )
 
 

@@ -41,6 +41,7 @@ from typing import (
 from repro.network.params import NetworkParams
 from repro.routing import canonical_routing_name
 from repro.scenarios.serialize import (
+    STUDY_SCHEMA_COMPAT,
     STUDY_SCHEMA_VERSION,
     check_keys,
     check_schema,
@@ -55,7 +56,7 @@ if TYPE_CHECKING:  # imported lazily at runtime: the harness sits above this
     # which reduces over the catalog, which is built from these classes).
     from repro.experiments.harness import ExperimentResult, ExperimentSpec
 
-__all__ = ["Scenario", "Study", "StudyPoint", "StudyResult"]
+__all__ = ["Scenario", "Study", "StudyPoint", "StudyResult", "TrainStage"]
 
 
 def _names_tuple(value: Union[str, Sequence[str]], canonical) -> Tuple[str, ...]:
@@ -203,6 +204,83 @@ class Scenario:
         return cls(**kwargs)
 
 
+@dataclass
+class TrainStage:
+    """Training stage of a staged study (schema v2).
+
+    When a study carries a train stage, :meth:`Study.run` first produces one
+    checkpoint per routing algorithm — trained for ``train_ns`` of simulated
+    time under ``pattern`` at ``load`` — and then warm-starts every expanded
+    eval spec of those routings from its checkpoint.  Training runs are
+    memoized through the artifact store (:mod:`repro.store`) by spec
+    fingerprint, so re-running the study re-trains nothing.
+
+    ``routing`` empty (the default) means "every checkpointable routing the
+    eval scenarios use"; naming a non-checkpointable routing explicitly is an
+    error.  ``routing_kwargs`` defaults to the first eval scenario that
+    configures the routing, so the trained policy uses the same
+    hyper-parameters it is evaluated with.
+    """
+
+    pattern: str = "UR"
+    load: float = 0.5
+    train_ns: Optional[float] = None
+    routing: Union[str, Sequence[str]] = ()
+    seed: Optional[int] = None
+    routing_kwargs: Dict[str, Dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.pattern = canonical_pattern_name(self.pattern)
+        self.routing = _names_tuple(self.routing, canonical_routing_name) \
+            if self.routing else ()
+        self.load = float(self.load)
+        if not 0.0 < self.load <= 1.0:
+            raise ValueError(
+                f"a train stage's load must be in (0, 1], got {self.load}"
+            )
+        if self.train_ns is not None and self.train_ns <= 0.0:
+            raise ValueError(f"train_ns must be positive, got {self.train_ns}")
+        self.routing_kwargs = {
+            canonical_routing_name(routing): dict(kwargs)
+            for routing, kwargs in self.routing_kwargs.items()
+        }
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict:
+        data: Dict = {"pattern": self.pattern, "load": self.load}
+        if self.train_ns is not None:
+            data["train_ns"] = float(self.train_ns)
+        if self.routing:
+            data["routing"] = list(self.routing)
+        if self.seed is not None:
+            data["seed"] = int(self.seed)
+        if self.routing_kwargs:
+            data["routing_kwargs"] = {
+                routing: encode_kwargs(kwargs, "TrainStage.routing_kwargs")
+                for routing, kwargs in self.routing_kwargs.items()
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrainStage":
+        check_keys(
+            data,
+            optional=("pattern", "load", "train_ns", "routing", "seed",
+                      "routing_kwargs"),
+            context="TrainStage",
+        )
+        kwargs: Dict = {}
+        for name in ("pattern", "load", "train_ns", "routing", "seed"):
+            if name in data:
+                kwargs[name] = data[name]
+        if "routing_kwargs" in data:
+            kwargs["routing_kwargs"] = {
+                routing: decode_kwargs(kw, "TrainStage.routing_kwargs")
+                for routing, kw in data["routing_kwargs"].items()
+            }
+        return cls(**kwargs)
+
+
 @dataclass(frozen=True)
 class StudyPoint:
     """One expanded experiment: which scenario/replicate produced which spec."""
@@ -226,10 +304,18 @@ class Study:
     arrival: str = "exponential"
     network_params: Optional[NetworkParams] = None
     description: str = ""
+    #: optional staged-execution training stage: checkpoints produced here
+    #: warm-start every eval spec of the trained routings (see TrainStage).
+    train: Optional[TrainStage] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValueError(f"a study needs a non-empty string name, got {self.name!r}")
+        if self.train is not None and not isinstance(self.train, TrainStage):
+            raise ValueError(
+                f"study {self.name!r}: train must be a TrainStage, "
+                f"got {type(self.train).__name__}"
+            )
         self.scenarios = tuple(self.scenarios)
         if not self.scenarios:
             raise ValueError(f"study {self.name!r} has no scenarios")
@@ -298,19 +384,120 @@ class Study:
         return getattr(self, name) if value is None else value
 
     # -------------------------------------------------------------- execution
-    def run(self, runner=None) -> "StudyResult":
+    def run(self, runner=None, store=None) -> "StudyResult":
         """Execute every expanded spec through a sweep runner.
 
         ``runner=None`` honours the ``REPRO_WORKERS`` / ``REPRO_CACHE``
         environment variables (serial, uncached when unset), exactly like the
         figure drivers.
+
+        Staged studies (``train`` set) run their training stage first —
+        through the artifact store ``store`` (default: the standard
+        ``.cache/checkpoints`` store) — and warm-start the matching eval
+        specs from the resulting checkpoints.
         """
         from repro.experiments.parallel import resolve_runner
 
         runner = resolve_runner(runner)
         points = self.expand()
+        checkpoints: Dict[str, str] = {}
+        if self.train is not None:
+            checkpoints = self.run_train_stage(store)
+            # Warm-start only the points that can actually load the
+            # checkpoint: training runs on the study-level config, so
+            # scenarios overriding it to a different topology run cold
+            # (learned tables do not transfer across topologies).
+            points = [
+                StudyPoint(
+                    point.scenario,
+                    point.replicate,
+                    point.spec.with_overrides(
+                        warm_start=checkpoints[point.spec.routing]),
+                )
+                if (point.spec.routing in checkpoints
+                    and point.spec.config == self.config) else point
+                for point in points
+            ]
         results = runner.run([point.spec for point in points])
-        return StudyResult(study=self, points=points, results=results)
+        return StudyResult(study=self, points=points, results=results,
+                           checkpoints=checkpoints)
+
+    def run_train_stage(self, store=None) -> Dict[str, str]:
+        """Produce (or reuse) one checkpoint per trained routing.
+
+        Returns ``{canonical routing name: checkpoint path}``.  Memoized
+        through the store: a study re-run only re-trains when the training
+        spec changed.
+        """
+        from repro.experiments.harness import ExperimentSpec, train_experiment
+        from repro.routing import make_routing
+        from repro.routing.base import is_checkpointable
+        from repro.store import resolve_store
+
+        stage = self.train
+        if stage is None:
+            return {}
+        store = resolve_store(store)
+        routings = stage.routing or self._checkpointable_routings()
+        if not routings:
+            raise ValueError(
+                f"study {self.name!r} has a train stage but no checkpointable "
+                "routing to train (the eval scenarios use only learned-state-"
+                "free algorithms; name the routing explicitly to override)"
+            )
+        checkpoints: Dict[str, str] = {}
+        for routing in routings:
+            kwargs = self._train_kwargs_for(routing)
+            if not is_checkpointable(make_routing(routing, **kwargs)):
+                raise ValueError(
+                    f"study {self.name!r}: train stage names routing "
+                    f"{routing!r}, which has no learned state to train"
+                )
+            spec = ExperimentSpec(
+                config=self.config,
+                routing=routing,
+                pattern=stage.pattern,
+                offered_load=stage.load,
+                sim_time_ns=stage.train_ns if stage.train_ns is not None
+                else self.sim_time_ns,
+                warmup_ns=0.0,
+                seed=stage.seed if stage.seed is not None else self.seed,
+                routing_kwargs=kwargs,
+                network_params=self.network_params,
+                arrival=self.arrival,
+                stats_bin_ns=self.stats_bin_ns,
+                label=f"train:{routing}",
+            )
+            trained = train_experiment(spec, store)
+            checkpoints[spec.routing] = str(trained.checkpoint.path)
+        return checkpoints
+
+    def _checkpointable_routings(self) -> Tuple[str, ...]:
+        """Distinct checkpointable routings of the eval scenarios, in order."""
+        from repro.routing import make_routing
+        from repro.routing.base import is_checkpointable
+
+        seen: List[str] = []
+        for scenario in self.scenarios:
+            for routing in scenario.routing:
+                if routing in seen:
+                    continue
+                kwargs = self._train_kwargs_for(routing)
+                if is_checkpointable(make_routing(routing, **kwargs)):
+                    seen.append(routing)
+        return tuple(seen)
+
+    def _train_kwargs_for(self, routing: str) -> Dict:
+        """Routing kwargs of the training run: the stage's own, else those of
+        the first eval scenario configuring the routing (so the policy trains
+        with the hyper-parameters it is evaluated with)."""
+        stage = self.train
+        if stage is not None and routing in stage.routing_kwargs:
+            return dict(stage.routing_kwargs[routing])
+        for scenario in self.scenarios:
+            if routing in scenario.routing_kwargs:
+                return dict(scenario.routing_kwargs[routing])
+        return {}
 
     def with_overrides(self, **kwargs) -> "Study":
         return replace(self, **kwargs)
@@ -333,6 +520,8 @@ class Study:
             data["network_params"] = self.network_params.to_dict()
         if self.description:
             data["description"] = self.description
+        if self.train is not None:
+            data["train"] = self.train.to_dict()
         return data
 
     @classmethod
@@ -341,10 +530,12 @@ class Study:
             data,
             required=("schema", "name", "config", "scenarios"),
             optional=("sim_time_ns", "warmup_ns", "stats_bin_ns", "seed",
-                      "arrival", "network_params", "description"),
+                      "arrival", "network_params", "description", "train"),
             context="Study",
         )
-        check_schema(data, STUDY_SCHEMA_VERSION, "Study")
+        # Documents are written at STUDY_SCHEMA_VERSION; version-1 documents
+        # (pre-train-stage) load unchanged as single-stage studies.
+        check_schema(data, STUDY_SCHEMA_COMPAT, "Study")
         if not isinstance(data["scenarios"], (list, tuple)):
             raise ValueError("Study: 'scenarios' must be a list")
         kwargs: Dict = {
@@ -361,6 +552,8 @@ class Study:
                 kwargs[name] = data[name]
         if "network_params" in data:
             kwargs["network_params"] = NetworkParams.from_dict(data["network_params"])
+        if "train" in data:
+            kwargs["train"] = TrainStage.from_dict(data["train"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------------ files
@@ -404,11 +597,16 @@ def _yaml_module():
 
 @dataclass
 class StudyResult:
-    """The outcome of :meth:`Study.run`: points and results, index-aligned."""
+    """The outcome of :meth:`Study.run`: points and results, index-aligned.
+
+    ``checkpoints`` maps each trained routing to its checkpoint path when the
+    study had a train stage (empty otherwise).
+    """
 
     study: Study
     points: List[StudyPoint]
     results: List[ExperimentResult]
+    checkpoints: Dict[str, str] = field(default_factory=dict)
 
     def __iter__(self) -> Iterator[Tuple[StudyPoint, ExperimentResult]]:
         return iter(zip(self.points, self.results))

@@ -170,3 +170,113 @@ def test_study_run_shares_cache_between_file_and_figure_paths(tmp_path, capsys, 
 def test_study_run_unknown_name_errors():
     with pytest.raises(SystemExit, match="unknown study"):
         main(["study", "run", "not-a-study"])
+
+
+# ---------------------------------------------------- train/checkpoint verbs
+def _train_demo(tmp_path, capsys, tag="demo"):
+    code = main([
+        "train", "--routing", "Q-adp", "--pattern", "UR", "--load", "0.3",
+        "--config", "tiny", "--time-us", "5",
+        "--store", str(tmp_path), "--tag", tag,
+    ])
+    assert code == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_train_command_honours_explicit_warmup(tmp_path, capsys):
+    """--warmup-us must not be silently discarded by the train verb."""
+    code = main([
+        "train", "--routing", "Q-adp", "--pattern", "UR", "--load", "0.3",
+        "--config", "tiny", "--time-us", "6", "--warmup-us", "3",
+        "--store", str(tmp_path), "--tag", "w",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["manifest"]["spec"]["warmup_ns"] == 3_000.0
+
+
+def test_train_command_stores_checkpoint(tmp_path, capsys):
+    payload = _train_demo(tmp_path, capsys)
+    assert payload["checkpoint_id"] == "demo"
+    assert payload["reused"] is False
+    assert payload["manifest"]["routing"] == "Q-adp"
+    assert (tmp_path / "demo" / "manifest.json").is_file()
+    assert (tmp_path / "demo" / "state.npz").is_file()
+    assert "summary" in payload
+    # the exact same training spec is reused, not re-simulated
+    again = _train_demo(tmp_path, capsys)
+    assert again["reused"] is True and "summary" not in again
+
+
+def test_checkpoint_list_and_show(tmp_path, capsys):
+    _train_demo(tmp_path, capsys)
+    assert main(["checkpoint", "list", "--store", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out and "Q-adp" in out
+    assert main(["checkpoint", "show", "demo", "--store", str(tmp_path)]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["checkpoint_id"] == "demo"
+    assert main(["checkpoint", "list", "--store", str(tmp_path), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)[0]["checkpoint_id"] == "demo"
+
+
+def test_checkpoint_prune(tmp_path, capsys):
+    _train_demo(tmp_path, capsys, tag="keepme")
+    _train_demo(tmp_path, capsys, tag="dropme")
+    assert main(["checkpoint", "prune", "--store", str(tmp_path),
+                 "--keep", "keepme"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["removed"] == ["dropme"]
+    assert payload["kept"] == ["keepme"]
+
+
+def test_run_with_warm_start_and_save_state(tmp_path, capsys):
+    _train_demo(tmp_path, capsys)
+    code = main([
+        "run", "--routing", "Q-adp", "--pattern", "UR", "--load", "0.3",
+        "--config", "tiny", "--time-us", "5", "--json",
+        "--warm-start", "demo", "--save-state", "after",
+        "--store", str(tmp_path),
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["routing"] == "Q-adp"
+    assert payload["checkpoint"].endswith("after")
+    assert (tmp_path / "after" / "state.npz").is_file()
+
+
+def test_run_warm_start_mismatch_is_a_clean_error(tmp_path, capsys):
+    _train_demo(tmp_path, capsys)
+    with pytest.raises(SystemExit, match="do not transfer across topologies"):
+        main([
+            "run", "--routing", "Q-adp", "--pattern", "UR", "--load", "0.3",
+            "--config", "small", "--time-us", "5",
+            "--warm-start", "demo", "--store", str(tmp_path),
+        ])
+    with pytest.raises(SystemExit, match="no checkpoint"):
+        main([
+            "run", "--routing", "Q-adp", "--pattern", "UR", "--load", "0.3",
+            "--config", "tiny", "--time-us", "5",
+            "--warm-start", "missing", "--store", str(tmp_path),
+        ])
+
+
+def test_study_run_staged_transfer(tmp_path, capsys):
+    """A staged scenario file trains first, then warm-starts its eval grid."""
+    from repro.scenarios import Scenario, Study, TrainStage
+    from repro.topology.config import DragonflyConfig
+
+    study = Study(
+        name="staged-cli", config=DragonflyConfig.tiny(),
+        sim_time_ns=3_000.0, warmup_ns=1_000.0,
+        train=TrainStage(pattern="UR", load=0.3, train_ns=3_000.0),
+        scenarios=[Scenario(name="eval", routing=("Q-adp",), pattern=("ADV+1",),
+                            loads=(0.2,))],
+    )
+    path = study.save(tmp_path / "staged.json")
+    store = tmp_path / "store"
+    assert main(["study", "run", str(path), "--store", str(store)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["study"] == "staged-cli"
+    assert "Q-adp" in payload["checkpoints"]
+    assert payload["runs"] == 1

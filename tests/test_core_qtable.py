@@ -89,6 +89,15 @@ def test_best_port_respects_candidate_restriction():
     assert port == local_port and value == 5.0
 
 
+def test_best_port_rejects_empty_candidate_sequence():
+    """Regression: an empty candidate list used to return the bogus (-1, inf)."""
+    table = TwoLevelQTable(0, TOPO)
+    with pytest.raises(ValueError, match="at least one candidate port"):
+        table.best_port(0, candidate_ports=[])
+    with pytest.raises(ValueError, match="at least one candidate port"):
+        table.best_port(0, candidate_ports=())
+
+
 def test_min_value_and_apply_delta():
     table = TwoLevelQTable(0, TOPO)
     table.values[:] = 10.0
@@ -110,3 +119,32 @@ def test_snapshot_is_a_copy():
 def test_memory_bytes_accounting():
     table = TwoLevelQTable(0, TOPO, value_bytes=4)
     assert table.memory_bytes() == table.num_rows * table.num_ports * 4
+
+
+# --------------------------------------------------------------- persistence
+def test_state_dict_round_trips_bit_exact():
+    source = TwoLevelQTable(3, TOPO)
+    source.initialize_uncongested(TIMING)
+    source.apply_delta(1, TOPO.local_ports[0], -2.5)
+    state = source.state_dict()
+    target = TwoLevelQTable(3, TOPO)
+    target.load_state(state)
+    assert np.array_equal(target.values, source.values)
+    assert target.updates == source.updates
+    # the payload holds copies: mutating it later cannot corrupt the source
+    state["values"][0, 0] = -1.0
+    assert source.values[0, 0] != -1.0
+
+
+def test_load_state_rejects_wrong_kind_version_and_shape():
+    two_level = TwoLevelQTable(0, TOPO)
+    qrouting = QRoutingTable(0, TOPO)
+    with pytest.raises(ValueError, match="different table design"):
+        two_level.load_state(qrouting.state_dict())
+    stale = two_level.state_dict()
+    stale["version"] = 99
+    with pytest.raises(ValueError, match="version 99"):
+        two_level.load_state(stale)
+    other_topo = DragonflyTopology(DragonflyConfig.tiny())
+    with pytest.raises(ValueError, match="shape mismatch"):
+        two_level.load_state(TwoLevelQTable(0, other_topo).state_dict())

@@ -26,9 +26,14 @@ from repro.experiments.harness import ExperimentSpec, build_network
 from repro.topology.config import DragonflyConfig
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_determinism.json")
+GOLDEN_WARMSTART_PATH = os.path.join(os.path.dirname(__file__), "data",
+                                     "golden_warmstart.json")
 
 with open(GOLDEN_PATH) as _fh:
     GOLDEN = json.load(_fh)
+
+with open(GOLDEN_WARMSTART_PATH) as _fh:
+    GOLDEN_WARMSTART = json.load(_fh)
 
 
 def _fingerprint(routing: str, pattern: str) -> dict:
@@ -62,6 +67,57 @@ def _fingerprint(routing: str, pattern: str) -> dict:
 def test_golden_fingerprint_is_reproduced(key):
     routing, pattern = key.split("/", 1)
     assert _fingerprint(routing, pattern) == GOLDEN[key]
+
+
+def _warmstart_fingerprint(store_dir) -> dict:
+    """Train Q-adp briefly, then fingerprint a warm-started measurement run.
+
+    The whole chain — training run, checkpoint bytes, warm-started run — is
+    seeded, so the fingerprint is machine independent like the cold ones.
+    """
+    from repro.experiments.harness import train_experiment
+    from repro.store import ArtifactStore
+
+    train_spec = ExperimentSpec(
+        config=DragonflyConfig.small_72(),
+        routing="Q-adp",
+        pattern="ADV+1",
+        offered_load=0.3,
+        sim_time_ns=4_000.0,
+        warmup_ns=0.0,
+        seed=11,
+    )
+    trained = train_experiment(train_spec, ArtifactStore(store_dir))
+    spec = train_spec.with_overrides(
+        sim_time_ns=6_000.0,
+        warmup_ns=2_000.0,
+        warm_start=str(trained.checkpoint.path),
+    )
+    network, generator = build_network(spec)
+    generator.start()
+    network.run(until=spec.sim_time_ns)
+    stats = network.finalize()
+    return {
+        "events_processed": network.sim.events_processed,
+        "generated_packets": stats.generated_packets,
+        "delivered_packets": stats.delivered_packets,
+        "measured_packets": stats.measured_packets,
+        "mean_latency_ns": stats.mean_latency_ns,
+        "mean_hops": stats.mean_hops,
+        "throughput": stats.throughput,
+        "latency_median_ns": stats.latency.median,
+        "latency_p99_ns": stats.latency.p99,
+    }
+
+
+def test_warmstart_golden_fingerprint_is_reproduced(tmp_path):
+    """Checkpoint save → load → continue is pinned bit-for-bit, and loading
+    the same checkpoint twice yields identical results (the reload identity
+    of the train/eval lifecycle)."""
+    first = _warmstart_fingerprint(tmp_path / "store-a")
+    assert first == GOLDEN_WARMSTART["Q-adp/ADV+1"]
+    second = _warmstart_fingerprint(tmp_path / "store-b")
+    assert second == first
 
 
 def test_same_seed_same_summary_row_across_runs():

@@ -98,8 +98,37 @@ def test_spec_round_trip_with_schedule():
 def test_spec_dict_is_json_ready_and_versioned():
     spec = _spec(routing_kwargs={"max_q": 3}, routing="Q-routing")
     data = spec.to_dict()
-    assert data["schema"] == 1
+    assert data["schema"] == 2
     json.dumps(data)  # no custom types anywhere
+
+
+def test_spec_schema_v1_documents_still_load():
+    """Migration: pre-warm_start (schema 1) documents read unchanged."""
+    data = _spec().to_dict()
+    assert "warm_start" not in data
+    v1 = dict(data)
+    v1["schema"] = 1
+    clone = ExperimentSpec.from_dict(v1)
+    assert clone == _spec()
+    assert clone.warm_start is None
+
+
+def test_spec_warm_start_round_trips_and_changes_fingerprint(tmp_path):
+    warm = _spec(warm_start=str(tmp_path / "ckpt"))
+    data = warm.to_dict()
+    assert data["warm_start"] == str(tmp_path / "ckpt")
+    clone = ExperimentSpec.from_dict(data)
+    assert clone == warm
+    # warm-started runs must never share cache entries with cold runs
+    assert spec_fingerprint(warm) != spec_fingerprint(_spec())
+    assert spec_fingerprint(clone) == spec_fingerprint(warm)
+
+
+def test_spec_warm_start_rejects_empty_values():
+    with pytest.raises(ValueError, match="warm_start"):
+        _spec(warm_start="")
+    with pytest.raises(ValueError, match="warm_start"):
+        _spec(warm_start=123)
 
 
 def test_spec_from_dict_strictness():
@@ -161,6 +190,7 @@ def test_spec_validation_still_accepts_boundary_values():
 @pytest.mark.parametrize("study_name", [
     "fig5", "fig6", "fig7", "fig8", "fig9",
     "ablation-maxq", "ablation-hyperparams", "headline",
+    "transfer", "warm-fig5",
 ])
 def test_every_figure_spec_round_trips_at_every_scale(scale_name, study_name):
     """ExperimentSpec.from_dict(spec.to_dict()) for the full paper grid."""
