@@ -23,7 +23,7 @@ import json
 from repro.experiments import SweepRunner, print_progress
 from repro.experiments.parallel import DEFAULT_CACHE_DIR
 from repro.scenarios import study_by_name
-from repro.stats.report import format_table
+from repro.stats.report import format_table, json_safe
 
 
 def main() -> None:
@@ -52,7 +52,9 @@ def main() -> None:
         row = result.summary_row()
         row["wall_s"] = round(result.wall_time_s, 1)
         rows.append(row)
-        print(json.dumps(row), flush=True)
+        # json_safe: saturated/empty windows yield NaN summaries, which
+        # json.dump would write as the non-JSON token ``NaN``.
+        print(json.dumps(json_safe(row)), flush=True)
     print()
     print(format_table(rows))
 

@@ -44,6 +44,16 @@ later runs from it (the paper's warm-up-once/measure-many workflow)::
     repro-sim run --routing Q-adp --pattern ADV+1 --load 0.3 --warm-start warm-ur
     repro-sim run --routing Q-adp --pattern UR --load 0.5 --save-state my-ckpt
     repro-sim study run transfer --scale bench
+
+Attach telemetry probes (per-link utilization, per-source-group fairness,
+queue occupancy, Q-convergence), save the study result, and render the
+analysis report::
+
+    repro-sim run --routing Q-adp --pattern ADV+1 --telemetry link-util fairness --json
+    repro-sim study run fairness --scale bench --out fairness.json
+    repro-sim report fairness.json
+    repro-sim report fairness.json --export analysis.json
+    repro-sim list probes
 """
 
 from __future__ import annotations
@@ -71,9 +81,11 @@ from repro.experiments import (
 )
 from repro.experiments.parallel import DEFAULT_CACHE_DIR, ResultCache, default_runner
 from repro.experiments.presets import available_scales, default_scale, scale_by_name
+from repro.instrument import PROBE_REGISTRY, available_probes
+from repro.instrument.report import export_payload, load_result_document, render_report
 from repro.routing import ROUTING_REGISTRY, available_algorithms
 from repro.scenarios import available_studies, load_study
-from repro.stats.report import comparison_table, format_table
+from repro.stats.report import comparison_table, format_table, json_safe
 from repro.store import DEFAULT_STORE_DIR, resolve_store
 from repro.topology.config import DragonflyConfig
 from repro.traffic import PATTERN_REGISTRY
@@ -157,6 +169,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = _build_spec(args, args.routing[0])
     if args.warm_start:
         spec = spec.with_overrides(warm_start=_resolve_warm_start(args))
+    if args.telemetry:
+        try:
+            spec = spec.with_overrides(telemetry=tuple(args.telemetry))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     try:
         result = run_experiment(spec, save_state=args.save_state, store=args.store)
     except (FileNotFoundError, ValueError) as exc:
@@ -166,11 +183,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         payload = dict(row)
         if "checkpoint" in result.routing_diagnostics:
             payload["checkpoint"] = result.routing_diagnostics["checkpoint"]
-        print(json.dumps(payload, indent=2))
+        if result.telemetry:
+            payload["telemetry"] = result.telemetry
+        print(json.dumps(json_safe(payload), indent=2))
     else:
         print(format_table([row]))
         if "checkpoint" in result.routing_diagnostics:
             print(f"saved checkpoint: {result.routing_diagnostics['checkpoint']}")
+        if result.telemetry:
+            for name, summary in result.telemetry.items():
+                headline = {k: v for k, v in summary.items()
+                            if isinstance(v, (int, float, str)) and k != "probe"}
+                print(f"telemetry [{name}]: "
+                      f"{json.dumps(json_safe(headline), sort_keys=True)}")
     return 0
 
 
@@ -253,7 +278,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     runner = _runner_from_args(args)
     fn = FIGURES[args.name]
     data = fn(scale, runner)
-    print(json.dumps(data, indent=2, default=str))
+    print(json.dumps(json_safe(data), indent=2, default=str))
     return 0
 
 
@@ -273,20 +298,52 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc))
     rows = result.rows()
+    payload = {
+        "study": study.name,
+        "description": study.description,
+        "runs": len(rows),
+        "simulated": runner.simulated,
+        "cache_hits": runner.cache_hits,
+        "rows": rows,
+    }
+    telemetry_rows = result.telemetry_rows()
+    if telemetry_rows:
+        payload["telemetry"] = telemetry_rows
+    if result.checkpoints:
+        payload["checkpoints"] = result.checkpoints
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(json_safe(payload), fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+        if telemetry_rows:
+            print(f"render it with: repro-sim report {args.out}")
+        if args.table:
+            print(format_table(rows))
+        return 0
     if args.table:
         print(format_table(rows))
     else:
-        payload = {
-            "study": study.name,
-            "description": study.description,
-            "runs": len(rows),
-            "simulated": runner.simulated,
-            "cache_hits": runner.cache_hits,
-            "rows": rows,
-        }
-        if result.checkpoints:
-            payload["checkpoints"] = result.checkpoints
-        print(json.dumps(payload, indent=2, default=str))
+        print(json.dumps(json_safe(payload), indent=2, default=str))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        doc = load_result_document(args.result)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.export:
+        payload = export_payload(doc, max_rows=args.max_rows)
+        text = json.dumps(payload, indent=2)
+        if args.export == "-":
+            print(text)
+        else:
+            with open(args.export, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.export}")
+        return 0
+    print(render_report(doc, max_rows=args.max_rows), end="")
     return 0
 
 
@@ -328,6 +385,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     elif what == "scales":
         for name in available_scales():
             print(name)
+    elif what == "probes":
+        rows = {row["name"]: row for row in PROBE_REGISTRY.describe()}
+        for name, summary in available_probes().items():
+            print(f"{name:18s} {summary}{_registry_extras(PROBE_REGISTRY, rows[name])}")
     else:
         return _cmd_study_list(args)
     return 0
@@ -385,6 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--save-state", default=None, metavar="TAG",
                        help="persist the learned routing state after the run "
                             "as checkpoint TAG in the store")
+    run_p.add_argument("--telemetry", nargs="+", default=None, metavar="PROBE",
+                       help="attach telemetry probes (see 'list probes'): "
+                            "link-util, queue-occupancy, source-latency, "
+                            "q-convergence")
     add_store(run_p)
     run_p.set_defaults(func=_cmd_run)
 
@@ -451,6 +516,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_scale(srun_p)
     srun_p.add_argument("--table", action="store_true",
                         help="print a summary table instead of JSON rows")
+    srun_p.add_argument("--out", default=None, metavar="FILE",
+                        help="save the full study result (summary rows + "
+                             "telemetry payloads) as a JSON document for "
+                             "'repro-sim report'")
     add_parallel(srun_p)
     add_store(srun_p)
     srun_p.set_defaults(func=_cmd_study_run)
@@ -465,10 +534,25 @@ def build_parser() -> argparse.ArgumentParser:
     slist_p = study_sub.add_parser("list", help="list registered studies")
     slist_p.set_defaults(func=_cmd_study_list)
 
+    report_p = sub.add_parser(
+        "report", help="render the telemetry report of a saved study result")
+    report_p.add_argument("result",
+                          help="study-result JSON written by "
+                               "'study run ... --out FILE'")
+    report_p.add_argument("--export", default=None, metavar="FILE",
+                          help="write the analysis as strict JSON instead of "
+                               "text ('-' for stdout)")
+    report_p.add_argument("--max-rows", type=int, default=8, metavar="N",
+                          help="links/routers/time bins shown per run "
+                               "(default 8)")
+    report_p.set_defaults(func=_cmd_report)
+
     list_p = sub.add_parser(
-        "list", help="list registered algorithms, patterns, scales or studies")
+        "list", help="list registered algorithms, patterns, scales, studies "
+                     "or telemetry probes")
     list_p.add_argument("what",
-                        choices=("algorithms", "patterns", "scales", "studies"))
+                        choices=("algorithms", "patterns", "scales", "studies",
+                                 "probes"))
     list_p.set_defaults(func=_cmd_list)
     return parser
 

@@ -37,6 +37,11 @@ ROUTING_STATE_VERSION = 1
 class TabularMarlRouting(RoutingAlgorithm):
     """Base class for Q-routing / Q-adaptive: owns the tables and the feedback loop."""
 
+    #: ``q_update`` telemetry emitter (see :mod:`repro.instrument.bus`),
+    #: resolved by the network after every probe attach/detach; the class
+    #: default keeps the probes-off fast path at one None check per update.
+    _ev_q_update = None
+
     def __init__(
         self,
         hysteretic: HystereticParams,
@@ -136,9 +141,12 @@ class TabularMarlRouting(RoutingAlgorithm):
         current = values.item(row, column)
         delta = target - current
         rate = self.hysteretic.alpha if delta < 0.0 else self.hysteretic.beta
-        values[row, column] = current + rate * delta
+        new = current + rate * delta
+        values[row, column] = new
         table.updates += 1
         self.feedback_applied += 1
+        if self._ev_q_update is not None:
+            self._ev_q_update(router_id, row, column, current, new, self._sim._now)
 
     def on_forward(self, router: Router, packet: Packet, in_port: int, out_port: int,
                    now: float) -> None:

@@ -72,6 +72,13 @@ class ExperimentSpec:
     #: starts.  Folded into the serialized form and the cache fingerprint:
     #: warm-started runs never share cache entries with cold runs.
     warm_start: Optional[str] = None
+    #: telemetry probes attached for the run (canonical names from
+    #: :data:`repro.instrument.PROBE_REGISTRY`); their summaries land in
+    #: ``result.telemetry``.  Folded into the serialized form and the cache
+    #: fingerprint — a run with probes never shares a cache entry with one
+    #: without (the cached payload differs), though the simulation itself is
+    #: bit-identical either way.
+    telemetry: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.schedule is not None:
@@ -115,6 +122,16 @@ class ExperimentSpec:
                 )
         self.routing = canonical_routing_name(self.routing)
         self.pattern = canonical_pattern_name(self.pattern)
+        if isinstance(self.telemetry, str):
+            self.telemetry = (self.telemetry,)
+        if self.telemetry:
+            from repro.instrument import canonical_probe_name
+
+            # Canonical + deduplicated, order preserving: two specs naming
+            # the same probes spell — and fingerprint — identically.
+            self.telemetry = tuple(dict.fromkeys(
+                canonical_probe_name(name) for name in self.telemetry
+            ))
 
     @property
     def display_name(self) -> str:
@@ -160,6 +177,8 @@ class ExperimentSpec:
             data["label"] = self.label
         if self.warm_start is not None:
             data["warm_start"] = self.warm_start
+        if self.telemetry:
+            data["telemetry"] = list(self.telemetry)
         return data
 
     @classmethod
@@ -175,12 +194,14 @@ class ExperimentSpec:
             required=("schema", "config", "routing", "pattern"),
             optional=("offered_load", "schedule", "sim_time_ns", "warmup_ns",
                       "seed", "arrival", "stats_bin_ns", "routing_kwargs",
-                      "pattern_kwargs", "network_params", "label", "warm_start"),
+                      "pattern_kwargs", "network_params", "label", "warm_start",
+                      "telemetry"),
             context="ExperimentSpec",
         )
         # Documents are written at SPEC_SCHEMA_VERSION; version-1 documents
-        # (pre-warm_start) migrate transparently — every field they may carry
-        # reads identically and warm_start defaults to None.
+        # (pre-warm_start) and version-2 documents (pre-telemetry) migrate
+        # transparently — every field they may carry reads identically and
+        # the newer fields keep their defaults.
         check_schema(data, SPEC_SCHEMA_COMPAT, "ExperimentSpec")
         kwargs: Dict = {
             "config": DragonflyConfig.from_dict(data["config"]),
@@ -208,6 +229,16 @@ class ExperimentSpec:
             kwargs["label"] = data["label"]
         if "warm_start" in data:
             kwargs["warm_start"] = data["warm_start"]
+        if "telemetry" in data:
+            telemetry = data["telemetry"]
+            if not isinstance(telemetry, (list, tuple)) or not all(
+                isinstance(name, str) for name in telemetry
+            ):
+                raise ValueError(
+                    f"ExperimentSpec: telemetry must be a list of probe "
+                    f"names, got {telemetry!r}"
+                )
+            kwargs["telemetry"] = tuple(telemetry)
         if kwargs["offered_load"] is None and "schedule" not in data:
             raise ValueError(
                 "ExperimentSpec: a serialized spec needs offered_load or schedule"
@@ -227,6 +258,10 @@ class ExperimentResult:
     throughput_timeline: Tuple[np.ndarray, np.ndarray]
     routing_diagnostics: Dict
     wall_time_s: float
+    #: ``{probe name: summary payload}`` of every probe named by
+    #: ``spec.telemetry`` (empty when the run carried no probes).  Payloads
+    #: are JSON-ready plain data — see :mod:`repro.instrument.probes`.
+    telemetry: Dict[str, Dict] = field(default_factory=dict)
 
     # ------------------------------------------------------------ convenience
     @property
@@ -312,6 +347,13 @@ def _execute(spec: ExperimentSpec) -> Tuple[ExperimentResult, DragonflyNetwork]:
     """Run one spec to completion; returns the result and the live network
     (so callers can export learned state before it is garbage-collected)."""
     network, generator = build_network(spec)
+    probes = []
+    if spec.telemetry:
+        from repro.instrument import make_probe
+
+        for name in spec.telemetry:
+            probes.append((name, network.attach_probe(make_probe(
+                name, bin_ns=spec.stats_bin_ns, warmup_ns=spec.warmup_ns))))
     generator.start()
     started = time.perf_counter()
     network.run(until=spec.sim_time_ns)
@@ -346,6 +388,7 @@ def _execute(spec: ExperimentSpec) -> Tuple[ExperimentResult, DragonflyNetwork]:
         throughput_timeline=(throughput_times, throughput_values),
         routing_diagnostics=diagnostics,
         wall_time_s=wall,
+        telemetry={name: probe.summary(network.sim.now) for name, probe in probes},
     )
     return result, network
 

@@ -39,7 +39,7 @@ import os
 import pickle
 import sys
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -51,8 +51,9 @@ from repro.stats.collectors import RunStats
 #: bump when the simulator or the wire format changes in a way that makes
 #: previously cached results stale.  (2: fingerprints re-based on the
 #: serialized spec schema instead of dataclass introspection.  3: spec
-#: schema v2 — warm_start checkpoints — retires every v1-keyed entry.)
-CACHE_VERSION = 3
+#: schema v2 — warm_start checkpoints — retires every v1-keyed entry.
+#: 4: spec schema v3 + the telemetry block in the wire format.)
+CACHE_VERSION = 4
 
 #: default location of the on-disk result cache, relative to the CWD.
 DEFAULT_CACHE_DIR = Path(".cache") / "experiments"
@@ -127,6 +128,10 @@ class ExperimentResultData:
     throughput_timeline: Tuple[np.ndarray, np.ndarray]
     routing_diagnostics: Dict
     wall_time_s: float
+    #: JSON-ready probe summaries keyed by probe name (plain data, so the
+    #: telemetry of a cached or worker-executed run survives the pickle
+    #: round trip unchanged).
+    telemetry: Dict = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, result: ExperimentResult) -> "ExperimentResultData":
@@ -138,6 +143,7 @@ class ExperimentResultData:
             throughput_timeline=result.throughput_timeline,
             routing_diagnostics=result.routing_diagnostics,
             wall_time_s=result.wall_time_s,
+            telemetry=result.telemetry,
         )
 
     def to_result(self, spec: ExperimentSpec) -> ExperimentResult:
@@ -150,6 +156,7 @@ class ExperimentResultData:
             throughput_timeline=self.throughput_timeline,
             routing_diagnostics=self.routing_diagnostics,
             wall_time_s=self.wall_time_s,
+            telemetry=self.telemetry,
         )
 
 

@@ -1,0 +1,269 @@
+"""Report analysis layer: turn saved telemetry into tables and strict JSON.
+
+``repro-sim study run fairness --out result.json`` saves a *study-result
+document* — summary rows plus the per-run telemetry payloads produced by the
+probes of :mod:`repro.instrument.probes`.  This module renders such a
+document as plain-text report sections (``repro-sim report result.json``)
+and as a strict-JSON analysis payload (``--export``):
+
+* **Per-link utilization** — busiest links per run (busy fraction, packets).
+* **Source-group fairness** — per-group latency summaries, Jain fairness
+  index, and the Figure-6-style mean/p95/p99 tail breakdown.
+* **Queue occupancy** — deepest output queues and credit-stall hotspots.
+* **Q-convergence** — mean |ΔQ| per time bin (the Figure-7 transient).
+
+Every function here consumes only the JSON document — never live simulation
+objects — so reports can be rendered long after (and far away from) the run
+that produced the data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.stats.report import format_table, json_safe
+
+__all__ = [
+    "analyze_document",
+    "export_payload",
+    "load_result_document",
+    "render_report",
+    "run_label",
+]
+
+#: links / routers / time bins shown per run in the plain-text tables.
+MAX_TABLE_ROWS = 8
+
+
+def load_result_document(path) -> Dict:
+    """Read and validate a study-result document written with ``--out``.
+
+    Raises :class:`ValueError` with an actionable message when the file is
+    not JSON, is not a study-result document, or carries no telemetry.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read study result {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "rows" not in data:
+        raise ValueError(
+            f"{path} is not a study-result document; produce one with "
+            "'repro-sim study run <study> --out FILE'"
+        )
+    if not data.get("telemetry"):
+        raise ValueError(
+            f"{path} carries no telemetry: run a study whose specs attach "
+            "probes (e.g. the 'fairness' or 'link-heatmap' catalog studies, "
+            "or any study file with a \"telemetry\" list)"
+        )
+    return data
+
+
+def run_label(row: Dict) -> str:
+    """Human-readable coordinates of one telemetry row."""
+    load = row.get("offered_load", "?")
+    label = f"{row.get('routing', '?')}/{row.get('pattern', '?')}@{load}"
+    scenario = row.get("scenario")
+    if scenario:
+        label = f"{scenario}: {label}"
+    replicate = row.get("replicate", 0)
+    if replicate:
+        label += f" (replicate {replicate})"
+    return label
+
+
+# ------------------------------------------------------------------- analysis
+def _link_rows(payload: Dict, limit: int) -> List[Dict]:
+    rows = []
+    for link in payload.get("links", [])[:limit]:
+        rows.append({
+            "router": link.get("router"),
+            "port": link.get("port"),
+            "kind": link.get("kind"),
+            "packets": link.get("packets"),
+            "busy_fraction": round(link.get("busy_fraction", 0.0), 4),
+        })
+    return rows
+
+
+def _fairness_rows(payload: Dict) -> List[Dict]:
+    rows = []
+    for group in payload.get("groups", []):
+        rows.append({
+            "group": group.get("group"),
+            "packets": group.get("count"),
+            "mean_us": _us(group.get("mean")),
+            "p95_us": _us(group.get("p95")),
+            "p99_us": _us(group.get("p99")),
+            "max_us": _us(group.get("max")),
+        })
+    return rows
+
+
+def _queue_rows(payload: Dict, limit: int) -> List[Dict]:
+    rows = []
+    for router in payload.get("routers", [])[:limit]:
+        rows.append({
+            "router": router.get("router"),
+            "samples": router.get("samples"),
+            "mean_depth": round(router.get("mean_depth", 0.0), 2),
+            "max_depth": router.get("max_depth"),
+            "credit_stalls": router.get("credit_stalls"),
+        })
+    return rows
+
+
+def _convergence_rows(payload: Dict, limit: int) -> List[Dict]:
+    series = payload.get("series", {})
+    times = series.get("times_ns", [])
+    means = series.get("mean", [])
+    counts = series.get("count", [])
+    bins = list(zip(times, means, counts))
+    if len(bins) > limit:  # evenly sample the trace, keeping first and last
+        if limit <= 1:
+            bins = bins[-1:]  # a single row: the trace's final state
+        else:
+            step = (len(bins) - 1) / (limit - 1)
+            bins = [bins[round(i * step)] for i in range(limit)]
+    return [
+        {"t_us": round(t / 1_000.0, 2), "mean_abs_dq_ns": round(m, 3), "updates": int(c)}
+        for t, m, c in bins
+    ]
+
+
+def _us(value: Optional[float]) -> Optional[float]:
+    return round(value / 1_000.0, 3) if isinstance(value, (int, float)) else value
+
+
+def analyze_document(doc: Dict, max_rows: int = MAX_TABLE_ROWS) -> Dict:
+    """Distill a study-result document into the report's analysis payload.
+
+    The payload is strict-JSON ready (after :func:`json_safe`) and mirrors
+    the plain-text sections of :func:`render_report` one to one.
+    """
+    runs = []
+    for row in doc.get("telemetry", []):
+        telemetry = row.get("telemetry", {})
+        run: Dict = {
+            "label": run_label(row),
+            "scenario": row.get("scenario"),
+            "replicate": row.get("replicate"),
+            "routing": row.get("routing"),
+            "pattern": row.get("pattern"),
+            "offered_load": row.get("offered_load"),
+        }
+        link_util = telemetry.get("link-util")
+        if link_util:
+            run["link_utilization"] = {
+                "max_busy_fraction": link_util.get("max_busy_fraction"),
+                "mean_busy_fraction": link_util.get("mean_busy_fraction"),
+                "links_observed": link_util.get("links_observed"),
+                "links_total": link_util.get("links_total"),
+                "top_links": _link_rows(link_util, max_rows),
+            }
+        fairness = telemetry.get("source-latency")
+        if fairness:
+            run["fairness"] = {
+                "jain_fairness_mean": fairness.get("jain_fairness_mean"),
+                "jain_fairness_p99": fairness.get("jain_fairness_p99"),
+                "mean_spread": fairness.get("mean_spread"),
+                "measured_packets": fairness.get("measured_packets"),
+                "groups": _fairness_rows(fairness),
+            }
+        queues = telemetry.get("queue-occupancy")
+        if queues:
+            run["queues"] = {
+                "samples": queues.get("samples"),
+                "credit_stalls": queues.get("credit_stalls"),
+                "max_depth": queues.get("max_depth"),
+                "top_routers": _queue_rows(queues, max_rows),
+            }
+        convergence = telemetry.get("q-convergence")
+        if convergence:
+            run["convergence"] = {
+                "updates": convergence.get("updates"),
+                "routers_learning": convergence.get("routers_learning"),
+                "trace": _convergence_rows(convergence, max_rows),
+            }
+        runs.append(run)
+    return {
+        "study": doc.get("study"),
+        "description": doc.get("description", ""),
+        "runs": runs,
+    }
+
+
+# ------------------------------------------------------------------ rendering
+def _section(title: str, blocks: Sequence[Tuple[str, str]]) -> List[str]:
+    """One report section: an underlined title plus labelled blocks."""
+    if not blocks:
+        return []
+    lines = [title, "=" * len(title), ""]
+    for label, body in blocks:
+        lines.append(f"-- {label}")
+        lines.append(body)
+        lines.append("")
+    return lines
+
+
+def render_report(doc: Dict, max_rows: int = MAX_TABLE_ROWS) -> str:
+    """Render a study-result document as the plain-text telemetry report."""
+    analysis = analyze_document(doc, max_rows=max_rows)
+    lines: List[str] = []
+    study = analysis.get("study")
+    header = f"Telemetry report — study {study!r}" if study else "Telemetry report"
+    lines += [header, "#" * len(header), ""]
+    if analysis.get("description"):
+        lines += [analysis["description"], ""]
+
+    utilization, fairness, queues, convergence = [], [], [], []
+    for run in analysis["runs"]:
+        label = run["label"]
+        if "link_utilization" in run:
+            block = run["link_utilization"]
+            summary = (f"links observed: {block['links_observed']}"
+                       f"/{block['links_total'] or '?'}   "
+                       f"mean busy: {block['mean_busy_fraction']:.3f}   "
+                       f"max busy: {block['max_busy_fraction']:.3f}")
+            table = format_table(block["top_links"]) if block["top_links"] else "(no traffic)"
+            utilization.append((label, f"{summary}\n{table}"))
+        if "fairness" in run:
+            block = run["fairness"]
+            jain_mean = block.get("jain_fairness_mean")
+            jain_p99 = block.get("jain_fairness_p99")
+            summary = (
+                f"Jain fairness (mean latency): "
+                f"{jain_mean if jain_mean is None else format(jain_mean, '.4f')}   "
+                f"(p99): {jain_p99 if jain_p99 is None else format(jain_p99, '.4f')}"
+            )
+            table = format_table(block["groups"]) if block["groups"] else "(no packets)"
+            fairness.append((label, f"{summary}\n{table}"))
+        if "queues" in run:
+            block = run["queues"]
+            summary = (f"queue samples: {block['samples']}   credit stalls: "
+                       f"{block['credit_stalls']}   max depth: {block['max_depth']}")
+            table = format_table(block["top_routers"]) if block["top_routers"] \
+                else "(no queue growth observed)"
+            queues.append((label, f"{summary}\n{table}"))
+        if "convergence" in run:
+            block = run["convergence"]
+            summary = (f"Q-table updates: {block['updates']}   learning routers: "
+                       f"{block['routers_learning']}")
+            table = format_table(block["trace"]) if block["trace"] else "(no updates)"
+            convergence.append((label, f"{summary}\n{table}"))
+
+    lines += _section("Per-link utilization", utilization)
+    lines += _section("Source-group fairness", fairness)
+    lines += _section("Queue occupancy", queues)
+    lines += _section("Q-convergence", convergence)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def export_payload(doc: Dict, max_rows: int = MAX_TABLE_ROWS) -> Dict:
+    """The strict-JSON ``--export`` payload of one study-result document."""
+    return json_safe(analyze_document(doc, max_rows=max_rows))

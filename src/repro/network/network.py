@@ -24,6 +24,7 @@ from typing import List, Optional
 
 from repro.engine.rng import RngFactory
 from repro.engine.simulator import Simulator
+from repro.instrument.bus import Probe, ProbeBus
 from repro.network.credits import OutputCredits
 from repro.network.link import Channel
 from repro.network.nic import Nic
@@ -78,6 +79,8 @@ class DragonflyNetwork:
         self.sim = Simulator()
         self.rng = RngFactory(seed)
         self.seed = seed
+        #: telemetry bus every probe attaches to (see :mod:`repro.instrument`).
+        self.bus = ProbeBus()
         self.collector = StatsCollector(
             warmup_ns=warmup_ns,
             bin_ns=stats_bin_ns,
@@ -85,10 +88,14 @@ class DragonflyNetwork:
             node_bandwidth_bytes_per_ns=self.params.link_bandwidth_bytes_per_ns,
         )
         self._packet_counter = 0
+        self._ev_generated = None
         self.routers: List[Router] = []
         self.nics: List[Nic] = []
         self._build()
         routing.attach(self)
+        # The collector is the default probe: generation/delivery flow over
+        # the bus, so user probes and the collector observe the same events.
+        self.attach_probe(self.collector)
 
     # ------------------------------------------------------------------ build
     def _build(self) -> None:
@@ -129,7 +136,51 @@ class DragonflyNetwork:
             )
             credits = OutputCredits(num_vcs, params.vc_buffer_packets)
             nic.connect(channel, credits)
-            nic.on_delivery = self.collector.record_delivery
+
+    # ------------------------------------------------------------- telemetry
+    def attach_probe(self, probe: Probe) -> Probe:
+        """Attach a telemetry probe (see :mod:`repro.instrument.probes`).
+
+        Subscribes every hook of ``probe.subscriptions()`` on the bus and
+        re-resolves the flat emitter slots of every publishing component, so
+        the hot path stays monomorphic: with no listener a hook costs one
+        ``None`` check, with one listener the slot *is* the listener's bound
+        method.  Returns the probe for chaining.
+        """
+        if hasattr(probe, "bind"):
+            probe.bind(self)
+        self.bus.attach(probe)
+        self._sync_probe_slots()
+        return probe
+
+    def detach_probe(self, probe: Probe) -> None:
+        """Detach a previously attached probe (its hooks stop firing)."""
+        self.bus.detach(probe)
+        self._sync_probe_slots()
+
+    def _sync_probe_slots(self) -> None:
+        """Re-resolve every publisher's emitter slot from the bus.
+
+        Called after each attach/detach; never on the per-event path.
+        """
+        bus = self.bus
+        self._ev_generated = bus.emitter("packet_generated")
+        ev_injected = bus.emitter("packet_injected")
+        ev_delivery = bus.emitter("packet_delivered")
+        for nic in self.nics:
+            nic._ev_injected = ev_injected
+            nic._ev_delivery = ev_delivery
+        ev_link_busy = bus.emitter("link_busy")
+        ev_credit_stall = bus.emitter("credit_stall")
+        ev_queue_depth = bus.emitter("queue_depth")
+        for router in self.routers:
+            router._ev_link_busy = ev_link_busy
+            router._ev_credit_stall = ev_credit_stall
+            router._ev_queue_depth = ev_queue_depth
+        # Only the tabular MARL algorithms publish q_update; the slot is a
+        # class attribute defaulting to None on those classes.
+        if hasattr(self.routing, "_ev_q_update"):
+            self.routing._ev_q_update = bus.emitter("q_update")
 
     # --------------------------------------------------------------- accessors
     @property
@@ -179,7 +230,9 @@ class DragonflyNetwork:
         if self.params.record_paths:
             packet.path = []
         self._packet_counter += 1
-        self.collector.record_generated(packet)
+        ev = self._ev_generated
+        if ev is not None:
+            ev(packet)
         return packet
 
     def send(self, src_node: int, dst_node: int) -> Packet:

@@ -43,6 +43,8 @@ class Nic:
         "_remote",
         "_cred_counts",
         "_cred_infinite",
+        "_ev_injected",
+        "_ev_delivery",
     )
 
     def __init__(self, node: int, params: NetworkParams, sim) -> None:
@@ -67,6 +69,10 @@ class Nic:
         self._remote = 0
         self._cred_counts: Optional[list] = None
         self._cred_infinite = False
+        # Telemetry emitters (see repro.instrument.bus): resolved by the
+        # network after every probe attach/detach; None = nobody listens.
+        self._ev_injected: Optional[Callable] = None
+        self._ev_delivery: Optional[Callable] = None
 
     # ----------------------------------------------------------------- wiring
     def connect(self, channel: Channel, router_credits: OutputCredits) -> None:
@@ -120,6 +126,8 @@ class Nic:
                 packet.path.append(-1)  # sentinel marking the injection point
             self.injected_packets += 1
             self._push(now + self._hop_delay, self._recv_cb, (packet, self._remote, 0))
+            if self._ev_injected is not None:
+                self._ev_injected(packet, now)
             # the clock is unchanged, so the loop exits through the busy check
 
     def _schedule_retry(self, at_time: float) -> None:
@@ -139,11 +147,22 @@ class Nic:
 
     # --------------------------------------------------------------- ejection
     def receive_packet(self, packet: Packet, port: int, vc: int) -> None:
-        """Final delivery of a packet to this node."""
-        packet.deliver_time_ns = self.sim.now
+        """Final delivery of a packet to this node.
+
+        Delivery listeners go through the network's probe bus
+        (``_ev_delivery``, the ``packet_delivered`` hook), so any number of
+        listeners can observe deliveries.  The legacy ``on_delivery`` slot is
+        still honoured for code that wires a NIC by hand, *in addition to*
+        the bus — it no longer silently replaces the stats collector.
+        """
+        now = self.sim.now
+        packet.deliver_time_ns = now
         self.delivered_packets += 1
+        ev = self._ev_delivery
+        if ev is not None:
+            ev(packet, now)
         if self.on_delivery is not None:
-            self.on_delivery(packet, self.sim.now)
+            self.on_delivery(packet, now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Nic node={self.node} queued={len(self.inject_queue)}>"

@@ -72,6 +72,9 @@ class Router:
         "_cred_infinite",
         "_cred_cap",
         "_hop_delay",
+        "_ev_link_busy",
+        "_ev_credit_stall",
+        "_ev_queue_depth",
     )
 
     def __init__(
@@ -121,6 +124,12 @@ class Router:
         # is precomputed once so event timestamps keep the exact float
         # grouping ``now + (ser + latency)`` of the unflattened code.
         self._hop_delay: List[float] = [0.0] * k
+        # Telemetry emitters (see repro.instrument.bus): resolved by the
+        # network after every probe attach/detach; None means nobody listens
+        # and the per-event cost is one attribute load + None check.
+        self._ev_link_busy = None
+        self._ev_credit_stall = None
+        self._ev_queue_depth = None
 
     # ----------------------------------------------------------------- wiring
     def connect(self, port: int, channel: Channel, downstream_credits: OutputCredits) -> None:
@@ -184,7 +193,15 @@ class Router:
         if self.out_busy_until[out_port] > self.sim._now or not (
             self._cred_infinite[out_port] or self._cred_counts[out_port][out_vc] > 0
         ):
-            self.waiting[out_port].append((in_port, vc, packet))
+            waiters = self.waiting[out_port]
+            waiters.append((in_port, vc, packet))
+            if self._ev_queue_depth is not None:
+                self._ev_queue_depth(self.id, out_port, len(waiters), self.sim._now)
+            if self._ev_credit_stall is not None and not (
+                self._cred_infinite[out_port]
+                or self._cred_counts[out_port][out_vc] > 0
+            ):
+                self._ev_credit_stall(self.id, out_port, out_vc, self.sim._now)
             return
         self._forward(in_port, vc, packet)
 
@@ -199,6 +216,8 @@ class Router:
 
         ser = self.serialization_ns
         self.out_busy_until[out_port] = now + ser
+        if self._ev_link_busy is not None:
+            self._ev_link_busy(self.id, out_port, now, ser)
         if not self._cred_infinite[out_port]:
             self._cred_counts[out_port][out_vc] -= 1
 

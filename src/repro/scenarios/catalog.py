@@ -32,12 +32,14 @@ __all__ = [
     "ablation_hyperparams_study",
     "ablation_maxq_study",
     "available_studies",
+    "fairness_study",
     "fig5_study",
     "fig6_study",
     "fig7_study",
     "fig8_study",
     "fig9_study",
     "headline_study",
+    "link_heatmap_study",
     "load_study",
     "register_study",
     "study_by_name",
@@ -478,6 +480,87 @@ def warm_fig5_study(
     )
 
 
+# ----------------------------------------------------------------- telemetry
+def fairness_study(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+    load: Optional[float] = None,
+) -> Study:
+    """Per-source-group fairness under adversarial traffic.
+
+    Every run carries the ``source-latency`` probe (per-group latency
+    summaries + Jain fairness index — the per-entity view behind the paper's
+    Figure 6 tail comparison) and the ``link-util`` probe (which links the
+    hotspot pattern actually saturates).  Render the result with
+    ``repro-sim study run fairness --out result.json`` followed by
+    ``repro-sim report result.json``.
+    """
+    scale = scale or default_scale()
+    algorithms = tuple(algorithms or ("MIN", "UGALn", "Q-adp"))
+    patterns = tuple(patterns or ("ADV+1", "UR"))
+    load_of = {
+        pattern: (load if load is not None else _reference_load(scale, pattern))
+        for pattern in patterns
+    }
+    return Study(
+        name="fairness",
+        description="Per-source-group latency fairness (Jain index) and "
+                    "hotspot link utilization under adversarial traffic",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        telemetry=("source-latency", "link-util"),
+        scenarios=[
+            Scenario(
+                name="fairness",
+                routing=algorithms,
+                pattern=patterns,
+                loads_by_pattern={p: (load_of[p],) for p in patterns},
+                routing_kwargs=_qadp_kwargs(scale),
+            )
+        ],
+    )
+
+
+def link_heatmap_study(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    pattern: str = "ADV+1",
+    load: Optional[float] = None,
+) -> Study:
+    """Per-link utilization heatmap data plus queue/credit-stall hotspots.
+
+    Runs a minimal-vs-adaptive comparison under one adversarial pattern with
+    the ``link-util`` and ``queue-occupancy`` probes attached: the telemetry
+    shows *where* MIN piles traffic onto the single minimal global link and
+    how the adaptive algorithms spread it.
+    """
+    scale = scale or default_scale()
+    algorithms = tuple(algorithms or ("MIN", "UGALn", "Q-adp"))
+    reference = load if load is not None else _reference_load(scale, pattern)
+    return Study(
+        name="link-heatmap",
+        description="Per-link busy fractions and queue hotspots: minimal vs "
+                    "adaptive routing under one adversarial pattern",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        telemetry=("link-util", "queue-occupancy"),
+        scenarios=[
+            Scenario(
+                name="heatmap",
+                routing=algorithms,
+                pattern=(pattern,),
+                loads=(reference,),
+                routing_kwargs=_qadp_kwargs(scale),
+            )
+        ],
+    )
+
+
 # ------------------------------------------------------------------ headline
 def headline_study(
     scale: Optional[ExperimentScale] = None,
@@ -529,3 +612,9 @@ register_study("transfer", transfer_study,
 register_study("warm-fig5", warm_fig5_study, aliases=("warm_fig5",),
                metadata={"summary": "staged: fig5 sweep fed by one training "
                                     "run per learned algorithm"})
+register_study("fairness", fairness_study,
+               metadata={"summary": "telemetry: per-source-group latency "
+                                    "fairness + hotspot link utilization"})
+register_study("link-heatmap", link_heatmap_study, aliases=("link_heatmap",),
+               metadata={"summary": "telemetry: per-link busy fractions and "
+                                    "queue hotspots, MIN vs adaptive"})

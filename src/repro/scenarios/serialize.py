@@ -25,20 +25,24 @@ from importlib import import_module
 from typing import Any, Dict, Mapping, Sequence, Tuple
 
 #: schema version of a serialized ExperimentSpec document.
-#: (2: added the optional ``warm_start`` checkpoint reference.)
-SPEC_SCHEMA_VERSION = 2
+#: (2: added the optional ``warm_start`` checkpoint reference.
+#:  3: added the optional ``telemetry`` probe list.)
+SPEC_SCHEMA_VERSION = 3
 
 #: spec schema versions this build can read.  Version-1 documents predate
-#: ``warm_start``; they load unchanged with ``warm_start=None``.
-SPEC_SCHEMA_COMPAT = (1, 2)
+#: ``warm_start``, version-2 documents predate ``telemetry``; both load
+#: unchanged with those fields at their defaults.
+SPEC_SCHEMA_COMPAT = (1, 2, 3)
 
 #: schema version of a serialized Study document.
-#: (2: added the optional ``train`` stage for staged train/eval studies.)
-STUDY_SCHEMA_VERSION = 2
+#: (2: added the optional ``train`` stage for staged train/eval studies.
+#:  3: added the optional ``telemetry`` probe lists on studies/scenarios.)
+STUDY_SCHEMA_VERSION = 3
 
 #: study schema versions this build can read.  Version-1 documents predate
-#: the ``train`` stage; they load unchanged as single-stage studies.
-STUDY_SCHEMA_COMPAT = (1, 2)
+#: the ``train`` stage, version-2 documents predate ``telemetry``; both load
+#: unchanged with those fields at their defaults.
+STUDY_SCHEMA_COMPAT = (1, 2, 3)
 
 #: tag → (module, class) of hyper-parameter objects allowed inside kwargs.
 PARAM_CODECS: Dict[str, Tuple[str, str]] = {

@@ -66,6 +66,14 @@ def _names_tuple(value: Union[str, Sequence[str]], canonical) -> Tuple[str, ...]
     return tuple(canonical(name) for name in value)
 
 
+def _canonical_telemetry(value: Union[str, Sequence[str]]) -> Tuple[str, ...]:
+    """Canonical, deduplicated probe-name tuple (lazy import: the probe
+    registry lives above this module's eager dependencies)."""
+    from repro.instrument import canonical_probe_name
+
+    return tuple(dict.fromkeys(_names_tuple(value, canonical_probe_name)))
+
+
 @dataclass
 class Scenario:
     """One named grid of experiments inside a :class:`Study`.
@@ -92,10 +100,16 @@ class Scenario:
     network_params: Optional[NetworkParams] = None
     routing_kwargs: Dict[str, Dict] = field(default_factory=dict)
     pattern_kwargs: Dict[str, Dict] = field(default_factory=dict)
+    #: telemetry probes attached to every run of this scenario (canonical
+    #: names from :data:`repro.instrument.PROBE_REGISTRY`); ``None`` falls
+    #: back to the owning study's default.
+    telemetry: Optional[Sequence[str]] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValueError(f"a scenario needs a non-empty string name, got {self.name!r}")
+        if self.telemetry is not None:
+            self.telemetry = _canonical_telemetry(self.telemetry)
         self.routing = _names_tuple(self.routing, canonical_routing_name)
         self.pattern = _names_tuple(self.pattern, canonical_pattern_name)
         self.loads = tuple(float(load) for load in self.loads)
@@ -164,6 +178,8 @@ class Scenario:
                 pattern: encode_kwargs(kwargs, f"Scenario[{self.name!r}].pattern_kwargs")
                 for pattern, kwargs in self.pattern_kwargs.items()
             }
+        if self.telemetry is not None:
+            data["telemetry"] = list(self.telemetry)
         return data
 
     @classmethod
@@ -175,12 +191,12 @@ class Scenario:
             optional=("routing", "pattern", "loads", "loads_by_pattern", "schedule",
                       "replicates", "config", "sim_time_ns", "warmup_ns",
                       "stats_bin_ns", "seed", "arrival", "network_params",
-                      "routing_kwargs", "pattern_kwargs"),
+                      "routing_kwargs", "pattern_kwargs", "telemetry"),
             context=context,
         )
         kwargs: Dict = {"name": data["name"]}
         for name in ("routing", "pattern", "loads", "replicates", "sim_time_ns",
-                     "warmup_ns", "stats_bin_ns", "seed", "arrival"):
+                     "warmup_ns", "stats_bin_ns", "seed", "arrival", "telemetry"):
             if name in data:
                 kwargs[name] = data[name]
         if "loads_by_pattern" in data:
@@ -307,10 +323,14 @@ class Study:
     #: optional staged-execution training stage: checkpoints produced here
     #: warm-start every eval spec of the trained routings (see TrainStage).
     train: Optional[TrainStage] = None
+    #: default telemetry probes of every scenario that does not set its own
+    #: (canonical names from :data:`repro.instrument.PROBE_REGISTRY`).
+    telemetry: Sequence[str] = ()
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValueError(f"a study needs a non-empty string name, got {self.name!r}")
+        self.telemetry = _canonical_telemetry(self.telemetry) if self.telemetry else ()
         if self.train is not None and not isinstance(self.train, TrainStage):
             raise ValueError(
                 f"study {self.name!r}: train must be a TrainStage, "
@@ -342,6 +362,8 @@ class Study:
             base_seed = self._effective(scenario, "seed")
             arrival = self._effective(scenario, "arrival")
             network_params = scenario.network_params or self.network_params
+            telemetry = (scenario.telemetry if scenario.telemetry is not None
+                         else tuple(self.telemetry))
             for pattern in scenario.pattern:
                 if scenario.schedule is not None:
                     loads: Tuple[Optional[float], ...] = (None,)
@@ -372,6 +394,7 @@ class Study:
                                 network_params=network_params,
                                 arrival=arrival,
                                 stats_bin_ns=stats_bin,
+                                telemetry=telemetry,
                             )
                             points.append(StudyPoint(scenario.name, index, spec))
         return points
@@ -522,6 +545,8 @@ class Study:
             data["description"] = self.description
         if self.train is not None:
             data["train"] = self.train.to_dict()
+        if self.telemetry:
+            data["telemetry"] = list(self.telemetry)
         return data
 
     @classmethod
@@ -530,7 +555,8 @@ class Study:
             data,
             required=("schema", "name", "config", "scenarios"),
             optional=("sim_time_ns", "warmup_ns", "stats_bin_ns", "seed",
-                      "arrival", "network_params", "description", "train"),
+                      "arrival", "network_params", "description", "train",
+                      "telemetry"),
             context="Study",
         )
         # Documents are written at STUDY_SCHEMA_VERSION; version-1 documents
@@ -547,7 +573,7 @@ class Study:
                               ("stats_bin_ns", float), ("seed", int)):
             if name in data:
                 kwargs[name] = convert(data[name])
-        for name in ("arrival", "description"):
+        for name in ("arrival", "description", "telemetry"):
             if name in data:
                 kwargs[name] = data[name]
         if "network_params" in data:
@@ -621,6 +647,28 @@ class StudyResult:
             row: Dict = {"scenario": point.scenario, "replicate": point.replicate}
             row.update(result.summary_row())
             rows.append(row)
+        return rows
+
+    def telemetry_rows(self) -> List[Dict]:
+        """One row per executed spec that carried probes (JSON-friendly).
+
+        Each row pairs the run's coordinates with its ``telemetry`` payload;
+        this is the block ``repro-sim report`` consumes from a saved study
+        result.
+        """
+        rows = []
+        for point, result in self:
+            if not result.telemetry:
+                continue
+            offered: object = point.spec.offered_load
+            rows.append({
+                "scenario": point.scenario,
+                "replicate": point.replicate,
+                "routing": point.spec.routing,
+                "pattern": point.spec.pattern,
+                "offered_load": offered if offered is not None else "dyn",
+                "telemetry": result.telemetry,
+            })
         return rows
 
     def filter(

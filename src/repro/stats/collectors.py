@@ -1,8 +1,9 @@
 """Run-time measurement of packet delivery statistics.
 
-One :class:`StatsCollector` is attached to a network; NICs call
-:meth:`record_delivery` on every delivery and traffic generators call
-:meth:`record_generated` on every generated packet.  Measurement-window
+One :class:`StatsCollector` is attached to a network as its default telemetry
+probe (see :mod:`repro.instrument`): it subscribes to the ``packet_generated``
+and ``packet_delivered`` hooks of the network's probe bus, so any number of
+additional listeners can observe the same events.  Measurement-window
 statistics (latency array, hop counts, throughput) only include packets
 *generated and delivered* after the warm-up time; the binned time series
 cover the whole run so that convergence (Figure 7) and dynamic-load
@@ -12,7 +13,7 @@ cover the whole run so that convergence (Figure 7) and dynamic-load
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -80,6 +81,14 @@ class StatsCollector:
 
         self.offered_load: Optional[float] = None
         self.end_ns: Optional[float] = None
+
+    # ----------------------------------------------------------- probe wiring
+    def subscriptions(self) -> Dict[str, Callable]:
+        """Probe-bus hooks of the default collector (the ``Probe`` protocol)."""
+        return {
+            "packet_generated": self.record_generated,
+            "packet_delivered": self.record_delivery,
+        }
 
     # --------------------------------------------------------------- recording
     def record_generated(self, packet: Packet) -> None:

@@ -7,7 +7,26 @@ can print the same rows the paper's figures plot.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def json_safe(value):
+    """Recursively replace non-finite floats with ``None`` for strict JSON.
+
+    ``json.dump`` writes ``float("nan")`` as the bare token ``NaN`` (and the
+    infinities as ``Infinity``), which is not JSON — strict parsers reject
+    it.  Every export path (CLI ``--export``/``--json``/``--out``,
+    ``scripts/collect_experiments.py``) routes its payload through this
+    helper, so empty-sample summaries serialize as ``null``.
+    """
+    if isinstance(value, float):  # bool is not a float; ints pass through below
+        return value if math.isfinite(value) else None
+    if isinstance(value, Mapping):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
 
 
 def format_table(

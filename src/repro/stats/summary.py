@@ -81,24 +81,33 @@ def boxplot_stats(values: Sequence[float]) -> Dict[str, float]:
 
 
 def summarize_latencies(values: Sequence[float]) -> LatencySummary:
-    """Full latency summary (mean, p95, p99, quartiles, whiskers, extremes)."""
+    """Full latency summary (mean, p95, p99, quartiles, whiskers, extremes).
+
+    One fused :func:`np.percentile` call covers all five quantiles (it used
+    to be two calls plus :func:`boxplot_stats`, each re-partitioning the
+    sample); the whisker clamping then reuses those quartiles directly.
+    """
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
         return EMPTY_SUMMARY
-    box = boxplot_stats(arr)
-    p95, p99 = np.percentile(arr, [95, 99])
+    q1, median, q3, p95, p99 = np.percentile(arr, [25, 50, 75, 95, 99])
+    iqr = q3 - q1
+    inside = arr[(arr >= q1 - 1.5 * iqr) & (arr <= q3 + 1.5 * iqr)]
+    minimum, maximum = arr.min(), arr.max()
+    whisker_low = float(inside.min()) if inside.size else float(minimum)
+    whisker_high = float(inside.max()) if inside.size else float(maximum)
     return LatencySummary(
         count=int(arr.size),
         mean=float(arr.mean()),
-        median=float(box["median"]),
+        median=float(median),
         p95=float(p95),
         p99=float(p99),
-        q1=float(box["q1"]),
-        q3=float(box["q3"]),
-        whisker_low=float(box["whisker_low"]),
-        whisker_high=float(box["whisker_high"]),
-        minimum=float(arr.min()),
-        maximum=float(arr.max()),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        minimum=float(minimum),
+        maximum=float(maximum),
     )
 
 

@@ -280,3 +280,78 @@ def test_study_run_staged_transfer(tmp_path, capsys):
     assert payload["study"] == "staged-cli"
     assert "Q-adp" in payload["checkpoints"]
     assert payload["runs"] == 1
+
+
+def _telemetry_study_file(tmp_path):
+    from repro.scenarios import Scenario, Study
+    from repro.topology.config import DragonflyConfig
+
+    study = Study(
+        name="telemetry-cli", config=DragonflyConfig.tiny(),
+        sim_time_ns=6_000.0, warmup_ns=2_000.0,
+        telemetry=("source-latency", "link-util", "queue-occupancy",
+                   "q-convergence"),
+        scenarios=[Scenario(name="probe", routing=("MIN", "Q-adp"),
+                            pattern=("ADV+1",), loads=(0.3,))],
+    )
+    return study.save(tmp_path / "telemetry.json")
+
+
+def test_run_with_telemetry_flag(capsys):
+    code = main([
+        "run", "--routing", "Q-adp", "--pattern", "UR", "--load", "0.4",
+        "--config", "tiny", "--time-us", "6", "--json",
+        "--telemetry", "fairness", "link-util",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["telemetry"]) == {"source-latency", "link-util"}
+    assert payload["telemetry"]["source-latency"]["groups_observed"] >= 1
+    with pytest.raises(SystemExit, match="unknown telemetry probe"):
+        main([
+            "run", "--routing", "MIN", "--pattern", "UR", "--load", "0.4",
+            "--config", "tiny", "--time-us", "5", "--telemetry", "bogus",
+        ])
+
+
+def test_list_probes(capsys):
+    assert main(["list", "probes"]) == 0
+    out = capsys.readouterr().out
+    for name in ("link-util", "queue-occupancy", "source-latency",
+                 "q-convergence"):
+        assert name in out
+
+
+def test_study_run_out_and_report_roundtrip(tmp_path, capsys):
+    """study run --out → report → --export is the acceptance-criteria flow."""
+    path = _telemetry_study_file(tmp_path)
+    out_file = tmp_path / "result.json"
+    assert main(["study", "run", str(path), "--out", str(out_file)]) == 0
+    assert "repro-sim report" in capsys.readouterr().out
+
+    def reject(token):
+        raise ValueError(f"non-strict JSON token {token!r}")
+
+    saved = json.loads(out_file.read_text(), parse_constant=reject)
+    assert saved["runs"] == 2 and len(saved["telemetry"]) == 2
+
+    assert main(["report", str(out_file)]) == 0
+    text = capsys.readouterr().out
+    assert "Per-link utilization" in text
+    assert "Source-group fairness" in text
+    assert "Jain fairness" in text
+    assert "Q-convergence" in text
+    assert "MIN/ADV+1@0.3" in text and "Q-adp/ADV+1@0.3" in text
+
+    export_file = tmp_path / "analysis.json"
+    assert main(["report", str(out_file), "--export", str(export_file)]) == 0
+    analysis = json.loads(export_file.read_text(), parse_constant=reject)
+    assert len(analysis["runs"]) == 2
+    assert analysis["runs"][0]["fairness"]["groups"]
+
+
+def test_report_rejects_non_telemetry_document(tmp_path):
+    path = tmp_path / "plain.json"
+    path.write_text(json.dumps({"rows": []}))
+    with pytest.raises(SystemExit, match="carries no telemetry"):
+        main(["report", str(path)])

@@ -163,3 +163,79 @@ def test_format_series_and_comparison_table():
     assert "MIN" in text and "(0.1, 1)" in text
     table = comparison_table({"MIN": {"latency": 1.0}, "PAR": {"latency": 2.0}}, ["latency"])
     assert "algorithm" in table and "PAR" in table
+
+
+def test_timeseries_dense_end_exactly_on_bin_edge():
+    """The window is half-open: a bin starting at end_ns is excluded."""
+    series = TimeSeries(bin_ns=10.0)
+    series.add(35.0, 2.0)
+    series.add(40.0, 7.0)  # lands in bin [40, 50) — outside [0, 40)
+    times, sums, counts = series.dense(0.0, 40.0)
+    assert len(times) == 4
+    assert times[-1] == pytest.approx(35.0)
+    assert sums[-1] == pytest.approx(2.0)
+    # ... and extending the window by any amount brings the edge bin in.
+    times, sums, _ = series.dense(0.0, 40.0 + 1e-9)
+    assert len(times) == 5 and sums[-1] == pytest.approx(7.0)
+
+
+def test_timeseries_dense_empty_window():
+    series = TimeSeries(bin_ns=10.0)
+    series.add(5.0, 1.0)
+    for start, end in ((20.0, 20.0), (30.0, 10.0)):  # empty and inverted
+        times, sums, counts = series.dense(start, end)
+        assert times.size == 0 and sums.size == 0 and counts.size == 0
+
+
+def test_timeseries_dense_negative_start():
+    """Bins before t=0 are materialised (empty) rather than clamped away."""
+    series = TimeSeries(bin_ns=10.0)
+    series.add(5.0, 3.0)
+    times, sums, counts = series.dense(-25.0, 10.0)
+    assert len(times) == 4  # bins -3, -2, -1, 0
+    assert times[0] == pytest.approx(-25.0)
+    assert counts[:3] == pytest.approx([0.0, 0.0, 0.0])
+    assert sums[-1] == pytest.approx(3.0)
+
+
+def test_summary_single_fused_percentile_call(monkeypatch):
+    """summarize_latencies partitions the sample exactly once."""
+    import repro.stats.summary as summary_module
+
+    calls = []
+    real_percentile = np.percentile
+
+    def counting_percentile(arr, q, *args, **kwargs):
+        calls.append(list(np.atleast_1d(q)))
+        return real_percentile(arr, q, *args, **kwargs)
+
+    monkeypatch.setattr(summary_module.np, "percentile", counting_percentile)
+    summarize_latencies(np.arange(1, 101, dtype=float))
+    assert len(calls) == 1
+    assert calls[0] == [25, 50, 75, 95, 99]
+
+
+def test_json_safe_serializes_nan_as_null():
+    from repro.stats.report import json_safe
+
+    import json as json_module
+
+    payload = {
+        "summary": EMPTY_SUMMARY.to_dict(),
+        "fraction": fraction_below([], 1.0),
+        "inf": float("inf"),
+        "nested": [float("nan"), {"deep": float("-inf")}, (1.0, 2.5)],
+        "fine": {"int": 3, "float": 1.5, "text": "x", "flag": True, "none": None},
+    }
+    text = json_module.dumps(json_safe(payload))
+
+    def reject(token):
+        raise ValueError(f"non-strict JSON token {token!r}")
+
+    decoded = json_module.loads(text, parse_constant=reject)
+    assert decoded["summary"]["mean"] is None
+    assert decoded["fraction"] is None and decoded["inf"] is None
+    assert decoded["nested"][0] is None and decoded["nested"][1]["deep"] is None
+    assert decoded["nested"][2] == [1.0, 2.5]
+    assert decoded["fine"] == {"int": 3, "float": 1.5, "text": "x",
+                               "flag": True, "none": None}

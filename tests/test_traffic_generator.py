@@ -134,13 +134,19 @@ def test_deterministic_sources_stay_desynchronised_across_a_step():
     gen = TrafficGenerator(net, UniformRandomTraffic(), schedule=schedule,
                            arrival="deterministic", nodes=[0, 1])
     injections = []
-    original = net.collector.record_generated
 
-    def spy(packet):
-        injections.append((packet.src_node, packet.create_time_ns))
-        original(packet)
+    class _Spy:
+        """Extra packet_generated listener on the probe bus (the collector
+        keeps observing too — listeners stack instead of overwriting)."""
 
-    net.collector.record_generated = spy
+        def subscriptions(self):
+            return {"packet_generated": self._on_generated}
+
+        @staticmethod
+        def _on_generated(packet):
+            injections.append((packet.src_node, packet.create_time_ns))
+
+    net.attach_probe(_Spy())
     gen.start()
     net.run(until=2_000.0)
     first_after_step = {}
