@@ -38,9 +38,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 from repro.engine.simulator import Simulator  # noqa: E402
 from repro.experiments.harness import ExperimentSpec, build_network  # noqa: E402
 from repro.topology.config import DragonflyConfig  # noqa: E402
+from repro.topology.mesh import MeshConfig  # noqa: E402
+from repro.topology.registry import config_to_dict  # noqa: E402
 
 SEED = 7
 CONFIG = DragonflyConfig.small_72()
+MESH_CONFIG = MeshConfig.small_72()
 
 
 # ------------------------------------------------------------------ workloads
@@ -112,10 +115,10 @@ def engine_churn(chains: int = 4096, events_per_chain: int = 40) -> dict:
 
 
 def network_run(routing: str, pattern: str, offered_load: float,
-                sim_time_ns: float, warmup_ns: float) -> dict:
+                sim_time_ns: float, warmup_ns: float, config=None) -> dict:
     """One pinned end-to-end run; returns throughput plus a determinism fingerprint."""
     spec = ExperimentSpec(
-        config=CONFIG,
+        config=CONFIG if config is None else config,
         routing=routing,
         pattern=pattern,
         offered_load=offered_load,
@@ -132,6 +135,7 @@ def network_run(routing: str, pattern: str, offered_load: float,
     events = network.sim.events_processed
     return {
         "kind": "network",
+        "topology": config_to_dict(spec.config),
         "routing": spec.routing,
         "pattern": spec.pattern,
         "offered_load": offered_load,
@@ -176,10 +180,16 @@ def collect(smoke_only: bool) -> dict:
     workloads["smoke_engine_churn"] = engine_churn(chains=2048, events_per_chain=30)
     workloads["smoke_qadp_ur"] = network_run("Q-adp", "UR", 0.5, 8_000.0, 3_000.0)
     workloads["smoke_min_ur"] = network_run("MIN", "UR", 0.5, 8_000.0, 3_000.0)
+    # Non-Dragonfly coverage: learned routing on the 6x6 mesh exercises the
+    # topology-generic router/Q-table path and pins its fingerprint.
+    workloads["smoke_qrouting_mesh_ur"] = network_run(
+        "Q-routing", "UR", 0.3, 8_000.0, 3_000.0, config=MESH_CONFIG)
     if not smoke_only:
         workloads["engine_churn"] = engine_churn(chains=4096, events_per_chain=60)
         workloads["qadp_ur"] = network_run("Q-adp", "UR", 0.5, 30_000.0, 10_000.0)
         workloads["min_ur"] = network_run("MIN", "UR", 0.5, 30_000.0, 10_000.0)
+        workloads["qrouting_mesh_ur"] = network_run(
+            "Q-routing", "UR", 0.3, 30_000.0, 10_000.0, config=MESH_CONFIG)
         workloads["fig5_fast_sweep"] = fig5_fast_sweep()
     return workloads
 
@@ -245,7 +255,7 @@ def main() -> int:
     payload = {
         "benchmark": "simulator-core throughput (single worker)",
         "seed": SEED,
-        "config": {"p": CONFIG.p, "a": CONFIG.a, "h": CONFIG.h},
+        "config": config_to_dict(CONFIG),
         "workloads": workloads,
         "machine": {"cpu_count": multiprocessing.cpu_count(),
                     "python": platform.python_version(),

@@ -2,10 +2,11 @@
 
 A from-scratch Python reproduction of *"Q-adaptive: A Multi-Agent
 Reinforcement Learning Based Routing on Dragonfly Network"* (HPDC 2021),
-including the flit-level Dragonfly network simulator it is evaluated on, all
-baseline routing algorithms (MIN, VALg, VALn, UGALg, UGALn, PAR, Q-routing),
-the traffic patterns of the evaluation, and the experiment harness that
-regenerates every figure of the paper.
+including the flit-level network simulator it is evaluated on (topology-generic:
+Dragonfly, k-ary fat-tree, 2D mesh/torus), all baseline routing algorithms
+(MIN, VAL, VALg, VALn, UGALg, UGALn, PAR, Q-routing), the traffic patterns of
+the evaluation, and the experiment harness that regenerates every figure of
+the paper.
 
 Quick start::
 
@@ -20,11 +21,14 @@ Quick start::
     print(net.finalize().to_dict())
 """
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import DragonflyNetwork, Network
 from repro.network.params import NetworkParams
 from repro.stats.collectors import RunStats
+from repro.topology.base import Topology
 from repro.topology.config import DragonflyConfig
 from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fattree import FatTreeConfig
+from repro.topology.mesh import MeshConfig
 
 __version__ = "1.0.0"
 
@@ -32,7 +36,11 @@ __all__ = [
     "DragonflyConfig",
     "DragonflyNetwork",
     "DragonflyTopology",
+    "FatTreeConfig",
+    "MeshConfig",
+    "Network",
     "NetworkParams",
     "RunStats",
+    "Topology",
     "__version__",
 ]

@@ -45,6 +45,14 @@ later runs from it (the paper's warm-up-once/measure-many workflow)::
     repro-sim run --routing Q-adp --pattern UR --load 0.5 --save-state my-ckpt
     repro-sim study run transfer --scale bench
 
+Run on a different topology family (fat-tree, mesh, torus) and compare the
+learned-routing catalog across all of them::
+
+    repro-sim list topologies
+    repro-sim run --topology fattree --config tiny --routing Q-routing --pattern UR
+    repro-sim run --topology torus --config 6,6,2 --routing VAL --pattern Hotspot
+    repro-sim study run cross-topology --scale bench
+
 Attach telemetry probes (per-link utilization, per-source-group fairness,
 queue occupancy, Q-convergence), save the study result, and render the
 analysis report::
@@ -80,14 +88,14 @@ from repro.experiments import (
     train_experiment,
 )
 from repro.experiments.parallel import DEFAULT_CACHE_DIR, ResultCache, default_runner
-from repro.experiments.presets import available_scales, default_scale, scale_by_name
+from repro.experiments.presets import default_scale, describe_scales, scale_by_name
 from repro.instrument import PROBE_REGISTRY, available_probes
 from repro.instrument.report import export_payload, load_result_document, render_report
 from repro.routing import ROUTING_REGISTRY, available_algorithms
 from repro.scenarios import available_studies, load_study
 from repro.stats.report import comparison_table, format_table, json_safe
 from repro.store import DEFAULT_STORE_DIR, resolve_store
-from repro.topology.config import DragonflyConfig
+from repro.topology.registry import TOPOLOGIES, family_by_name
 from repro.traffic import PATTERN_REGISTRY
 
 FIGURES = {
@@ -124,30 +132,26 @@ def _runner_from_args(args: argparse.Namespace) -> SweepRunner:
     return runner
 
 
-def _config_from_name(name: str) -> DragonflyConfig:
-    presets = {
-        "tiny": DragonflyConfig.tiny,
-        "small": DragonflyConfig.small_72,
-        "medium": DragonflyConfig.medium_342,
-        "paper-1056": DragonflyConfig.paper_1056,
-        "paper-2550": DragonflyConfig.paper_2550,
-    }
-    if name in presets:
-        return presets[name]()
+def _config_from_args(args: argparse.Namespace):
+    """Resolve --topology/--config into a topology config object."""
     try:
-        p, a, h = (int(x) for x in name.split(","))
+        entry = family_by_name(getattr(args, "topology", "dragonfly"))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    try:
+        return entry.parse(args.config)
     except ValueError as exc:
         raise SystemExit(
-            f"unknown config {name!r}: use one of {sorted(presets)} or 'p,a,h'"
+            f"bad --config {args.config!r} for topology {entry.name!r}: {exc} "
+            f"(presets: {sorted(entry.presets)})"
         ) from exc
-    return DragonflyConfig(p=p, a=a, h=h)
 
 
 def _build_spec(args: argparse.Namespace, routing: str) -> ExperimentSpec:
     sim_time_ns = args.time_us * 1_000.0
     warmup_ns = args.warmup_us * 1_000.0 if args.warmup_us is not None else sim_time_ns / 2
     return ExperimentSpec(
-        config=_config_from_name(args.config),
+        config=_config_from_args(args),
         routing=routing,
         pattern=args.pattern,
         offered_load=args.load,
@@ -234,9 +238,11 @@ def _cmd_checkpoint_list(args: argparse.Namespace) -> int:
         print(f"no checkpoints in {store.root}")
         return 0
     for m in manifests:
-        topo = m.topology
+        topo = dict(m.topology)
+        family = topo.pop("family", "dragonfly")
+        dims = ",".join(f"{key}={value}" for key, value in topo.items())
         print(f"{m.checkpoint_id:28s} {m.routing:10s} "
-              f"p={topo.get('p')},a={topo.get('a')},h={topo.get('h')}  "
+              f"{family}[{dims}]  "
               f"trained {m.trained_sim_ns / 1_000.0:g} us  "
               f"{m.created_at or ''}")
     return 0
@@ -383,8 +389,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
             print(f"{row['name']:18s} {row.get('summary', '')}"
                   f"{_registry_extras(PATTERN_REGISTRY, row)}")
     elif what == "scales":
-        for name in available_scales():
-            print(name)
+        for row in describe_scales():
+            extras = f" (aliases: {', '.join(row['aliases'])})" if row.get("aliases") else ""
+            print(f"{row['name']:16s} {row.get('family', ''):10s} "
+                  f"{row.get('summary', '')}{extras}")
+    elif what == "topologies":
+        for row in TOPOLOGIES.describe():
+            entry = family_by_name(row["name"])
+            detail = f"--config: {', '.join(sorted(entry.presets))} or '{row.get('dims', '')}'"
+            extras = f"; aliases: {', '.join(row['aliases'])}" if row.get("aliases") else ""
+            print(f"{row['name']:12s} {row.get('summary', '')} ({detail}{extras})")
     elif what == "probes":
         rows = {row["name"]: row for row in PROBE_REGISTRY.describe()}
         for name, summary in available_probes().items():
@@ -411,8 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="traffic pattern: UR, ADV+<i>, '3D Stencil', 'Many to Many', "
                             "'Random Neighbors', Permutation, Hotspot")
         p.add_argument("--load", type=float, default=0.5, help="offered load in (0, 1]")
+        p.add_argument("--topology", default="dragonfly",
+                       help="topology family (see 'list topologies'): "
+                            "dragonfly | fattree | mesh | torus")
         p.add_argument("--config", default="small",
-                       help="tiny | small | medium | paper-1056 | paper-2550 | 'p,a,h'")
+                       help="preset name or comma-separated dimensions of the chosen "
+                            "--topology (dragonfly: tiny | small | medium | paper-1056 "
+                            "| paper-2550 | 'p,a,h'; fattree: tiny | small | 'k'; "
+                            "mesh/torus: tiny | small | 'rows,cols,p')")
         p.add_argument("--time-us", type=float, default=50.0, help="simulated time (µs)")
         p.add_argument("--warmup-us", type=float, default=None,
                        help="warm-up time (µs); default: half the simulated time")
@@ -494,7 +514,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure as JSON")
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.add_argument("--scale", default=None,
-                       help="bench | reduced | paper-1056 | paper-2550 (default: env-selected)")
+                       help="scale preset (see 'list scales'): bench | reduced | "
+                            "paper-1056 | paper-2550 | ... (default: env-selected)")
     add_parallel(fig_p)
     fig_p.set_defaults(func=_cmd_figure)
 
@@ -504,8 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_scale(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scale", default=None,
-                       help="scale preset for named studies "
-                            "(bench | reduced | paper-1056 | paper-2550); "
+                       help="scale preset for named studies (see 'list scales'); "
                             "ignored for scenario files, which carry their own sizes")
 
     srun_p = study_sub.add_parser(
@@ -548,11 +568,11 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.set_defaults(func=_cmd_report)
 
     list_p = sub.add_parser(
-        "list", help="list registered algorithms, patterns, scales, studies "
-                     "or telemetry probes")
+        "list", help="list registered algorithms, patterns, scales, studies, "
+                     "telemetry probes or topologies")
     list_p.add_argument("what",
                         choices=("algorithms", "patterns", "scales", "studies",
-                                 "probes"))
+                                 "probes", "topologies"))
     list_p.set_defaults(func=_cmd_list)
     return parser
 

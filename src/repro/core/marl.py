@@ -29,6 +29,7 @@ from repro.core.qtable import TABLE_STATE_VERSION, _PortQTable
 from repro.network.packet import Packet
 from repro.network.router import Router
 from repro.routing.base import RoutingAlgorithm
+from repro.topology.registry import config_to_dict
 
 #: version of the ``export_state`` payload of a tabular MARL algorithm.
 ROUTING_STATE_VERSION = 1
@@ -74,15 +75,17 @@ class TabularMarlRouting(RoutingAlgorithm):
 
     # ----------------------------------------------------------------- wiring
     def _setup(self) -> None:
-        self.tables = [self._build_table(r) for r in self.topo.all_routers()]
+        topo = self.topo
+        self.tables = [self._build_table(r) for r in topo.all_routers()]
         # Hot-path caches: host-port math and a direct event-queue push for
         # the delayed feedback (bypassing the Simulator.after wrapper).
-        self._p = self.topo.p
+        self._hosts_per_router = topo.hosts_per_router
+        self._num_host_ports = [topo.num_host_ports(r) for r in topo.all_routers()]
         self._sim = self.network.sim
         self._push = self.network.sim._queue.push
-        # Candidate list for ε-greedy exploration, shared by both tabular
-        # algorithms: built once instead of per decision.
-        self._all_network_ports = list(self.topo.non_host_ports)
+        # Per-router candidate lists for ε-greedy exploration: built once
+        # instead of per decision (on Dragonfly every router shares one list).
+        self._explore_ports = [topo.network_ports_of(r) for r in topo.all_routers()]
 
     def table(self, router_id: int) -> _PortQTable:
         """Value table of one router (inspection / tests)."""
@@ -103,7 +106,7 @@ class TabularMarlRouting(RoutingAlgorithm):
         (``feedback_mode="onpolicy"``).
         """
         if packet.dst_router == router.id:
-            out_port = packet.dst_node % self._p  # the ejection host port
+            out_port = packet.dst_node % self._hosts_per_router  # the ejection host port
         else:
             out_port = self.decide(router, packet, in_port)
         if packet.qfeedback is not None:
@@ -121,7 +124,7 @@ class TabularMarlRouting(RoutingAlgorithm):
         reward = packet.router_arrival_ns - prev_arrival_ns
         if router.id == packet.dst_router:
             q_next = 0.0
-        elif self.feedback_mode == "onpolicy" and out_port >= self._p:
+        elif self.feedback_mode == "onpolicy" and out_port >= self._num_host_ports[router.id]:
             q_next = self.tables[router.id].value(row, out_port)
         else:
             q_next = self.tables[router.id].min_value(row)
@@ -151,7 +154,7 @@ class TabularMarlRouting(RoutingAlgorithm):
     def on_forward(self, router: Router, packet: Packet, in_port: int, out_port: int,
                    now: float) -> None:
         """Tag the packet so the next router can send feedback for this hop."""
-        if not self.learning_enabled or out_port < self.topo.p:
+        if not self.learning_enabled or out_port < self._num_host_ports[router.id]:
             return  # ejection needs no further estimate
         table = self.tables[router.id]
         packet.qfeedback = (
@@ -196,7 +199,7 @@ class TabularMarlRouting(RoutingAlgorithm):
         return {
             "version": ROUTING_STATE_VERSION,
             "routing": self.name,
-            "topology": self.topo.config.to_dict(),
+            "topology": config_to_dict(self.topo.config),
             "table_version": TABLE_STATE_VERSION,
             "table_kind": table_states[0]["kind"],
             "first_port": table_states[0]["first_port"],
@@ -237,7 +240,10 @@ class TabularMarlRouting(RoutingAlgorithm):
                 f"be loaded into {self.name!r}"
             )
         topology = dict(state.get("topology", {}))
-        own_topology = self.topo.config.to_dict()
+        # Checkpoints written before the topology registry carry bare
+        # Dragonfly dims without a family tag.
+        topology.setdefault("family", "dragonfly")
+        own_topology = config_to_dict(self.topo.config)
         if topology != own_topology:
             raise ValueError(
                 f"checkpoint was trained on topology {topology}; this network "

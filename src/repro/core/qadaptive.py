@@ -102,6 +102,10 @@ class QAdaptiveRouting(TabularMarlRouting):
 
     name = "Q-adp"
 
+    #: the two-level table rows and the intermediate-group re-route are
+    #: defined in terms of Dragonfly group structure
+    supported_topologies = ("dragonfly",)
+
     def __init__(self, params: Optional[QAdaptiveParams] = None, **overrides) -> None:
         if params is None:
             params = QAdaptiveParams(**overrides)
@@ -123,6 +127,7 @@ class QAdaptiveRouting(TabularMarlRouting):
         super()._setup()
         # Local-port candidates for the intermediate-group ε-greedy decision.
         self._local_ports = list(self.topo.local_ports)
+        self._router_group = self.topo.router_groups()
 
     def _build_table(self, router_id: int) -> TwoLevelQTable:
         table = TwoLevelQTable(router_id, self.topo)
@@ -130,13 +135,14 @@ class QAdaptiveRouting(TabularMarlRouting):
         return table
 
     def _row_for(self, packet: Packet) -> int:
-        return packet.dst_group * self.topo.p + packet.src_node_local
+        return self._router_group[packet.dst_router] * self.topo.p + packet.src_node_local
 
     # ----------------------------------------------------------------- routing
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
         topo = self.topo
+        dst_group = self._router_group[packet.dst_router]
         # (1) Destination group: always forward minimally.
-        if router.group == packet.dst_group:
+        if router.group == dst_group:
             return self._min_next(router.id, packet.dst_router)
 
         table = self.tables[router.id]
@@ -161,13 +167,14 @@ class QAdaptiveRouting(TabularMarlRouting):
             else:
                 self.source_best_decisions += 1
             return epsilon_greedy(
-                self.rng, temp_port, self._all_network_ports, self.params.epsilon
+                self.rng, temp_port, self._explore_ports[router.id], self.params.epsilon
             )
 
-        # (3) First intermediate-group router visited by the packet.
-        if not packet.intgrp_decided and router.group != packet.src_group:
-            packet.intgrp_decided = True
-            direct = topo.global_port_to_group(router.id, packet.dst_group)
+        # (3) First intermediate-group router visited by the packet.  The
+        # one-shot flag travels in packet.scratch (None until this decision).
+        if packet.scratch is None and router.group != packet.src_group:
+            packet.scratch = True
+            direct = topo.global_port_to_group(router.id, dst_group)
             if direct is not None:
                 self.intermediate_minimal += 1
                 return direct

@@ -6,7 +6,12 @@ exploring with ε-greedy.  Applied naively to a Dragonfly it suffers from
 livelock and deadlock, so — as discussed in Section 2.3.2 of the paper — this
 implementation adds the *naive fix*: once a packet has taken ``maxQ``
 router-to-router hops it is routed minimally to its destination, bounding the
-path length to ``maxQ + 3`` hops (and the VC demand accordingly).
+path length to ``maxQ + diameter`` hops (and the VC demand accordingly).
+
+Q-routing is topology-generic: the per-destination-router table and the
+ε-greedy exploration only need the generic
+:class:`~repro.topology.base.Topology` protocol, so it runs on fat-tree and
+mesh/torus networks as well as on the paper's Dragonfly.
 
 This algorithm exists as the learning baseline / ablation: the paper shows
 there is no single ``maxQ`` value that works for both UR and ADV+i patterns,
@@ -25,7 +30,7 @@ from repro.core.policy import epsilon_greedy
 from repro.core.qtable import QRoutingTable
 from repro.network.packet import Packet
 from repro.network.router import Router
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 
 
 @dataclass(frozen=True)
@@ -85,8 +90,8 @@ class QRoutingAlgorithm(TabularMarlRouting):
         self.forced_minimal = 0
         self.greedy_decisions = 0
 
-    def max_hops(self, topo: DragonflyTopology) -> int:
-        return self.params.max_q + 3
+    def max_hops(self, topo: Topology) -> int:
+        return self.params.max_q + topo.diameter
 
     # ------------------------------------------------------------------ tables
     def _build_table(self, router_id: int) -> QRoutingTable:
@@ -108,5 +113,5 @@ class QRoutingAlgorithm(TabularMarlRouting):
         best_port, _ = table.best_port(row)
         self.greedy_decisions += 1
         return epsilon_greedy(
-            self.rng, best_port, self._all_network_ports, self.params.epsilon
+            self.rng, best_port, self._explore_ports[router.id], self.params.epsilon
         )

@@ -2,9 +2,10 @@
 
 Both tables map a *row* (what the packet is) and a *column* (a candidate
 output port) to an estimated delivery time in nanoseconds.  Columns cover the
-``k - p`` network ports of a router (local + global); host ports never appear
-because a router only consults the table for packets that still have to
-travel.
+topology's learned-table port span (``Topology.table_port_span``): on a
+Dragonfly the ``k - p`` network ports of a router (local + global); host
+ports never appear because a router only consults the table for packets that
+still have to travel.
 
 * The **original Q-routing table** (Table 2) has one row per destination
   *router*: ``m × (k - p)`` entries.
@@ -21,9 +22,15 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.topology.base import PortType, Topology
 from repro.topology.config import DragonflyConfig
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.paths import LinkTiming, min_time_router_to_group, uncongested_delivery_time
+
+#: initial value of table columns behind unconnected ports (mesh edges):
+#: large enough never to win a minimum, finite so telemetry aggregates stay
+#: well-defined.
+UNREACHABLE_NS = 1e12
 
 
 #: version of the ``state_dict`` payload of one table.  Bump when the layout
@@ -34,10 +41,9 @@ TABLE_STATE_VERSION = 1
 class _PortQTable:
     """Shared implementation: a dense (rows × network-ports) value table."""
 
-    def __init__(self, num_rows: int, topo: DragonflyTopology, value_bytes: int = 8) -> None:
+    def __init__(self, num_rows: int, topo: Topology, value_bytes: int = 8) -> None:
         self.topo = topo
-        self.first_port = topo.p
-        self.num_ports = topo.k - topo.p
+        self.first_port, self.num_ports = topo.table_port_span()
         self.num_rows = num_rows
         self.value_bytes = value_bytes
         self.values = np.zeros((num_rows, self.num_ports), dtype=np.float64)
@@ -169,7 +175,7 @@ class _PortQTable:
 class QRoutingTable(_PortQTable):
     """Original Q-routing table: one row per destination router (Table 2)."""
 
-    def __init__(self, router_id: int, topo: DragonflyTopology, value_bytes: int = 8) -> None:
+    def __init__(self, router_id: int, topo: Topology, value_bytes: int = 8) -> None:
         super().__init__(topo.num_routers, topo, value_bytes)
         self.router_id = router_id
 
@@ -177,7 +183,16 @@ class QRoutingTable(_PortQTable):
         return dst_router
 
     def initialize_uncongested(self, timing: LinkTiming) -> None:
-        """Initialise every entry to the congestion-free minimal delivery time."""
+        """Initialise every entry to the congestion-free minimal delivery time.
+
+        The Dragonfly closed form accounts for the local/global link split;
+        every other family uses the generic minimal-hop estimate (all
+        router-to-router links share one latency class there).  Columns of
+        unconnected ports start at :data:`UNREACHABLE_NS` so they never win.
+        """
+        if self.topo.family != "dragonfly":
+            self._initialize_uncongested_generic(timing)
+            return
         topo = self.topo
         eject = timing.hop_time(topo.port_type(0))
         local = timing.hop_time(topo.port_type(topo.p))
@@ -201,6 +216,26 @@ class QRoutingTable(_PortQTable):
                     remaining += glob
                     if topo.gateway_router(d_group, n_group) != dest:
                         remaining += local
+                self.values[dest, col] = first + remaining + eject
+
+    def _initialize_uncongested_generic(self, timing: LinkTiming) -> None:
+        topo = self.topo
+        eject = timing.hop_time(PortType.HOST)
+        local = timing.hop_time(PortType.LOCAL)
+        src_id = self.router_id
+        for col in range(self.num_ports):
+            port = self.port_of_column(col)
+            neighbor = topo.neighbor_of(src_id, port)
+            if neighbor is None:
+                self.values[:, col] = UNREACHABLE_NS
+                continue
+            first = timing.hop_time(topo.link_kind(src_id, port))
+            neighbor_router = neighbor[0]
+            for dest in range(topo.num_routers):
+                if neighbor_router == dest:
+                    remaining = 0.0
+                else:
+                    remaining = topo.minimal_hops(neighbor_router, dest) * local
                 self.values[dest, col] = first + remaining + eject
 
 

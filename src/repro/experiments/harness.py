@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.routing import canonical_routing_name, make_routing
 from repro.scenarios.serialize import (
@@ -34,7 +34,7 @@ from repro.scenarios.serialize import (
     encode_kwargs,
 )
 from repro.stats.collectors import RunStats
-from repro.topology.config import DragonflyConfig
+from repro.topology.registry import config_from_dict, config_to_dict
 from repro.traffic import (
     LoadSchedule,
     TrafficGenerator,
@@ -51,9 +51,15 @@ class ExperimentSpec:
     construction (``"qadp"`` → ``"Q-adp"``), so two specs that mean the same
     experiment serialize — and cache-fingerprint — identically regardless of
     the spelling they were written with.
+
+    ``config`` is any registered topology config
+    (:class:`~repro.topology.config.DragonflyConfig`,
+    :class:`~repro.topology.fattree.FatTreeConfig`,
+    :class:`~repro.topology.mesh.MeshConfig`, ...); it serializes under the
+    ``topology`` key with an explicit ``family`` discriminator.
     """
 
-    config: DragonflyConfig
+    config: object
     routing: str = "MIN"
     pattern: str = "UR"
     offered_load: Optional[float] = 0.5
@@ -152,7 +158,7 @@ class ExperimentSpec:
         """
         data: Dict = {
             "schema": SPEC_SCHEMA_VERSION,
-            "config": self.config.to_dict(),
+            "topology": config_to_dict(self.config),
             "routing": self.routing,
             "pattern": self.pattern,
             "sim_time_ns": float(self.sim_time_ns),
@@ -191,20 +197,27 @@ class ExperimentSpec:
         """
         check_keys(
             data,
-            required=("schema", "config", "routing", "pattern"),
-            optional=("offered_load", "schedule", "sim_time_ns", "warmup_ns",
-                      "seed", "arrival", "stats_bin_ns", "routing_kwargs",
-                      "pattern_kwargs", "network_params", "label", "warm_start",
-                      "telemetry"),
+            required=("schema", "routing", "pattern"),
+            optional=("topology", "config", "offered_load", "schedule",
+                      "sim_time_ns", "warmup_ns", "seed", "arrival",
+                      "stats_bin_ns", "routing_kwargs", "pattern_kwargs",
+                      "network_params", "label", "warm_start", "telemetry"),
             context="ExperimentSpec",
         )
         # Documents are written at SPEC_SCHEMA_VERSION; version-1 documents
-        # (pre-warm_start) and version-2 documents (pre-telemetry) migrate
-        # transparently — every field they may carry reads identically and
-        # the newer fields keep their defaults.
+        # (pre-warm_start), version-2 documents (pre-telemetry) and version-3
+        # documents (Dragonfly-only ``config`` block instead of ``topology``)
+        # migrate transparently — every field they may carry reads identically
+        # and the newer fields keep their defaults.
         check_schema(data, SPEC_SCHEMA_COMPAT, "ExperimentSpec")
+        if ("topology" in data) == ("config" in data):
+            raise ValueError(
+                "ExperimentSpec: expected exactly one of 'topology' (schema 4) "
+                "or the legacy 'config' block (schema <= 3)"
+            )
+        topology_block = data["topology"] if "topology" in data else data["config"]
         kwargs: Dict = {
-            "config": DragonflyConfig.from_dict(data["config"]),
+            "config": config_from_dict(topology_block),
             "routing": data["routing"],
             "pattern": data["pattern"],
             "offered_load": data.get("offered_load"),
@@ -308,7 +321,7 @@ class ExperimentResult:
         }
 
 
-def build_network(spec: ExperimentSpec) -> Tuple[DragonflyNetwork, TrafficGenerator]:
+def build_network(spec: ExperimentSpec) -> Tuple[Network, TrafficGenerator]:
     """Instantiate the network and the traffic generator described by ``spec``.
 
     When the spec names a ``warm_start`` checkpoint, the learned state is
@@ -318,7 +331,7 @@ def build_network(spec: ExperimentSpec) -> Tuple[DragonflyNetwork, TrafficGenera
     routing name first.
     """
     routing = make_routing(spec.routing, **spec.routing_kwargs)
-    network = DragonflyNetwork(
+    network = Network(
         spec.config,
         routing,
         params=spec.network_params,
@@ -330,7 +343,7 @@ def build_network(spec: ExperimentSpec) -> Tuple[DragonflyNetwork, TrafficGenera
         from repro.store import Checkpoint
 
         checkpoint = Checkpoint.load(spec.warm_start)
-        checkpoint.check_compatible(spec.routing, spec.config.to_dict())
+        checkpoint.check_compatible(spec.routing, config_to_dict(spec.config))
         checkpoint.apply(network.routing)
     pattern = make_pattern(spec.pattern, **spec.pattern_kwargs)
     generator = TrafficGenerator(
@@ -343,7 +356,7 @@ def build_network(spec: ExperimentSpec) -> Tuple[DragonflyNetwork, TrafficGenera
     return network, generator
 
 
-def _execute(spec: ExperimentSpec) -> Tuple[ExperimentResult, DragonflyNetwork]:
+def _execute(spec: ExperimentSpec) -> Tuple[ExperimentResult, Network]:
     """Run one spec to completion; returns the result and the live network
     (so callers can export learned state before it is garbage-collected)."""
     network, generator = build_network(spec)
@@ -506,7 +519,7 @@ def train_experiment(
 
 
 def run_load_sweep(
-    config: DragonflyConfig,
+    config,
     algorithms: Sequence[str],
     pattern: str,
     loads: Sequence[float],

@@ -52,8 +52,10 @@ from repro.stats.collectors import RunStats
 #: previously cached results stale.  (2: fingerprints re-based on the
 #: serialized spec schema instead of dataclass introspection.  3: spec
 #: schema v2 — warm_start checkpoints — retires every v1-keyed entry.
-#: 4: spec schema v3 + the telemetry block in the wire format.)
-CACHE_VERSION = 4
+#: 4: spec schema v3 + the telemetry block in the wire format.
+#: 5: spec schema v4 — family-tagged ``topology`` blocks replace the
+#:    Dragonfly-only ``config`` key in the serialized form.)
+CACHE_VERSION = 5
 
 #: default location of the on-disk result cache, relative to the CWD.
 DEFAULT_CACHE_DIR = Path(".cache") / "experiments"

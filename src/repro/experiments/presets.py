@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.qadaptive import QAdaptiveParams
+from repro.scenarios.registry import Registry
 from repro.topology.config import DragonflyConfig
 
 
@@ -35,8 +37,8 @@ class ExperimentScale:
     """Everything that depends on how big an experiment should be."""
 
     name: str
-    config: DragonflyConfig
-    scaleup_config: DragonflyConfig
+    config: object
+    scaleup_config: object
     warmup_ns: float
     measure_ns: float
     convergence_ns: float
@@ -57,9 +59,17 @@ class ExperimentScale:
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         return replace(self, **kwargs)
 
+    @property
+    def family(self) -> str:
+        """Topology family of this scale's config (``"dragonfly"``, ...)."""
+        from repro.topology.registry import family_of_config
+
+        return family_of_config(self.config).family
+
     def describe(self) -> Dict[str, object]:
         return {
             "name": self.name,
+            "family": self.family,
             "config": self.config.describe(),
             "scaleup_config": self.scaleup_config.describe(),
             "warmup_us": self.warmup_ns / 1_000.0,
@@ -122,25 +132,115 @@ PAPER_SCALE_2550 = PAPER_SCALE_1056.with_overrides(
     qadaptive_params=QAdaptiveParams.paper_2550(),
 )
 
-_SCALES: Dict[str, ExperimentScale] = {
-    "bench": BENCH_SCALE,
-    "reduced": REDUCED_SCALE,
-    "paper-1056": PAPER_SCALE_1056,
-    "paper-2550": PAPER_SCALE_2550,
-}
+# --------------------------------------------------------------------- registry
+#: registry of scale presets: aliases, lazy loaders, per-topology entries.
+SCALE_REGISTRY = Registry("experiment scale")
+
+SCALE_REGISTRY.register(
+    "bench", lambda: BENCH_SCALE,
+    metadata={"family": "dragonfly",
+              "summary": "72-node Dragonfly, short windows (pytest benchmarks)"},
+)
+SCALE_REGISTRY.register(
+    "reduced", lambda: REDUCED_SCALE,
+    metadata={"family": "dragonfly",
+              "summary": "72-node Dragonfly, convergence-length windows"},
+)
+SCALE_REGISTRY.register(
+    "paper-1056", lambda: PAPER_SCALE_1056,
+    aliases=("paper",),
+    metadata={"family": "dragonfly",
+              "summary": "the paper's 1,056-node system (hours of CPU)"},
+)
+SCALE_REGISTRY.register(
+    "paper-2550", lambda: PAPER_SCALE_2550,
+    metadata={"family": "dragonfly",
+              "summary": "the paper's 2,550-node scale-up system"},
+)
 
 
-def available_scales() -> list:
-    """Names accepted by :func:`scale_by_name`."""
-    return sorted(_SCALES)
+# Per-topology scales load lazily: listing names must not build fat-tree or
+# mesh wiring tables (the CLI lists scales on every `list scales`).
+@lru_cache(maxsize=None)
+def _fattree_bench_scale() -> ExperimentScale:
+    from repro.topology.fattree import FatTreeConfig
+
+    return ExperimentScale(
+        name="fattree-bench",
+        config=FatTreeConfig.tiny(),
+        scaleup_config=FatTreeConfig.small_54(),
+        warmup_ns=30_000.0,
+        measure_ns=20_000.0,
+        convergence_ns=60_000.0,
+        ur_loads=(0.2, 0.5, 0.7),
+        adv_loads=(0.1, 0.25, 0.35),
+        ur_reference_load=0.6,
+        adv_reference_load=0.3,
+    )
+
+
+@lru_cache(maxsize=None)
+def _mesh_bench_scale() -> ExperimentScale:
+    from repro.topology.mesh import MeshConfig
+
+    return ExperimentScale(
+        name="mesh-bench",
+        config=MeshConfig.small_72(),
+        scaleup_config=MeshConfig(rows=8, cols=8, p=2),
+        warmup_ns=30_000.0,
+        measure_ns=20_000.0,
+        convergence_ns=60_000.0,
+        # A mesh bisection is narrow relative to injection; sweep lower loads.
+        ur_loads=(0.1, 0.3, 0.5),
+        adv_loads=(0.05, 0.15, 0.25),
+        ur_reference_load=0.4,
+        adv_reference_load=0.2,
+    )
+
+
+@lru_cache(maxsize=None)
+def _torus_bench_scale() -> ExperimentScale:
+    from repro.topology.mesh import MeshConfig
+
+    return _mesh_bench_scale().with_overrides(
+        name="torus-bench",
+        config=MeshConfig.small_72_torus(),
+        scaleup_config=MeshConfig(rows=8, cols=8, p=2, wrap=True),
+    )
+
+
+SCALE_REGISTRY.register(
+    "fattree-bench", loader=lambda: _fattree_bench_scale,
+    aliases=("fat-tree-bench",),
+    metadata={"family": "fattree",
+              "summary": "k=4 fat-tree, bench-length windows"},
+)
+SCALE_REGISTRY.register(
+    "mesh-bench", loader=lambda: _mesh_bench_scale,
+    metadata={"family": "mesh",
+              "summary": "6x6 mesh (72 nodes), bench-length windows"},
+)
+SCALE_REGISTRY.register(
+    "torus-bench", loader=lambda: _torus_bench_scale,
+    metadata={"family": "mesh",
+              "summary": "6x6 torus (72 nodes), bench-length windows"},
+)
+
+
+def available_scales() -> List[str]:
+    """Names accepted by :func:`scale_by_name`, in registration order."""
+    return SCALE_REGISTRY.names()
+
+
+def describe_scales() -> List[Dict[str, object]]:
+    """One metadata row per scale (name, family, summary, aliases) without
+    building any scale — lazy entries stay unloaded."""
+    return SCALE_REGISTRY.describe()
 
 
 def scale_by_name(name: str) -> ExperimentScale:
-    """Look up a scale preset by name."""
-    key = name.strip().lower()
-    if key not in _SCALES:
-        raise ValueError(f"unknown scale {name!r}; known: {available_scales()}")
-    return _SCALES[key]
+    """Look up a scale preset by name or alias (case/hyphen-insensitive)."""
+    return SCALE_REGISTRY.build(name)
 
 
 def default_scale(env: Optional[Dict[str, str]] = None) -> ExperimentScale:

@@ -110,15 +110,26 @@ class LinkUtilizationProbe(InstrumentProbe):
         self._busy_ns: Dict[Tuple[int, int], float] = {}
         self._packets: Dict[Tuple[int, int], int] = {}
         self._series = TimeSeries(self.bin_ns)
-        self._port_kind: Optional[Callable[[int], str]] = None
+        self._link_kind: Optional[Dict[Tuple[int, int], str]] = None
         self._total_links: Optional[int] = None
 
     def bind(self, network) -> None:
-        """Capture topology context for labels and normalization."""
+        """Capture topology context for labels and normalization.
+
+        Link kinds are keyed per ``(router, port)`` — on irregular families
+        (fat-tree, mesh) the same port index drives different link classes on
+        different routers, and some ports are unconnected.  ``links_total``
+        counts only the links that exist.
+        """
         topo = network.topo
-        kinds = {port: topo.port_type(port).value for port in range(topo.k)}
-        self._port_kind = kinds.get
-        self._total_links = topo.num_routers * topo.k
+        kinds: Dict[Tuple[int, int], str] = {}
+        for router in topo.all_routers():
+            for port in range(topo.num_host_ports(router)):
+                kinds[(router, port)] = topo.link_kind(router, port).value
+            for port in topo.network_ports_of(router):
+                kinds[(router, port)] = topo.link_kind(router, port).value
+        self._link_kind = kinds
+        self._total_links = len(kinds)
 
     def subscriptions(self) -> Dict[str, Callable]:
         return {"link_busy": self.on_link_busy}
@@ -138,7 +149,8 @@ class LinkUtilizationProbe(InstrumentProbe):
             links.append({
                 "router": router_id,
                 "port": port,
-                "kind": self._port_kind(port) if self._port_kind else None,
+                "kind": (self._link_kind.get((router_id, port))
+                         if self._link_kind is not None else None),
                 "packets": self._packets[(router_id, port)],
                 "busy_ns": busy,
                 "busy_fraction": busy / window,
@@ -224,12 +236,12 @@ class QueueOccupancyProbe(InstrumentProbe):
 class SourceLatencyProbe(InstrumentProbe):
     """Per-source-group latency summaries and the Jain fairness index.
 
-    Groups packets by their source Dragonfly group (``packet.src_group``):
-    under adversarial patterns some groups' traffic crosses the hotspot
-    global link while others' does not, so per-group tails expose the
-    fairness behaviour behind the paper's Figure 6 box plots.  Only packets
-    delivered after ``warmup_ns`` count (the collector's measurement-window
-    convention).
+    Groups packets by their source routing group (``packet.src_group``:
+    Dragonfly groups, fat-tree pods, mesh rows): under adversarial patterns
+    some groups' traffic crosses the hotspot link while others' does not, so
+    per-group tails expose the fairness behaviour behind the paper's Figure 6
+    box plots.  Only packets delivered after ``warmup_ns`` count (the
+    collector's measurement-window convention).
     """
 
     name = "source-latency"

@@ -1,17 +1,19 @@
-"""Wiring of a complete Dragonfly system: routers, NICs, links, routing, stats.
+"""Wiring of a complete simulated system: routers, NICs, links, routing, stats.
 
-:class:`DragonflyNetwork` is the main entry point of the simulation layer.  It
-builds every router and NIC for a :class:`~repro.topology.config.DragonflyConfig`,
-connects them according to the topology, attaches a routing algorithm and a
-statistics collector, and exposes packet creation/injection plus ``run``.
+:class:`Network` is the main entry point of the simulation layer.  It builds
+every router and NIC for a topology config (Dragonfly, fat-tree, mesh/torus —
+any family registered in :data:`repro.topology.registry.TOPOLOGIES`), connects
+them according to the topology's wiring tables, attaches a routing algorithm
+and a statistics collector, and exposes packet creation/injection plus
+``run``.  :data:`DragonflyNetwork` remains as a backwards-compatible alias.
 
 Typical use (see ``examples/quickstart.py``)::
 
-    from repro import DragonflyConfig, DragonflyNetwork, NetworkParams
+    from repro import DragonflyConfig, Network, NetworkParams
     from repro.routing import MinimalRouting
     from repro.traffic import UniformRandomTraffic, TrafficGenerator
 
-    net = DragonflyNetwork(DragonflyConfig.small_72(), MinimalRouting(), seed=1)
+    net = Network(DragonflyConfig.small_72(), MinimalRouting(), seed=1)
     gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.5)
     gen.start()
     net.run(until=20_000.0)          # 20 µs
@@ -32,17 +34,20 @@ from repro.network.packet import Packet
 from repro.network.params import NetworkParams
 from repro.network.router import Router
 from repro.stats.collectors import RunStats, StatsCollector
-from repro.topology.config import DragonflyConfig
-from repro.topology.dragonfly import DragonflyTopology, PortType
+from repro.topology.base import PortType, Topology
+from repro.topology.registry import topology_for
 
 
-class DragonflyNetwork:
-    """A simulated Dragonfly system bound to one routing algorithm.
+class Network:
+    """A simulated system bound to one topology and one routing algorithm.
 
     Parameters
     ----------
     config:
-        Topology size (p, a, h).
+        A registered topology config (:class:`~repro.topology.config.DragonflyConfig`,
+        :class:`~repro.topology.fattree.FatTreeConfig`,
+        :class:`~repro.topology.mesh.MeshConfig`, ...) or a ready-built
+        :class:`~repro.topology.base.Topology` instance.
     routing:
         A routing algorithm instance (see :mod:`repro.routing` and
         :mod:`repro.core`).  The algorithm is attached to this network and
@@ -61,15 +66,19 @@ class DragonflyNetwork:
 
     def __init__(
         self,
-        config: DragonflyConfig,
+        config,
         routing,
         params: Optional[NetworkParams] = None,
         seed: int = 0,
         warmup_ns: float = 0.0,
         stats_bin_ns: float = 1_000.0,
     ) -> None:
-        self.config = config
-        self.topo = DragonflyTopology.for_config(config)
+        if isinstance(config, Topology):
+            self.topo = config
+            self.config = config.config
+        else:
+            self.topo = topology_for(config)
+            self.config = config
         base_params = params if params is not None else NetworkParams()
         num_vcs = base_params.num_vcs
         if num_vcs is None:
@@ -89,6 +98,9 @@ class DragonflyNetwork:
         )
         self._packet_counter = 0
         self._ev_generated = None
+        # Per-packet hot-path caches: plain int / list lookups in create_packet.
+        self._hosts_per_router = self.topo.hosts_per_router
+        self._router_group = self.topo.router_groups()
         self.routers: List[Router] = []
         self.nics: List[Nic] = []
         self._build()
@@ -105,27 +117,31 @@ class DragonflyNetwork:
         self.nics = [Nic(n, params, sim) for n in topo.all_nodes()]
 
         for router in self.routers:
-            # Router-to-router links (local and global).
-            for port in topo.non_host_ports:
+            num_host = topo.num_host_ports(router.id)
+            for port in range(topo.k):
+                if port < num_host:
+                    # Host (ejection) link towards the attached NIC.
+                    node = topo.node_at(router.id, port)
+                    channel = Channel(
+                        self.nics[node], 0, params.host_link_latency_ns, PortType.HOST
+                    )
+                    credits = OutputCredits(num_vcs, params.ejection_credits)
+                    router.connect(port, channel, credits)
+                    continue
+                # Router-to-router link; unconnected ports (mesh edges,
+                # hostless fat-tree switches' spare columns) stay dark.
                 neighbor = topo.neighbor_of(router.id, port)
-                assert neighbor is not None
-                port_type = topo.port_type(port)
+                if neighbor is None:
+                    continue
+                kind = topo.link_kind(router.id, port)
                 channel = Channel(
                     self.routers[neighbor[0]],
                     neighbor[1],
-                    params.link_latency_ns(port_type),
-                    port_type,
+                    params.link_latency_ns(kind),
+                    kind,
                 )
                 credits = OutputCredits(num_vcs, params.vc_buffer_packets)
                 router.connect(port, channel, credits)
-            # Host (ejection) links towards the attached NICs.
-            for host_port in topo.host_ports:
-                node = topo.node_at(router.id, host_port)
-                channel = Channel(
-                    self.nics[node], 0, params.host_link_latency_ns, PortType.HOST
-                )
-                credits = OutputCredits(num_vcs, params.ejection_credits)
-                router.connect(host_port, channel, credits)
             router.attach_routing(self.routing)
 
         for nic in self.nics:
@@ -208,21 +224,20 @@ class DragonflyNetwork:
             raise ValueError(f"node out of range [0, {num_nodes}): {src_node}, {dst_node}")
         if now is None:
             now = self.sim._now
-        # Inlined id mapping (node // p is the router, node % p its local
-        # index): one packet is created per generated message, so the helper
-        # calls would dominate this constructor.
-        p = topo.p
+        # Inlined id mapping (node // hosts_per_router is the router, the
+        # remainder its local index — a protocol guarantee on every family):
+        # one packet is created per generated message, so the helper calls
+        # would dominate this constructor.
+        p = self._hosts_per_router
         src_router = src_node // p
         dst_router = dst_node // p
-        router_group = topo._router_group
         packet = Packet(
             pid=self._packet_counter,
             src_node=src_node,
             dst_node=dst_node,
             src_router=src_router,
             dst_router=dst_router,
-            src_group=router_group[src_router],
-            dst_group=router_group[dst_router],
+            src_group=self._router_group[src_router],
             src_node_local=src_node % p,
             size_bytes=self.params.packet_bytes,
             create_time_ns=now,
@@ -269,6 +284,11 @@ class DragonflyNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<DragonflyNetwork nodes={self.num_nodes} routers={self.num_routers} "
+            f"<Network {self.topo.family} nodes={self.num_nodes} "
+            f"routers={self.num_routers} "
             f"routing={getattr(self.routing, 'name', self.routing.__class__.__name__)}>"
         )
+
+
+#: Backwards-compatible alias from before the network became topology-generic.
+DragonflyNetwork = Network

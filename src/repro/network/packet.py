@@ -20,7 +20,7 @@ class Packet:
         Unique packet id (monotonically increasing per network).
     src_node / dst_node:
         End-point compute nodes.
-    src_router / dst_router / dst_group / src_node_local:
+    src_router / dst_router / src_group / src_node_local:
         Cached topology lookups used on the routing hot path.
     create_time_ns:
         Generation time at the source node (latency is measured from here).
@@ -36,16 +36,15 @@ class Packet:
     router_arrival_ns:
         Arrival time at the router currently buffering the packet (used as
         the reward baseline for Q-learning feedback).
-    imd_group / imd_router:
-        Valiant intermediate group / router assignment (non-minimal paths).
     nonminimal:
         True once an adaptive algorithm committed the packet to a
         non-minimal path.
-    intgrp_decided:
-        True once the first intermediate-group router made its Q-adaptive /
-        VALn re-route decision (each packet gets at most one).
-    par_reevaluated:
-        True once PAR's source-group re-evaluation has happened.
+    scratch:
+        Algorithm-private routing state (``None`` until the owning routing
+        algorithm writes it).  Each algorithm defines its own layout —
+        Valiant variants keep their intermediate target here, Q-adaptive its
+        one-shot re-route flag — so the packet itself carries no
+        topology-specific fields.
     qfeedback:
         Pending Q-learning feedback record ``(router_id, row, column)`` left
         by the previous hop, consumed by the next router's decision.
@@ -59,7 +58,6 @@ class Packet:
         "dst_node",
         "src_router",
         "dst_router",
-        "dst_group",
         "src_group",
         "src_node_local",
         "size_bytes",
@@ -70,11 +68,8 @@ class Packet:
         "out_port",
         "out_vc",
         "router_arrival_ns",
-        "imd_group",
-        "imd_router",
         "nonminimal",
-        "intgrp_decided",
-        "par_reevaluated",
+        "scratch",
         "qfeedback",
         "path",
     )
@@ -87,7 +82,6 @@ class Packet:
         src_router: int,
         dst_router: int,
         src_group: int,
-        dst_group: int,
         src_node_local: int,
         size_bytes: int,
         create_time_ns: float,
@@ -98,7 +92,6 @@ class Packet:
         self.src_router = src_router
         self.dst_router = dst_router
         self.src_group = src_group
-        self.dst_group = dst_group
         self.src_node_local = src_node_local
         self.size_bytes = size_bytes
         self.create_time_ns = create_time_ns
@@ -108,11 +101,8 @@ class Packet:
         self.out_port: int = -1
         self.out_vc: int = 0
         self.router_arrival_ns: float = create_time_ns
-        self.imd_group: int = -1
-        self.imd_router: int = -1
         self.nonminimal = False
-        self.intgrp_decided = False
-        self.par_reevaluated = False
+        self.scratch = None
         self.qfeedback = None
         self.path: Optional[List[int]] = None
 

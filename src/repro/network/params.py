@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Optional
 
-from repro.topology.dragonfly import DragonflyTopology, PortType
+from repro.topology.base import PortType, Topology
 from repro.topology.paths import LinkTiming
 
 
@@ -137,7 +137,7 @@ class NetworkParams:
 
 
 def total_injection_bandwidth_bytes_per_ns(
-    params: NetworkParams, topo: DragonflyTopology
+    params: NetworkParams, topo: Topology
 ) -> float:
     """System-wide injection bandwidth (denominator of offered load / throughput)."""
     return params.link_bandwidth_bytes_per_ns * topo.num_nodes

@@ -1,4 +1,4 @@
-"""Input-queued Dragonfly router with virtual channels and credit flow control.
+"""Input-queued router with virtual channels and credit flow control.
 
 Model
 -----
@@ -38,11 +38,11 @@ from repro.network.credits import OutputCredits
 from repro.network.link import Channel
 from repro.network.packet import Packet
 from repro.network.params import NetworkParams
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 
 
 class Router:
-    """One Dragonfly router (an independent agent in the MARL formulation)."""
+    """One input-queued router (an independent agent in the MARL formulation)."""
 
     __slots__ = (
         "id",
@@ -80,7 +80,7 @@ class Router:
     def __init__(
         self,
         router_id: int,
-        topo: DragonflyTopology,
+        topo: Topology,
         params: NetworkParams,
         sim,
         num_vcs: int,
@@ -108,8 +108,9 @@ class Router:
         self.forwarded_packets = 0
         self.ejected_packets = 0
 
-        # Flattened per-port hot-path state (filled by connect()).
-        self._p = topo.p
+        # Flattened per-port hot-path state (filled by connect()).  ``_p`` is
+        # this router's ejection threshold: ports below it eject to a NIC.
+        self._p = topo.num_host_ports(router_id)
         self._max_vc = num_vcs - 1
         self._buf_cap = params.vc_buffer_packets
         self._push = sim._queue.push

@@ -1,17 +1,23 @@
-"""Dragonfly routing algorithms.
+"""Routing algorithms.
 
-Baselines implemented here (all evaluated in the paper):
+Baselines implemented here (all but VAL evaluated in the paper):
 
 ======== =============================================================
 name     algorithm
 ======== =============================================================
-MIN      minimal routing
+MIN      minimal routing (topology-generic)
+VAL      Valiant routing through a random host router (topology-generic)
 VALg     Valiant routing through a random intermediate group
 VALn     Valiant routing through a random intermediate router
 UGALg    adaptive choice between MIN and a VALg candidate (source router)
 UGALn    adaptive choice between MIN and a VALn candidate (source router)
 PAR      UGALn plus one in-source-group re-evaluation
 ======== =============================================================
+
+MIN, VAL and Q-routing type against the generic
+:class:`~repro.topology.base.Topology` protocol and run on every registered
+topology family; the Dragonfly-specific algorithms declare
+``supported_topologies = ("dragonfly",)`` and refuse to attach elsewhere.
 
 The learned algorithms (Q-adaptive, Q-routing) live in :mod:`repro.core` and
 are registered here *lazily* — their entries carry an import callback instead
@@ -33,7 +39,11 @@ from repro.routing.base import RoutingAlgorithm
 from repro.routing.minimal import MinimalRouting
 from repro.routing.par import ParRouting
 from repro.routing.ugal import UgalGRouting, UgalNRouting
-from repro.routing.valiant import ValiantGlobalRouting, ValiantNodeRouting
+from repro.routing.valiant import (
+    ValiantGlobalRouting,
+    ValiantNodeRouting,
+    ValiantRouterRouting,
+)
 from repro.scenarios.registry import Registry
 
 __all__ = [
@@ -45,6 +55,7 @@ __all__ = [
     "UgalNRouting",
     "ValiantGlobalRouting",
     "ValiantNodeRouting",
+    "ValiantRouterRouting",
     "available_algorithms",
     "canonical_routing_name",
     "make_routing",
@@ -115,6 +126,8 @@ def _load_qrouting() -> Callable[..., RoutingAlgorithm]:
 
 register_algorithm("MIN", MinimalRouting, aliases=("minimal",),
                    metadata={"summary": "minimal (shortest-path) routing"})
+register_algorithm("VAL", ValiantRouterRouting, aliases=("valiant",),
+                   metadata={"summary": "Valiant via a random host router (any topology)"})
 register_algorithm("VALg", ValiantGlobalRouting,
                    metadata={"summary": "Valiant via a random intermediate group"})
 register_algorithm("VALn", ValiantNodeRouting,

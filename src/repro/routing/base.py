@@ -1,7 +1,7 @@
 """Routing algorithm interface.
 
 A routing algorithm is a single object attached to a
-:class:`~repro.network.network.DragonflyNetwork`.  Routers call
+:class:`~repro.network.network.Network`.  Routers call
 :meth:`RoutingAlgorithm.route` whenever a packet reaches the head of an input
 VC buffer, and :meth:`RoutingAlgorithm.on_forward` when a packet actually
 leaves on an output port.  Algorithms that learn (Q-routing, Q-adaptive) keep
@@ -11,16 +11,22 @@ feedback between neighbour routers.
 All algorithms must bound the number of router-to-router hops they produce;
 ``required_vcs`` returns that bound, which the network uses as the VC count so
 that the per-hop VC increment discipline stays deadlock free.
+
+Algorithms type against the generic :class:`~repro.topology.base.Topology`
+protocol.  Those whose path shapes only make sense on one family (Q-adaptive,
+UGAL, PAR, the Valiant group variants) declare ``supported_topologies``; the
+attach step rejects any other family with a clear error instead of producing
+nonsense routes.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Mapping, Optional, Protocol, runtime_checkable
+from typing import Any, Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.network.packet import Packet
 from repro.network.router import Router
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 
 
 @runtime_checkable
@@ -57,35 +63,53 @@ class RoutingAlgorithm(abc.ABC):
     #: short name used in result tables (e.g. "MIN", "UGALg", "Q-adp")
     name: str = "base"
 
+    #: topology families this algorithm can route on; ``None`` means any
+    #: registered family (the algorithm only uses the generic protocol).
+    supported_topologies: Optional[Tuple[str, ...]] = None
+
     def __init__(self) -> None:
         self.network = None
-        self.topo: Optional[DragonflyTopology] = None
+        self.topo: Optional[Topology] = None
         self.rng = None
 
     # ----------------------------------------------------------------- wiring
     def attach(self, network) -> None:
-        """Bind the algorithm to a network (called by ``DragonflyNetwork``)."""
+        """Bind the algorithm to a network (called by ``Network``)."""
         if self.network is not None and self.network is not network:
             raise RuntimeError(
                 f"routing algorithm {self.name!r} is already attached to a network; "
                 "create a fresh instance per network"
             )
+        topo = network.topo
+        supported = self.supported_topologies
+        if supported is not None and topo.family not in supported:
+            raise ValueError(
+                f"routing algorithm {self.name!r} supports topology families "
+                f"{list(supported)}, not {topo.family!r}; pick a topology-generic "
+                "algorithm (MIN, VAL, Q-routing) for this network"
+            )
         self.network = network
-        self.topo = network.topo
+        self.topo = topo
         self.rng = network.rng.py(f"routing:{self.name}")
-        self._host_ports = network.topo.p  # cached for the ejection fast path
-        self._min_next = network.topo.minimal_next_port  # bound, memoized
+        # Ejection fast path: every family guarantees the host port of a node
+        # is ``node % hosts_per_router`` (see Topology.hosts_per_router).
+        self._host_ports = topo.hosts_per_router
+        self._min_next = topo.minimal_next_port  # bound, memoized
         self._setup()
 
     def _setup(self) -> None:
         """Hook for subclasses needing per-network state (tables, caches)."""
 
     # ------------------------------------------------------------- VC budget
-    def max_hops(self, topo: DragonflyTopology) -> int:
-        """Upper bound on router-to-router hops of any path this algorithm builds."""
-        return 3
+    def max_hops(self, topo: Topology) -> int:
+        """Upper bound on router-to-router hops of any path this algorithm builds.
 
-    def required_vcs(self, topo: DragonflyTopology) -> int:
+        Minimal algorithms are bounded by the topology diameter; algorithms
+        taking non-minimal detours must override with their own bound.
+        """
+        return topo.diameter
+
+    def required_vcs(self, topo: Topology) -> int:
         """Virtual channels needed for deadlock freedom (one per possible hop)."""
         return self.max_hops(topo)
 

@@ -1,10 +1,13 @@
 """Minimal (MIN) routing.
 
-Packets always follow the minimal path: at most one local hop in the source
-group, one global hop, and one local hop in the destination group (diameter-3
-topology).  MIN is the optimal policy under uniform random traffic and the
-worst choice under adversarial traffic, where the single global link between
-the source and destination groups becomes the bottleneck.
+Packets always follow the topology's canonical minimal path (on Dragonfly: at
+most one local hop in the source group, one global hop, and one local hop in
+the destination group).  MIN is the optimal policy under uniform random
+traffic and the worst choice under adversarial traffic, where the few links
+shared by the paths of a whole group become the bottleneck.
+
+MIN is topology-generic: it only uses ``Topology.minimal_next_port`` and is
+bounded by the topology diameter.
 """
 
 from __future__ import annotations
@@ -12,16 +15,12 @@ from __future__ import annotations
 from repro.network.packet import Packet
 from repro.network.router import Router
 from repro.routing.base import RoutingAlgorithm
-from repro.topology.dragonfly import DragonflyTopology
 
 
 class MinimalRouting(RoutingAlgorithm):
     """Deterministic minimal-path routing (the paper's "MIN")."""
 
     name = "MIN"
-
-    def max_hops(self, topo: DragonflyTopology) -> int:
-        return 3
 
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
         return self._min_next(router.id, packet.dst_router)

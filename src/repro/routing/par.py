@@ -34,19 +34,21 @@ class ParRouting(_UgalBase):
         if packet.nonminimal:
             return self._follow_nonminimal(router, packet)
         if router.id == packet.src_router and packet.hops == 0:
-            if packet.src_group == packet.dst_group:
+            if packet.src_group == self._router_group[packet.dst_router]:
                 return self._min_next(router.id, packet.dst_router)
             if self._adaptive_choice(router, packet):
                 return self._follow_nonminimal(router, packet)
             return self._min_next(router.id, packet.dst_router)
         # Progressive step: a minimally-routed packet still inside its source
-        # group gets one chance to divert onto a non-minimal path.
+        # group gets one chance to divert onto a non-minimal path.  scratch is
+        # None until then; False marks "re-evaluated, still minimal" (a commit
+        # in _adaptive_choice overwrites it with the non-minimal triple).
         if (
             router.group == packet.src_group
-            and router.group != packet.dst_group
-            and not packet.par_reevaluated
+            and router.group != self._router_group[packet.dst_router]
+            and packet.scratch is None
         ):
-            packet.par_reevaluated = True
+            packet.scratch = False
             self.reevaluations += 1
             if self._adaptive_choice(router, packet):
                 self.diverted_packets += 1

@@ -16,6 +16,11 @@ The bias defaults to zero as in the paper's evaluation.
 UGALg samples a VALg-style candidate (random intermediate group), UGALn a
 VALn-style one (random intermediate router).  Once the source router decided,
 downstream routers follow the chosen path without re-evaluation.
+
+A committed non-minimal path travels in ``packet.scratch`` as a
+``[intermediate_router, intermediate_group, second_phase]`` triple
+(``intermediate_router`` is ``-1`` for UGALg's group-level detours); PAR
+additionally uses ``scratch = False`` to mark "re-evaluated, still minimal".
 """
 
 from __future__ import annotations
@@ -33,11 +38,17 @@ class _UgalBase(RoutingAlgorithm):
     #: True → intermediate target is a specific router (VALn style), else a group (VALg style)
     node_valiant = True
 
+    #: the candidate sampling and phase logic lean on Dragonfly group structure
+    supported_topologies = ("dragonfly",)
+
     def __init__(self, bias: float = 0.0) -> None:
         super().__init__()
         self.bias = bias
         self.minimal_decisions = 0
         self.nonminimal_decisions = 0
+
+    def _setup(self) -> None:
+        self._router_group = self.topo.router_groups()
 
     # ------------------------------------------------------------ candidates
     def _first_hop_towards_router(self, router: Router, target_router: int) -> int:
@@ -48,9 +59,10 @@ class _UgalBase(RoutingAlgorithm):
     def _sample_nonminimal(self, router: Router, packet: Packet):
         """Sample a non-minimal candidate; returns (first_port, hops, imd_router, imd_group)."""
         topo = self.topo
+        dst_group = self._router_group[packet.dst_router]
         if self.node_valiant:
             imd_router = choose_intermediate_router(
-                self.rng, topo, router.group, packet.dst_group
+                self.rng, topo, router.group, dst_group
             )
             imd_group = topo.group_of_router(imd_router)
             hops = topo.minimal_hops(router.id, imd_router) + topo.minimal_hops(
@@ -58,7 +70,7 @@ class _UgalBase(RoutingAlgorithm):
             )
             port = self._first_hop_towards_router(router, imd_router)
             return port, hops, imd_router, imd_group
-        imd_group = choose_intermediate_group(self.rng, topo.g, router.group, packet.dst_group)
+        imd_group = choose_intermediate_group(self.rng, topo.g, router.group, dst_group)
         entry_router = topo.gateway_router(imd_group, router.group)
         hops = topo.minimal_hops(router.id, entry_router) + topo.minimal_hops(
             entry_router, packet.dst_router
@@ -80,27 +92,28 @@ class _UgalBase(RoutingAlgorithm):
             return False
         self.nonminimal_decisions += 1
         packet.nonminimal = True
-        packet.imd_router = imd_router
-        packet.imd_group = imd_group
+        packet.scratch = [imd_router, imd_group, False]
         return True
 
     # ----------------------------------------------------------- path follow
     def _follow_nonminimal(self, router: Router, packet: Packet) -> int:
         """Continue an already-committed non-minimal (Valiant) path."""
         topo = self.topo
-        if self.node_valiant or packet.imd_router >= 0:
-            if not packet.intgrp_decided and router.id == packet.imd_router:
-                packet.intgrp_decided = True
-            if packet.intgrp_decided or router.group == packet.dst_group:
+        state = packet.scratch  # [imd_router, imd_group, second_phase]
+        dst_group = self._router_group[packet.dst_router]
+        if self.node_valiant or state[0] >= 0:
+            if not state[2] and router.id == state[0]:
+                state[2] = True  # the intermediate router was reached
+            if state[2] or router.group == dst_group:
                 return self._min_next(router.id, packet.dst_router)
-            return self._min_next(router.id, packet.imd_router)
+            return self._min_next(router.id, state[0])
         # group-valiant (UGALg) phase logic
-        if router.group == packet.dst_group or router.group == packet.imd_group:
+        if router.group == dst_group or router.group == state[1]:
             return self._min_next(router.id, packet.dst_router)
-        direct = topo.global_port_to_group(router.id, packet.imd_group)
+        direct = topo.global_port_to_group(router.id, state[1])
         if direct is not None:
             return direct
-        entry_router = topo.gateway_router(packet.imd_group, router.group)
+        entry_router = topo.gateway_router(state[1], router.group)
         return self._min_next(router.id, entry_router)
 
     # ---------------------------------------------------------------- routing
@@ -108,7 +121,7 @@ class _UgalBase(RoutingAlgorithm):
         if packet.nonminimal:
             return self._follow_nonminimal(router, packet)
         if router.id == packet.src_router and packet.hops == 0:
-            if packet.src_group == packet.dst_group:
+            if packet.src_group == self._router_group[packet.dst_router]:
                 return self._min_next(router.id, packet.dst_router)
             if self._adaptive_choice(router, packet):
                 return self._follow_nonminimal(router, packet)

@@ -1,4 +1,4 @@
-"""Valiant non-minimal routing: VALg (global) and VALn (node).
+"""Valiant non-minimal routing: VALg / VALn (Dragonfly) and generic VAL.
 
 * **VALg** forwards the packet minimally to a random *intermediate group*
   (i.e. to the router of that group terminating the incoming global link) and
@@ -8,10 +8,17 @@
   most 6 hops.  The extra local hop spreads traffic over the intermediate
   group's routers and removes the intermediate-group local-link congestion
   that VALg suffers from under ADV+i patterns (Figure 3 of the paper).
+* **VAL** is the topology-generic classic: minimal to a uniformly random
+  intermediate *host-bearing* router, then minimal to the destination — at
+  most ``2 * diameter`` hops on any registered topology.
 
-Both are oblivious: the non-minimal detour is always taken, which makes them
+All are oblivious: the non-minimal detour is always taken, which makes them
 optimal under adversarial traffic (≈50% throughput) but wasteful under
 uniform traffic (they burn twice the bandwidth of the minimal path).
+
+The intermediate target travels in ``packet.scratch`` (algorithm-private
+state): VALg stores the intermediate group id, VALn and VAL store a
+``[intermediate_router, second_phase]`` pair.
 """
 
 from __future__ import annotations
@@ -40,27 +47,34 @@ class ValiantGlobalRouting(RoutingAlgorithm):
     """VALg: minimal to a random intermediate group, then minimal to the destination."""
 
     name = "VALg"
+    supported_topologies = ("dragonfly",)
 
     def max_hops(self, topo: DragonflyTopology) -> int:
         return 5
 
+    def _setup(self) -> None:
+        self._router_group = self.topo.router_groups()
+
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
         topo = self.topo
-        if packet.imd_group < 0 and router.id == packet.src_router:
-            if packet.src_group == packet.dst_group:
+        imd_group = packet.scratch
+        dst_group = self._router_group[packet.dst_router]
+        if imd_group is None and router.id == packet.src_router:
+            if packet.src_group == dst_group:
                 # Intra-group traffic takes the direct local hop.
-                packet.imd_group = packet.dst_group
+                imd_group = dst_group
             else:
-                packet.imd_group = choose_intermediate_group(
-                    self.rng, topo.g, packet.src_group, packet.dst_group
+                imd_group = choose_intermediate_group(
+                    self.rng, topo.g, packet.src_group, dst_group
                 )
                 packet.nonminimal = True
-        if router.group == packet.dst_group or router.group == packet.imd_group:
+            packet.scratch = imd_group
+        if router.group == dst_group or router.group == imd_group:
             # Second phase: head for the destination.
             return self._min_next(router.id, packet.dst_router)
         # First phase: head minimally towards the intermediate group's entry router.
-        entry_router = topo.gateway_router(packet.imd_group, router.group)
-        direct = topo.global_port_to_group(router.id, packet.imd_group)
+        entry_router = topo.gateway_router(imd_group, router.group)
+        direct = topo.global_port_to_group(router.id, imd_group)
         if direct is not None:
             return direct
         return self._min_next(router.id, entry_router)
@@ -70,23 +84,70 @@ class ValiantNodeRouting(RoutingAlgorithm):
     """VALn: minimal to a random intermediate *router*, then minimal to the destination."""
 
     name = "VALn"
+    supported_topologies = ("dragonfly",)
 
     def max_hops(self, topo: DragonflyTopology) -> int:
         return 6
 
+    def _setup(self) -> None:
+        self._router_group = self.topo.router_groups()
+
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
         topo = self.topo
-        if packet.imd_router < 0 and router.id == packet.src_router:
-            if packet.src_group == packet.dst_group:
-                packet.imd_router = packet.dst_router
+        state = packet.scratch
+        if state is None and router.id == packet.src_router:
+            dst_group = self._router_group[packet.dst_router]
+            if packet.src_group == dst_group:
+                state = [packet.dst_router, False]
             else:
-                packet.imd_router = choose_intermediate_router(
-                    self.rng, topo, packet.src_group, packet.dst_group
+                imd_router = choose_intermediate_router(
+                    self.rng, topo, packet.src_group, dst_group
                 )
-                packet.imd_group = topo.group_of_router(packet.imd_router)
                 packet.nonminimal = True
-        if not packet.intgrp_decided and router.id == packet.imd_router:
-            packet.intgrp_decided = True
-        if packet.intgrp_decided or router.group == packet.dst_group:
+                state = [imd_router, False]
+            packet.scratch = state
+        if not state[1] and router.id == state[0]:
+            state[1] = True  # the intermediate router was reached
+        if state[1] or router.group == self._router_group[packet.dst_router]:
             return self._min_next(router.id, packet.dst_router)
-        return self._min_next(router.id, packet.imd_router)
+        return self._min_next(router.id, state[0])
+
+
+class ValiantRouterRouting(RoutingAlgorithm):
+    """VAL: minimal to a uniform random host-bearing router, then minimal on.
+
+    The topology-generic Valiant scheme: works on any registered family and
+    needs ``2 * diameter`` virtual channels (two concatenated minimal paths
+    under the per-hop VC increment discipline).
+    """
+
+    name = "VAL"
+
+    def max_hops(self, topo) -> int:
+        return 2 * topo.diameter
+
+    def _setup(self) -> None:
+        hosts = self.topo.host_routers()
+        self._host_router_list = hosts if isinstance(hosts, (list, range)) else list(hosts)
+
+    def decide(self, router: Router, packet: Packet, in_port: int) -> int:
+        state = packet.scratch
+        if state is None and router.id == packet.src_router:
+            hosts = self._host_router_list
+            count = len(hosts)
+            if count <= 2:
+                state = [packet.dst_router, False]
+            else:
+                rng = self.rng
+                while True:
+                    imd_router = hosts[rng.randrange(count)]
+                    if imd_router != packet.src_router and imd_router != packet.dst_router:
+                        break
+                packet.nonminimal = True
+                state = [imd_router, False]
+            packet.scratch = state
+        if not state[1] and router.id == state[0]:
+            state[1] = True  # the intermediate router was reached
+        if state[1]:
+            return self._min_next(router.id, packet.dst_router)
+        return self._min_next(router.id, state[0])

@@ -32,6 +32,7 @@ __all__ = [
     "ablation_hyperparams_study",
     "ablation_maxq_study",
     "available_studies",
+    "cross_topology_study",
     "fairness_study",
     "fig5_study",
     "fig6_study",
@@ -561,6 +562,79 @@ def link_heatmap_study(
     )
 
 
+def cross_topology_study(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+) -> Study:
+    """Learned vs oblivious routing on Dragonfly, fat-tree and mesh/torus.
+
+    One scenario per topology family runs the topology-generic slice of the
+    algorithm catalog (Q-routing, MIN, VAL) under uniform and hotspot
+    traffic, with the ``link-util`` and ``queue-occupancy`` probes attached
+    so ``repro-sim report`` renders a per-link heatmap for every topology.
+
+    The passed ``scale`` sets the windows, the seed and the Dragonfly
+    config; the fat-tree and mesh/torus scenarios take their configs and
+    reference loads from the matching ``*-bench`` scale presets (a mesh
+    bisection is narrow relative to injection, so its loads are lower —
+    comparing *absolute* loads across families is not meaningful, but who
+    wins *within* a topology is).
+    """
+    from repro.experiments.presets import scale_by_name
+
+    scale = scale or default_scale()
+    algorithms = tuple(algorithms or ("Q-routing", "MIN", "VAL"))
+    patterns = tuple(patterns or ("UR", "Hotspot"))
+
+    def loads_of(sc: ExperimentScale) -> Dict[str, Tuple[float, ...]]:
+        return {p: (_reference_load(sc, p),) for p in patterns}
+
+    fattree = scale_by_name("fattree-bench")
+    mesh = scale_by_name("mesh-bench")
+    torus = scale_by_name("torus-bench")
+    return Study(
+        name="cross-topology",
+        description="Q-routing vs MIN vs VAL under UR/hotspot traffic on "
+                    "Dragonfly, fat-tree, mesh and torus, with per-link "
+                    "utilization heatmaps",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        telemetry=("link-util", "queue-occupancy"),
+        scenarios=[
+            Scenario(
+                name="dragonfly",
+                routing=algorithms,
+                pattern=patterns,
+                loads_by_pattern=loads_of(scale),
+            ),
+            Scenario(
+                name="fattree",
+                config=fattree.config,
+                routing=algorithms,
+                pattern=patterns,
+                loads_by_pattern=loads_of(fattree),
+            ),
+            Scenario(
+                name="mesh",
+                config=mesh.config,
+                routing=algorithms,
+                pattern=patterns,
+                loads_by_pattern=loads_of(mesh),
+            ),
+            Scenario(
+                name="torus",
+                config=torus.config,
+                routing=algorithms,
+                pattern=patterns,
+                loads_by_pattern=loads_of(torus),
+            ),
+        ],
+    )
+
+
 # ------------------------------------------------------------------ headline
 def headline_study(
     scale: Optional[ExperimentScale] = None,
@@ -618,3 +692,6 @@ register_study("fairness", fairness_study,
 register_study("link-heatmap", link_heatmap_study, aliases=("link_heatmap",),
                metadata={"summary": "telemetry: per-link busy fractions and "
                                     "queue hotspots, MIN vs adaptive"})
+register_study("cross-topology", cross_topology_study, aliases=("cross_topology",),
+               metadata={"summary": "Q-routing vs MIN vs VAL on Dragonfly, "
+                                    "fat-tree, mesh and torus + link heatmaps"})

@@ -26,23 +26,29 @@ from typing import Any, Dict, Mapping, Sequence, Tuple
 
 #: schema version of a serialized ExperimentSpec document.
 #: (2: added the optional ``warm_start`` checkpoint reference.
-#:  3: added the optional ``telemetry`` probe list.)
-SPEC_SCHEMA_VERSION = 3
+#:  3: added the optional ``telemetry`` probe list.
+#:  4: the Dragonfly-only ``config`` block became the topology-generic
+#:     ``topology`` block carrying a ``family`` discriminator.)
+SPEC_SCHEMA_VERSION = 4
 
 #: spec schema versions this build can read.  Version-1 documents predate
-#: ``warm_start``, version-2 documents predate ``telemetry``; both load
-#: unchanged with those fields at their defaults.
-SPEC_SCHEMA_COMPAT = (1, 2, 3)
+#: ``warm_start``, version-2 documents predate ``telemetry``, version-3
+#: documents spell the topology as a family-less Dragonfly ``config`` block;
+#: all load unchanged with the newer fields at their defaults.
+SPEC_SCHEMA_COMPAT = (1, 2, 3, 4)
 
 #: schema version of a serialized Study document.
 #: (2: added the optional ``train`` stage for staged train/eval studies.
-#:  3: added the optional ``telemetry`` probe lists on studies/scenarios.)
-STUDY_SCHEMA_VERSION = 3
+#:  3: added the optional ``telemetry`` probe lists on studies/scenarios.
+#:  4: ``config`` blocks became topology-generic, carrying an optional
+#:     ``family`` discriminator that defaults to ``"dragonfly"``.)
+STUDY_SCHEMA_VERSION = 4
 
 #: study schema versions this build can read.  Version-1 documents predate
-#: the ``train`` stage, version-2 documents predate ``telemetry``; both load
-#: unchanged with those fields at their defaults.
-STUDY_SCHEMA_COMPAT = (1, 2, 3)
+#: the ``train`` stage, version-2 documents predate ``telemetry``, version-3
+#: documents predate topology families; all load unchanged with the newer
+#: fields at their defaults.
+STUDY_SCHEMA_COMPAT = (1, 2, 3, 4)
 
 #: tag → (module, class) of hyper-parameter objects allowed inside kwargs.
 PARAM_CODECS: Dict[str, Tuple[str, str]] = {

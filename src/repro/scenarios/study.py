@@ -48,7 +48,7 @@ from repro.scenarios.serialize import (
     decode_kwargs,
     encode_kwargs,
 )
-from repro.topology.config import DragonflyConfig
+from repro.topology.registry import config_from_dict, config_to_dict
 from repro.traffic import LoadSchedule, canonical_pattern_name
 
 if TYPE_CHECKING:  # imported lazily at runtime: the harness sits above this
@@ -91,7 +91,9 @@ class Scenario:
     loads_by_pattern: Dict[str, Sequence[float]] = field(default_factory=dict)
     schedule: Optional[LoadSchedule] = None
     replicates: int = 1
-    config: Optional[DragonflyConfig] = None
+    #: per-scenario topology override: any registered config
+    #: (Dragonfly/fat-tree/mesh); ``None`` uses the study's topology.
+    config: Optional[object] = None
     sim_time_ns: Optional[float] = None
     warmup_ns: Optional[float] = None
     stats_bin_ns: Optional[float] = None
@@ -161,7 +163,7 @@ class Scenario:
         if self.replicates != 1:
             data["replicates"] = self.replicates
         if self.config is not None:
-            data["config"] = self.config.to_dict()
+            data["config"] = config_to_dict(self.config)
         for name in ("sim_time_ns", "warmup_ns", "stats_bin_ns", "seed", "arrival"):
             value = getattr(self, name)
             if value is not None:
@@ -204,7 +206,7 @@ class Scenario:
         if "schedule" in data:
             kwargs["schedule"] = LoadSchedule.from_dict(data["schedule"])
         if "config" in data:
-            kwargs["config"] = DragonflyConfig.from_dict(data["config"])
+            kwargs["config"] = config_from_dict(data["config"])
         if "network_params" in data:
             kwargs["network_params"] = NetworkParams.from_dict(data["network_params"])
         if "routing_kwargs" in data:
@@ -311,7 +313,9 @@ class Study:
     """A named composition of scenarios with shared defaults."""
 
     name: str
-    config: DragonflyConfig
+    #: default topology of every scenario: any registered config
+    #: (Dragonfly/fat-tree/mesh); scenarios may override it individually.
+    config: object
     scenarios: Sequence[Scenario] = ()
     sim_time_ns: float = 50_000.0
     warmup_ns: float = 25_000.0
@@ -531,7 +535,7 @@ class Study:
         data: Dict = {
             "schema": STUDY_SCHEMA_VERSION,
             "name": self.name,
-            "config": self.config.to_dict(),
+            "config": config_to_dict(self.config),
             "sim_time_ns": float(self.sim_time_ns),
             "warmup_ns": float(self.warmup_ns),
             "stats_bin_ns": float(self.stats_bin_ns),
@@ -566,7 +570,7 @@ class Study:
             raise ValueError("Study: 'scenarios' must be a list")
         kwargs: Dict = {
             "name": data["name"],
-            "config": DragonflyConfig.from_dict(data["config"]),
+            "config": config_from_dict(data["config"]),
             "scenarios": [Scenario.from_dict(item) for item in data["scenarios"]],
         }
         for name, convert in (("sim_time_ns", float), ("warmup_ns", float),

@@ -54,7 +54,10 @@ class CheckpointManifest:
 
     checkpoint_id: str
     routing: str
-    topology: Dict[str, int]
+    #: family-tagged topology dims (``{"family": ..., **config dims}``);
+    #: manifests written before the topology registry lack ``"family"`` and
+    #: are read as Dragonfly.
+    topology: Dict[str, Any]
     table_kind: str
     state_version: int
     table_version: int
@@ -214,20 +217,32 @@ class Checkpoint:
         return self._state
 
     # ------------------------------------------------------------ application
-    def check_compatible(self, routing: str, topology: Mapping[str, int]) -> None:
+    def check_compatible(self, routing: str, topology: Mapping[str, Any]) -> None:
         """Raise a descriptive :class:`ValueError` unless this checkpoint may
-        be loaded into an algorithm ``routing`` on ``topology``."""
+        be loaded into an algorithm ``routing`` on ``topology``.
+
+        ``topology`` is the family-tagged dict form of a config
+        (:func:`repro.topology.registry.config_to_dict`); a missing
+        ``"family"`` key — on either side, for manifests written before the
+        topology registry existed — means Dragonfly.
+        """
         manifest = self.manifest
         if manifest.routing != routing:
             raise ValueError(
                 f"checkpoint {self.path} was trained with routing "
                 f"{manifest.routing!r}; it cannot warm-start a {routing!r} run"
             )
-        if dict(manifest.topology) != dict(topology):
+        trained = dict(manifest.topology)
+        trained.setdefault("family", "dragonfly")
+        requested = dict(topology)
+        requested.setdefault("family", "dragonfly")
+        if trained != requested:
+            what = ("topology families" if trained["family"] != requested["family"]
+                    else "topologies")
             raise ValueError(
-                f"checkpoint {self.path} was trained on topology "
-                f"{dict(manifest.topology)}; this run uses {dict(topology)} — "
-                "learned tables do not transfer across topologies"
+                f"checkpoint {self.path} was trained on topology {trained}; "
+                f"this run uses {requested} — learned tables do not transfer "
+                f"across {what}"
             )
 
     def apply(self, routing_algorithm) -> None:

@@ -1,13 +1,22 @@
-"""Dragonfly topology: configuration, wiring, and path construction.
+"""Topology layer: wiring, configuration, and path construction.
 
 The topology layer is purely combinatorial — it knows which router connects to
 which through which port, and how minimal / Valiant paths are formed — but it
 knows nothing about queues, credits or time.  The network layer
 (:mod:`repro.network`) instantiates hardware on top of it.
+
+Every family implements the :class:`~repro.topology.base.Topology` protocol
+and registers itself in :data:`~repro.topology.registry.TOPOLOGIES`:
+Dragonfly (the paper's topology), a k-ary fat-tree, and a 2D mesh/torus.
+The helpers in :mod:`repro.topology.paths` are Dragonfly-specific (Valiant
+group routing, closed-form uncongested delivery times).
 """
 
+from repro.topology.base import PortType, Topology
 from repro.topology.config import DragonflyConfig
-from repro.topology.dragonfly import DragonflyTopology, PortType
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fattree import FatTreeConfig, FatTreeTopology
+from repro.topology.mesh import MeshConfig, MeshTopology
 from repro.topology.paths import (
     minimal_route,
     minimal_router_hops,
@@ -15,13 +24,34 @@ from repro.topology.paths import (
     valiant_global_route,
     valiant_node_route,
 )
+from repro.topology.registry import (
+    TOPOLOGIES,
+    TopologyFamily,
+    available_topologies,
+    config_from_dict,
+    config_to_dict,
+    register_topology,
+    topology_for,
+)
 
 __all__ = [
     "DragonflyConfig",
     "DragonflyTopology",
+    "FatTreeConfig",
+    "FatTreeTopology",
+    "MeshConfig",
+    "MeshTopology",
     "PortType",
+    "TOPOLOGIES",
+    "Topology",
+    "TopologyFamily",
+    "available_topologies",
+    "config_from_dict",
+    "config_to_dict",
     "minimal_route",
     "minimal_router_hops",
+    "register_topology",
+    "topology_for",
     "uncongested_delivery_time",
     "valiant_global_route",
     "valiant_node_route",

@@ -20,29 +20,25 @@ other side — giving exactly one global link between every pair of groups.
 
 from __future__ import annotations
 
-from enum import Enum
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.topology.base import PortType, Topology
 from repro.topology.config import DragonflyConfig
 
-
-class PortType(Enum):
-    """Classification of a router port by the link it drives."""
-
-    HOST = "host"
-    LOCAL = "local"
-    GLOBAL = "global"
+__all__ = ["DragonflyTopology", "PortType"]
 
 
-class DragonflyTopology:
+class DragonflyTopology(Topology):
     """Connectivity of a Dragonfly system described by a :class:`DragonflyConfig`.
 
     The constructor precomputes neighbour tables so that all queries used on
     the simulator hot path (``neighbor_of``, ``minimal_next_port``,
     ``global_port_to_group``) are O(1) array lookups.
     """
+
+    family = "dragonfly"
 
     #: process-wide cache for :meth:`for_config`; topologies are immutable
     #: after construction (the lazy memo tables are value-transparent), so
@@ -72,12 +68,16 @@ class DragonflyTopology:
         self.g = config.num_groups
         self.num_routers = config.num_routers
         self.num_nodes = config.num_nodes
+        self.diameter = 3
 
         # Port ranges.
         self.host_ports: range = range(0, self.p)
         self.local_ports: range = range(self.p, self.p + self.a - 1)
         self.global_ports: range = range(self.p + self.a - 1, self.k)
         self.non_host_ports: range = range(self.p, self.k)
+        #: shared exploration list (every router's connected non-host ports
+        #: are identical on a Dragonfly); callers must not mutate it.
+        self._network_ports: List[int] = list(self.non_host_ports)
 
         self._build_tables()
 
@@ -224,6 +224,29 @@ class DragonflyTopology:
         if port < self.p + self.a - 1:
             return PortType.LOCAL
         return PortType.GLOBAL
+
+    def num_host_ports(self, router: int) -> int:
+        self._check_router(router)
+        return self.p
+
+    @property
+    def hosts_per_router(self) -> int:
+        return self.p
+
+    def host_routers(self) -> range:
+        return range(self.num_routers)
+
+    def network_ports_of(self, router: int) -> List[int]:
+        self._check_router(router)
+        return self._network_ports
+
+    def link_kind(self, router: int, port: int) -> PortType:
+        """Link class of ``(router, port)``: uniform per port on a Dragonfly."""
+        self._check_router(router)
+        return self.port_type(port)
+
+    def table_port_span(self) -> Tuple[int, int]:
+        return self.p, self.k - self.p
 
     def is_global_port(self, port: int) -> bool:
         return self.p + self.a - 1 <= port < self.k

@@ -12,6 +12,11 @@ purposes in this repository:
 All throughputs are expressed as a fraction of the aggregate node injection
 bandwidth (the same normalisation the paper uses for "offered load" and
 "system throughput").
+
+The channel-load arguments are Dragonfly-specific (single inter-group global
+links, ``a*(a-1)`` local links per group): every bound function validates its
+config and raises :class:`ValueError` naming the offending topology family
+when handed a fat-tree or mesh config.
 """
 
 from __future__ import annotations
@@ -20,6 +25,22 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.topology.config import DragonflyConfig
+
+
+def _require_dragonfly(config, context: str) -> DragonflyConfig:
+    """Reject non-Dragonfly configs with the family named in the error."""
+    if isinstance(config, DragonflyConfig):
+        return config
+    from repro.topology.registry import family_of_config
+
+    try:
+        family = family_of_config(config).family
+    except ValueError:
+        family = type(config).__name__
+    raise ValueError(
+        f"{context} is a Dragonfly channel-load bound; it does not apply to "
+        f"the {family!r} topology family (got {config!r})"
+    )
 
 
 @dataclass(frozen=True)
@@ -48,6 +69,7 @@ def minimal_adv_bound(config: DragonflyConfig) -> ThroughputBounds:
     ``1 / (a*p)`` — 1/32 for the paper's 1,056-node system, 1/8 for the
     72-node reduced system.
     """
+    config = _require_dragonfly(config, "minimal_adv_bound")
     bound = 1.0 / (config.a * config.p)
     return ThroughputBounds("ADV+i", "MIN", bound, "single minimal global link")
 
@@ -59,6 +81,7 @@ def valiant_adv_bound(config: DragonflyConfig) -> ThroughputBounds:
     global bandwidth, giving at most 50% throughput when global links are the
     binding resource.
     """
+    _require_dragonfly(config, "valiant_adv_bound")
     return ThroughputBounds("ADV+i", "VAL", 0.5, "two global hops per packet")
 
 
@@ -71,6 +94,7 @@ def minimal_ur_global_bound(config: DragonflyConfig) -> ThroughputBounds:
     ``inter_group_fraction * (a*p) / (a*h)``; for a balanced Dragonfly
     (``a = 2p = 2h``) this is ≈1 and UR throughput approaches 100%.
     """
+    config = _require_dragonfly(config, "minimal_ur_global_bound")
     n = config.num_nodes
     inter_group_fraction = (n - config.a * config.p) / (n - 1)
     load_per_global = inter_group_fraction * (config.a * config.p) / (config.a * config.h)
@@ -89,6 +113,7 @@ def minimal_ur_local_bound(config: DragonflyConfig) -> ThroughputBounds:
     For a balanced Dragonfly this is also ≈1 at full load, which is why the
     paper's UR saturation sits near (but slightly below) 100%.
     """
+    config = _require_dragonfly(config, "minimal_ur_local_bound")
     n = config.num_nodes
     a, p = config.a, config.p
     same_router = (p - 1) / (n - 1)

@@ -93,6 +93,31 @@ def test_bad_config_string_errors():
         main(["run", "--config", "bogus", "--time-us", "5"])
 
 
+def test_run_on_other_topologies(capsys):
+    for topology, config in (("fattree", "tiny"), ("mesh", "4,4,1"),
+                             ("torus", "tiny")):
+        code = main([
+            "run", "--topology", topology, "--config", config,
+            "--routing", "MIN", "--pattern", "UR", "--load", "0.2",
+            "--time-us", "5",
+        ])
+        assert code == 0
+        assert "mean_latency_us" in capsys.readouterr().out
+
+
+def test_unknown_topology_errors():
+    with pytest.raises(SystemExit):
+        main(["run", "--topology", "hypercube", "--time-us", "5"])
+
+
+def test_list_topologies(capsys):
+    assert main(["list", "topologies"]) == 0
+    out = capsys.readouterr().out
+    for name in ("dragonfly", "fattree", "mesh", "torus"):
+        assert name in out
+    assert "dfly" in out  # aliases shown
+
+
 # --------------------------------------------------------------- study verbs
 def test_list_algorithms_and_patterns(capsys):
     assert main(["list", "algorithms"]) == 0

@@ -294,7 +294,7 @@ def test_spec_telemetry_canonicalised_and_serialized():
     spec = _telemetry_spec()
     assert spec.telemetry == ("source-latency", "link-util", "q-convergence")
     data = spec.to_dict()
-    assert data["schema"] == 3
+    assert data["schema"] == 4
     assert data["telemetry"] == ["source-latency", "link-util", "q-convergence"]
     assert ExperimentSpec.from_dict(data) == spec
     with pytest.raises(ValueError, match="unknown telemetry probe"):
@@ -396,7 +396,7 @@ def test_report_max_rows_one_does_not_crash():
     assert "Q-convergence" in render_report(doc, max_rows=1)
 
 
-def test_study_documents_written_at_schema_3_and_v2_still_loads():
+def test_study_documents_written_at_schema_4_and_v2_still_loads():
     from repro.scenarios.study import Scenario, Study
 
     study = Study(
@@ -405,7 +405,7 @@ def test_study_documents_written_at_schema_3_and_v2_still_loads():
         scenarios=[Scenario(name="s", loads=(0.3,))],
     )
     data = study.to_dict()
-    assert data["schema"] == 3 and data["telemetry"] == ["link-util"]
+    assert data["schema"] == 4 and data["telemetry"] == ["link-util"]
     assert Study.from_dict(data).to_dict() == data
     # A pre-telemetry (v2) document reads unchanged with no probes attached.
     v2 = {k: v for k, v in data.items() if k != "telemetry"}

@@ -11,7 +11,6 @@ def _make_packet(**overrides):
         src_router=0,
         dst_router=5,
         src_group=0,
-        dst_group=1,
         src_node_local=0,
         size_bytes=128,
         create_time_ns=100.0,
@@ -25,8 +24,8 @@ def test_packet_initial_state():
     assert packet.hops == 0
     assert packet.latency_ns is None
     assert not packet.delivered
-    assert packet.imd_group == -1 and packet.imd_router == -1
-    assert not packet.nonminimal and not packet.intgrp_decided and not packet.par_reevaluated
+    assert packet.scratch is None
+    assert not packet.nonminimal
     assert packet.qfeedback is None
     assert packet.path is None
 
@@ -46,6 +45,12 @@ def test_packet_slots_prevent_arbitrary_attributes():
         pass
     else:  # pragma: no cover
         raise AssertionError("__slots__ should prevent new attributes")
+
+
+def test_scratch_slot_holds_algorithm_state():
+    packet = _make_packet()
+    packet.scratch = [7, False]
+    assert packet.scratch == [7, False]
 
 
 def test_repr_mentions_endpoints():

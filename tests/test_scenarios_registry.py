@@ -128,7 +128,7 @@ def test_available_algorithms_includes_learned_without_prior_build():
         env=env,
     )
     assert proc.stdout.strip() == (
-        "MIN,PAR,Q-adp,Q-routing,UGALg,UGALn,VALg,VALn"
+        "MIN,PAR,Q-adp,Q-routing,UGALg,UGALn,VAL,VALg,VALn"
     )
 
 

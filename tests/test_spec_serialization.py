@@ -98,7 +98,7 @@ def test_spec_round_trip_with_schedule():
 def test_spec_dict_is_json_ready_and_versioned():
     spec = _spec(routing_kwargs={"max_q": 3}, routing="Q-routing")
     data = spec.to_dict()
-    assert data["schema"] == 3
+    assert data["schema"] == 4
     json.dumps(data)  # no custom types anywhere
 
 
@@ -190,7 +190,7 @@ def test_spec_validation_still_accepts_boundary_values():
 @pytest.mark.parametrize("study_name", [
     "fig5", "fig6", "fig7", "fig8", "fig9",
     "ablation-maxq", "ablation-hyperparams", "headline",
-    "transfer", "warm-fig5",
+    "transfer", "warm-fig5", "cross-topology",
 ])
 def test_every_figure_spec_round_trips_at_every_scale(scale_name, study_name):
     """ExperimentSpec.from_dict(spec.to_dict()) for the full paper grid."""

@@ -18,7 +18,7 @@ from repro.stats.report import comparison_table, format_series, format_table
 def _packet(pid=0, create=0.0, size=128, hops=3):
     packet = Packet(
         pid=pid, src_node=0, dst_node=1, src_router=0, dst_router=1, src_group=0,
-        dst_group=0, src_node_local=0, size_bytes=size, create_time_ns=create,
+        src_node_local=0, size_bytes=size, create_time_ns=create,
     )
     packet.hops = hops
     return packet
