@@ -26,8 +26,8 @@ def test_figure6_tail_latency(benchmark, run_once, scale, runner):
             per_algorithm, ["mean", "median", "p95", "p99", "fraction_below_2us"]
         ))
 
-    for pattern, per_algorithm in data.items():
-        for algorithm, row in per_algorithm.items():
+    for per_algorithm in data.values():
+        for row in per_algorithm.values():
             if math.isnan(row["mean"]):
                 continue
             assert row["mean"] <= row["p95"] <= row["p99"] <= row["max"] + 1e-9

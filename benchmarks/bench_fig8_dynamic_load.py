@@ -31,8 +31,8 @@ def test_figure8_dynamic_load(benchmark, run_once, scale, runner):
         values = curve["throughput"]
         assert len(times) == len(values) > 0
         step_time = curve["step_time_us"]
-        before = [v for t, v in zip(times, values) if t < step_time][1:]
-        after = [v for t, v in zip(times, values) if t > step_time][1:]
+        before = [v for t, v in zip(times, values, strict=True) if t < step_time][1:]
+        after = [v for t, v in zip(times, values, strict=True) if t > step_time][1:]
         if not before or not after:
             continue
         # throughput must track the direction of the load change

@@ -38,9 +38,9 @@ def test_figure9_scaleup(benchmark, run_once, scale, runner):
         print(comparison_table(per_algorithm, ["mean", "p95", "p99", "mean_hops", "throughput"]))
 
     assert set(data) == set(ALL_PATTERNS)
-    for pattern, per_algorithm in data.items():
+    for per_algorithm in data.values():
         assert set(per_algorithm) == set(algorithms)
-        for algorithm, row in per_algorithm.items():
+        for row in per_algorithm.values():
             if not math.isnan(row["mean"]):
                 assert row["mean"] <= row["p99"] + 1e-9
     # Under adversarial traffic minimal routing must not win; under the

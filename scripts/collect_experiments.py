@@ -48,7 +48,7 @@ def main() -> None:
         progress=print_progress,
     )
     rows = []
-    for point, result in study.run(runner):
+    for _point, result in study.run(runner):
         row = result.summary_row()
         row["wall_s"] = round(result.wall_time_s, 1)
         rows.append(row)

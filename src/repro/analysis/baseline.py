@@ -1,0 +1,145 @@
+"""Committed JSON baseline: park legacy findings without turning the gate off.
+
+A baseline lets ``repro-sim check`` land *gating* on a codebase that still
+has known findings: existing ones are recorded (each with a human-written
+justification), new ones fail the build, and entries whose finding disappears
+become *stale* and are reported so the file shrinks monotonically.
+
+Entries are keyed by :attr:`repro.analysis.core.Finding.key`
+(``rule::path::message``) — deliberately line-number-insensitive, so
+unrelated edits that shift a legacy finding by a few lines do not break the
+match.
+
+File format (``analysis-baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "D104", "path": "src/repro/x.py",
+         "message": "...", "justification": "why this one is acceptable"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+#: justification stamped on entries written by ``--write-baseline``; the
+#: check refuses to pass while any entry still carries it verbatim.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One parked finding plus the reason it is allowed to stay."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """An ordered set of :class:`BaselineEntry`, loaded from / saved to JSON."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: Dict[str, BaselineEntry] = {}
+        for entry in entries:
+            self.entries[entry.key] = entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: not a v{BASELINE_VERSION} analysis baseline"
+            )
+        entries = []
+        for raw in data.get("entries", []):
+            entries.append(BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                justification=str(raw.get("justification", "")),
+            ))
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        data = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries.values(),
+                                    key=lambda e: (e.path, e.rule, e.message))
+            ],
+        }
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      justification: str = PLACEHOLDER_JUSTIFICATION) -> "Baseline":
+        return cls([
+            BaselineEntry(rule=f.rule, path=f.path, message=f.message,
+                          justification=justification)
+            for f in findings
+        ])
+
+    def unjustified(self) -> List[BaselineEntry]:
+        """Entries with an empty or placeholder justification (not allowed to gate)."""
+        return [
+            entry
+            for entry in sorted(self.entries.values(),
+                                key=lambda e: (e.path, e.rule, e.message))
+            if not entry.justification.strip()
+            or entry.justification.strip() == PLACEHOLDER_JUSTIFICATION
+        ]
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline,
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings into (new, baselined) and report stale baseline entries.
+
+    Stale entries — baseline lines whose finding no longer occurs — are
+    returned so they can be flagged for removal: the baseline only ever
+    shrinks.
+    """
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    seen_keys = set()
+    for finding in findings:
+        seen_keys.add(finding.key)
+        (matched if finding.key in baseline else new).append(finding)
+    stale = [
+        entry
+        for key, entry in sorted(baseline.entries.items())
+        if key not in seen_keys
+    ]
+    return new, matched, stale

@@ -1,0 +1,223 @@
+"""H rules: the monomorphic per-event hot path must stay monomorphic.
+
+PR 3 rewrote the simulator core around a small set of per-event/per-flit
+functions (one C-level heap compare per event, flattened per-port arrays,
+no Python frames beyond the callback itself), and PR 5's probe bus was
+engineered so that telemetry costs one ``None`` check when nobody listens.
+These wins disappear one innocent-looking edit at a time; the rules below
+mechanically reject the edits that have historically cost the most:
+
+====== ====================================================================
+H201   no ``try/except`` inside a hot function (``try/finally`` is allowed —
+       ``Simulator.run`` needs its re-entrancy latch)
+H202   no closures or lambdas defined inside a hot function (per-call
+       allocation + cell-variable indirection)
+H203   no ``**kwargs`` parameters or ``**`` call-unpacking in a hot function
+H204   no ``print``/``logging`` calls in a hot function
+H205   every probe-bus publish (``self._ev_*(...)``) anywhere in simulation
+       code must be guarded by an ``is not None`` check on the same emitter
+====== ====================================================================
+
+The hot list (:data:`HOT_FUNCTIONS`) is the PR-3/PR-5 inventory: the
+simulator run loop and schedulers, event-queue push/pop, the router
+route/forward/serve path, the NIC inject/receive path, packet creation, and
+the traffic generator's per-packet driving loop.  Extend it when new code
+joins the per-event path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    RULE_REGISTRY,
+    SourceModule,
+    dotted_name,
+    parent_map,
+    rule,
+)
+
+#: module -> qualified function names on the per-event hot path.
+HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
+    "repro.engine.simulator": frozenset({
+        "Simulator.run", "Simulator.at", "Simulator.after", "Simulator.step",
+    }),
+    "repro.engine.events": frozenset({
+        "EventQueue.push", "EventQueue.pop", "EventQueue.peek_time", "Event.cancel",
+    }),
+    "repro.network.router": frozenset({
+        "Router.receive_packet", "Router.credit_return", "Router._route_head",
+        "Router._forward", "Router._serve_waiting",
+    }),
+    "repro.network.nic": frozenset({
+        "Nic.inject", "Nic._try_inject", "Nic.receive_packet", "Nic.credit_return",
+    }),
+    "repro.network.network": frozenset({"Network.create_packet"}),
+    "repro.traffic.generator": frozenset({
+        "TrafficGenerator._generate", "TrafficGenerator._schedule_next",
+    }),
+}
+
+#: packages where every ``self._ev_*`` publish must be None-guarded.
+PUBLISH_SCOPE = ("repro.engine", "repro.network", "repro.core", "repro.traffic")
+
+
+def _hot_functions(module: SourceModule) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Yield ``(qualname, node)`` of this module's hot-listed functions."""
+    wanted = HOT_FUNCTIONS.get(module.module)
+    if not wanted:
+        return
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, ast.FunctionDef):
+                    qualname = f"{node.name}.{child.name}"
+                    if qualname in wanted:
+                        yield qualname, child
+        elif isinstance(node, ast.FunctionDef) and node.name in wanted:
+            yield node.name, node
+
+
+@rule("H201", "hot-path-try-except", "error",
+      "no try/except in hot functions (exception tables cost per call)")
+def check_try_except(project: Project) -> Iterator[Finding]:
+    rule_obj = RULE_REGISTRY["H201"]
+    for module in project.modules:
+        for qualname, func in _hot_functions(module):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Try) and node.handlers:
+                    yield module.finding(
+                        rule_obj, node,
+                        f"try/except inside hot function {qualname}; raise the "
+                        "check out of the per-event path (try/finally alone is "
+                        "tolerated for the run loop's re-entrancy latch)",
+                    )
+
+
+@rule("H202", "hot-path-closure", "error",
+      "no closures/lambdas in hot functions (per-call allocation)")
+def check_closures(project: Project) -> Iterator[Finding]:
+    rule_obj = RULE_REGISTRY["H202"]
+    for module in project.modules:
+        for qualname, func in _hot_functions(module):
+            for node in ast.walk(func):
+                if node is func:
+                    continue
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    kind = "lambda" if isinstance(node, ast.Lambda) else "nested function"
+                    yield module.finding(
+                        rule_obj, node,
+                        f"{kind} defined inside hot function {qualname}: every "
+                        "call allocates a fresh function object; hoist it to a "
+                        "bound method or precomputed callback",
+                    )
+
+
+@rule("H203", "hot-path-kwargs", "error",
+      "no **kwargs parameters or ** call-unpacking in hot functions")
+def check_kwargs(project: Project) -> Iterator[Finding]:
+    rule_obj = RULE_REGISTRY["H203"]
+    for module in project.modules:
+        for qualname, func in _hot_functions(module):
+            if func.args.kwarg is not None:
+                yield module.finding(
+                    rule_obj, func,
+                    f"hot function {qualname} takes **{func.args.kwarg.arg}: "
+                    "keyword dict construction on the per-event path; use "
+                    "positional parameters",
+                )
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call) and any(
+                    kw.arg is None for kw in node.keywords
+                ):
+                    yield module.finding(
+                        rule_obj, node,
+                        f"**-unpacking call inside hot function {qualname}: "
+                        "builds a dict per event; pass arguments positionally",
+                    )
+
+
+_LOG_CALL_ROOTS = ("logging", "logger", "log")
+
+
+@rule("H204", "hot-path-logging", "error",
+      "no print/logging in hot functions (formatting + I/O per event)")
+def check_logging(project: Project) -> Iterator[Finding]:
+    rule_obj = RULE_REGISTRY["H204"]
+    for module in project.modules:
+        for qualname, func in _hot_functions(module):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                root = name.split(".")[0]
+                if name == "print" or root in _LOG_CALL_ROOTS:
+                    yield module.finding(
+                        rule_obj, node,
+                        f"{name}() inside hot function {qualname}: formatting "
+                        "and I/O per event; record counters and report after "
+                        "the run (or publish through a probe)",
+                    )
+
+
+def _is_not_none_guard_for(test: ast.expr, target_dump: str) -> bool:
+    """Whether ``test`` contains ``<target> is not None`` for this emitter."""
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Compare):
+            continue
+        if (len(node.ops) == 1 and isinstance(node.ops[0], ast.IsNot)
+                and isinstance(node.comparators[0], ast.Constant)
+                and node.comparators[0].value is None
+                and ast.dump(node.left) == target_dump):
+            return True
+    return False
+
+
+@rule("H205", "unguarded-probe-publish", "error",
+      "probe-bus publishes must be guarded: `if <emitter> is not None:`")
+def check_probe_publish(project: Project) -> Iterator[Finding]:
+    rule_obj = RULE_REGISTRY["H205"]
+    for module in project.modules:
+        if not module.module.startswith(PUBLISH_SCOPE):
+            continue
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            parents = parent_map(func)
+            # Local aliases of emitter slots: ``ev = self._ev_delivery``.
+            aliases = set()
+            for node in ast.walk(func):
+                if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and isinstance(node.value, ast.Attribute)
+                        and node.value.attr.startswith("_ev_")):
+                    aliases.add(node.targets[0].id)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                is_emitter = (
+                    isinstance(callee, ast.Attribute) and callee.attr.startswith("_ev_")
+                ) or (isinstance(callee, ast.Name) and callee.id in aliases)
+                if not is_emitter:
+                    continue
+                target_dump = ast.dump(callee)
+                guarded = any(
+                    isinstance(ancestor, ast.If)
+                    and _is_not_none_guard_for(ancestor.test, target_dump)
+                    for ancestor in parents.ancestors(node)
+                )
+                if not guarded:
+                    name = dotted_name(callee) or "<emitter>"
+                    yield module.finding(
+                        rule_obj, node,
+                        f"unguarded probe publish {name}(...): emitter slots are "
+                        "None on the probes-off fast path — wrap in "
+                        f"`if {name} is not None:` (one attribute check, "
+                        "monomorphic when a single probe listens)",
+                    )

@@ -69,8 +69,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence
 
+from repro.analysis import runner as analysis_runner
 from repro.experiments import (
     ExperimentSpec,
     SweepRunner,
@@ -97,6 +98,9 @@ from repro.stats.report import comparison_table, format_table, json_safe
 from repro.store import DEFAULT_STORE_DIR, resolve_store
 from repro.topology.registry import TOPOLOGIES, family_by_name
 from repro.traffic import PATTERN_REGISTRY
+
+if TYPE_CHECKING:
+    from repro.scenarios.registry import Registry
 
 FIGURES = {
     "table1": lambda scale, runner: table1_configurations(),
@@ -132,12 +136,12 @@ def _runner_from_args(args: argparse.Namespace) -> SweepRunner:
     return runner
 
 
-def _config_from_args(args: argparse.Namespace):
+def _config_from_args(args: argparse.Namespace) -> Any:
     """Resolve --topology/--config into a topology config object."""
     try:
         entry = family_by_name(getattr(args, "topology", "dragonfly"))
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     try:
         return entry.parse(args.config)
     except ValueError as exc:
@@ -166,7 +170,7 @@ def _resolve_warm_start(args: argparse.Namespace) -> str:
     try:
         return str(resolve_store(args.store).load(args.warm_start).path)
     except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -177,11 +181,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             spec = spec.with_overrides(telemetry=tuple(args.telemetry))
         except ValueError as exc:
-            raise SystemExit(str(exc))
+            raise SystemExit(str(exc)) from None
     try:
         result = run_experiment(spec, save_state=args.save_state, store=args.store)
     except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     row = result.summary_row()
     if args.json:
         payload = dict(row)
@@ -215,7 +219,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         trained = train_experiment(spec, args.store, name=args.tag,
                                    reuse=not args.retrain)
     except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     payload = {
         "checkpoint_id": trained.checkpoint.checkpoint_id,
         "path": str(trained.checkpoint.path),
@@ -252,7 +256,7 @@ def _cmd_checkpoint_show(args: argparse.Namespace) -> int:
     try:
         checkpoint = resolve_store(args.store).load(args.ref)
     except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     print(json.dumps(checkpoint.manifest.to_dict(), indent=2))
     return 0
 
@@ -271,7 +275,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = runner.run(specs)
     rows = {
         routing: result.summary_row()
-        for routing, result in zip(args.routing, results)
+        for routing, result in zip(args.routing, results, strict=True)
     }
     print(comparison_table(
         rows, ["mean_latency_us", "p99_latency_us", "throughput", "mean_hops"]
@@ -288,12 +292,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _study_from_args(args: argparse.Namespace):
+def _study_from_args(args: argparse.Namespace) -> Any:
     scale = scale_by_name(args.scale) if args.scale else None
     try:
         return load_study(args.target, scale)
     except (ValueError, RuntimeError, OSError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_study_run(args: argparse.Namespace) -> int:
@@ -302,7 +306,7 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     try:
         result = study.run(runner, store=args.store)
     except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     rows = result.rows()
     payload = {
         "study": study.name,
@@ -338,7 +342,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     try:
         doc = load_result_document(args.result)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     if args.export:
         payload = export_payload(doc, max_rows=args.max_rows)
         text = json.dumps(payload, indent=2)
@@ -365,7 +369,7 @@ def _cmd_study_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _registry_extras(registry, row) -> str:
+def _registry_extras(registry: "Registry", row: Mapping[str, Any]) -> str:
     """Alias and keyword-argument suffix of one `list` output line."""
     parts = []
     if row.get("aliases"):
@@ -574,6 +578,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("algorithms", "patterns", "scales", "studies",
                                  "probes", "topologies"))
     list_p.set_defaults(func=_cmd_list)
+
+    check_p = sub.add_parser(
+        "check", help="run the repo's domain-specific static analysis "
+                      "(determinism, hot-path, serialization, registry rules)")
+    analysis_runner.add_arguments(check_p)
     return parser
 
 

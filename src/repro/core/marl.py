@@ -172,7 +172,7 @@ class TabularMarlRouting(RoutingAlgorithm):
     def unfreeze(self) -> None:
         self.learning_enabled = True
 
-    def table_snapshot(self, router_id: Optional[int] = None):
+    def table_snapshot(self, router_id: Optional[int] = None) -> Any:
         """Copy of one router's table, or the mean Q-value per router when ``None``."""
         if router_id is not None:
             return self.tables[router_id].snapshot()
@@ -267,7 +267,8 @@ class TabularMarlRouting(RoutingAlgorithm):
         table_version = state.get("table_version", TABLE_STATE_VERSION)
         table_kind = state.get("table_kind")
         first_port = state.get("first_port", self.tables[0].first_port)
-        for table, table_values, table_updates in zip(self.tables, values, updates):
+        for table, table_values, table_updates in zip(self.tables, values, updates,
+                                                       strict=True):
             table.load_state({
                 "version": table_version,
                 "kind": table_kind,

@@ -13,7 +13,10 @@ Two ingredients (Section 4, Equation 2 and the flow chart of Figure 4):
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+if TYPE_CHECKING:  # typing only: sim code draws via RngFactory streams
+    import random
 
 
 def delta_v(q_min_path: float, q_best_path: float) -> float:
@@ -46,7 +49,8 @@ def select_with_threshold(
     return best_path_port, advantage
 
 
-def epsilon_greedy(rng, chosen_port: int, candidate_ports: Sequence[int], epsilon: float) -> int:
+def epsilon_greedy(rng: "random.Random", chosen_port: int,
+                   candidate_ports: Sequence[int], epsilon: float) -> int:
     """With probability ``epsilon`` return a random candidate, else ``chosen_port``."""
     if epsilon > 0.0 and candidate_ports and rng.random() < epsilon:
         return candidate_ports[rng.randrange(len(candidate_ports))]

@@ -79,6 +79,8 @@ class QRoutingAlgorithm(TabularMarlRouting):
     """Q-routing with the naive ``maxQ`` hop threshold (the paper's baseline)."""
 
     name = "Q-routing"
+    #: topology-generic: learns per-port Q-values over any family's ports.
+    supported_topologies = None
 
     def __init__(self, params: Optional[QRoutingParams] = None, **overrides) -> None:
         if params is None:

@@ -79,7 +79,7 @@ _FIGURE_EXPORTS = frozenset((
 ))
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _FIGURE_EXPORTS:
         from repro.experiments import figures
 
@@ -87,5 +87,5 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def __dir__():
+def __dir__() -> list:
     return sorted(set(globals()) | _FIGURE_EXPORTS)

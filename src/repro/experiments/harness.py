@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +41,13 @@ from repro.traffic import (
     canonical_pattern_name,
     make_pattern,
 )
+
+if TYPE_CHECKING:  # runtime imports stay local: the store imports spec types
+    from repro.experiments.parallel import SweepRunner
+    from repro.store import ArtifactStore
+
+#: anything :func:`repro.store.resolve_store` accepts.
+StoreLike = Union[None, str, "os.PathLike[str]", "ArtifactStore"]
 
 
 @dataclass
@@ -410,7 +417,7 @@ def run_experiment(
     spec: ExperimentSpec,
     *,
     save_state: Optional[str] = None,
-    store=None,
+    store: StoreLike = None,
 ) -> ExperimentResult:
     """Run one experiment to completion and collect its results.
 
@@ -463,7 +470,7 @@ class TrainResult:
 
 def train_experiment(
     spec: ExperimentSpec,
-    store=None,
+    store: StoreLike = None,
     *,
     name: Optional[str] = None,
     reuse: bool = True,
@@ -519,7 +526,7 @@ def train_experiment(
 
 
 def run_load_sweep(
-    config,
+    config: object,
     algorithms: Sequence[str],
     pattern: str,
     loads: Sequence[float],
@@ -528,12 +535,12 @@ def run_load_sweep(
     seed: int = 1,
     routing_kwargs: Optional[Dict[str, Dict]] = None,
     network_params: Optional[NetworkParams] = None,
-    runner=None,
+    runner: Optional["SweepRunner"] = None,
     train_once: bool = False,
     train_ns: Optional[float] = None,
     train_load: Optional[float] = None,
     eval_warmup_ns: Optional[float] = None,
-    store=None,
+    store: StoreLike = None,
 ) -> Dict[str, List[ExperimentResult]]:
     """Sweep offered load for several algorithms under one traffic pattern.
 

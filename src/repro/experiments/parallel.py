@@ -32,6 +32,7 @@ is unchanged.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
@@ -41,7 +42,7 @@ import sys
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TextIO, Tuple
 
 import numpy as np
 
@@ -76,7 +77,7 @@ def derive_run_seed(base_seed: int, run_index: int) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
-def _json_default(value):
+def _json_default(value: object) -> object:
     """Reduce the few non-JSON scalars a spec may carry (numpy numbers)."""
     if isinstance(value, (np.floating, np.integer)):
         return value.item()
@@ -218,10 +219,8 @@ class ResultCache:
 
     @staticmethod
     def _discard(path: Path) -> None:
-        try:
+        with contextlib.suppress(OSError):
             path.unlink()
-        except OSError:
-            pass
 
     def __len__(self) -> int:
         return len(list(self.directory.glob("*.pkl"))) if self.directory.is_dir() else 0
@@ -246,7 +245,7 @@ class RunProgress:
     wall_time_s: float
 
 
-def print_progress(update: RunProgress, stream=None) -> None:
+def print_progress(update: RunProgress, stream: Optional[TextIO] = None) -> None:
     """Default progress sink: one line per completed run on stderr."""
     stream = stream or sys.stderr
     source = "cache" if update.cached else f"{update.wall_time_s:.1f}s"
@@ -349,7 +348,9 @@ class SweepRunner:
         if self.progress is not None:
             self.progress(RunProgress(done, total, spec, cached, wall_time_s))
 
-    def _execute(self, pending: Sequence[Tuple[int, ExperimentSpec]]):
+    def _execute(
+        self, pending: Sequence[Tuple[int, ExperimentSpec]],
+    ) -> Iterator[Tuple[int, ExperimentResultData]]:
         """Yield ``(index, ExperimentResultData)`` as runs finish."""
         if not pending:
             return
@@ -385,7 +386,8 @@ def default_runner(env: Optional[Dict[str, str]] = None) -> SweepRunner:
     try:
         workers = int(workers_raw)
     except ValueError:
-        raise ValueError(f"REPRO_WORKERS must be an integer, got {workers_raw!r}")
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer, got {workers_raw!r}") from None
     cache_raw = environment.get("REPRO_CACHE", "")
     cache_dir: Optional[Path]
     if not cache_raw or cache_raw == "0":

@@ -22,13 +22,17 @@ disk and export with ``repro-sim report``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.scenarios.registry import Registry
 from repro.stats.summary import summarize_latencies
 from repro.stats.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # typing only: probes bind late, after the network exists
+    from repro.network.network import Network
+    from repro.network.packet import Packet
 
 __all__ = [
     "PROBE_REGISTRY",
@@ -44,7 +48,7 @@ __all__ = [
 ]
 
 
-def jain_fairness_index(values) -> float:
+def jain_fairness_index(values: Sequence[float]) -> float:
     """Jain's fairness index ``(Σx)² / (n·Σx²)`` of a sample.
 
     1.0 means perfectly equal values; ``1/n`` means one value dominates.
@@ -113,7 +117,7 @@ class LinkUtilizationProbe(InstrumentProbe):
         self._link_kind: Optional[Dict[Tuple[int, int], str]] = None
         self._total_links: Optional[int] = None
 
-    def bind(self, network) -> None:
+    def bind(self, network: "Network") -> None:
         """Capture topology context for labels and normalization.
 
         Link kinds are keyed per ``(router, port)`` — on irregular families
@@ -253,7 +257,7 @@ class SourceLatencyProbe(InstrumentProbe):
     def subscriptions(self) -> Dict[str, Callable]:
         return {"packet_delivered": self.on_packet_delivered}
 
-    def on_packet_delivered(self, packet, now: float) -> None:
+    def on_packet_delivered(self, packet: "Packet", now: float) -> None:
         if now < self.warmup_ns:
             return
         self._latencies.setdefault(packet.src_group, []).append(

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.stats.report import format_table, json_safe
 
@@ -37,7 +37,7 @@ __all__ = [
 MAX_TABLE_ROWS = 8
 
 
-def load_result_document(path) -> Dict:
+def load_result_document(path: Union[str, Path]) -> Dict:
     """Read and validate a study-result document written with ``--out``.
 
     Raises :class:`ValueError` with an actionable message when the file is
@@ -123,7 +123,7 @@ def _convergence_rows(payload: Dict, limit: int) -> List[Dict]:
     times = series.get("times_ns", [])
     means = series.get("mean", [])
     counts = series.get("count", [])
-    bins = list(zip(times, means, counts))
+    bins = list(zip(times, means, counts))  # noqa: B905 -- missing series truncate
     if len(bins) > limit:  # evenly sample the trace, keeping first and last
         if limit <= 1:
             bins = bins[-1:]  # a single row: the trace's final state

@@ -9,15 +9,18 @@ buffering are modelled by the sender (router output port) and the receiver
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.topology.dragonfly import PortType
+
+if TYPE_CHECKING:
+    from repro.network.packet import Packet
 
 
 class Endpoint(Protocol):
     """Anything that can terminate a channel (routers and NICs)."""
 
-    def receive_packet(self, packet, port: int, vc: int) -> None:  # pragma: no cover
+    def receive_packet(self, packet: "Packet", port: int, vc: int) -> None:  # pragma: no cover
         ...
 
     def credit_return(self, port: int, vc: int) -> None:  # pragma: no cover
@@ -43,7 +46,8 @@ class Channel:
 
     __slots__ = ("endpoint", "remote_port", "latency_ns", "port_type")
 
-    def __init__(self, endpoint, remote_port: int, latency_ns: float, port_type: PortType):
+    def __init__(self, endpoint: Endpoint, remote_port: int,
+                 latency_ns: float, port_type: PortType) -> None:
         self.endpoint = endpoint
         self.remote_port = remote_port
         self.latency_ns = latency_ns

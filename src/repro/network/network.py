@@ -22,7 +22,10 @@ Typical use (see ``examples/quickstart.py``)::
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # typing only: repro.routing imports the network layer
+    from repro.routing.base import RoutingAlgorithm
 
 from repro.engine.rng import RngFactory
 from repro.engine.simulator import Simulator
@@ -66,8 +69,8 @@ class Network:
 
     def __init__(
         self,
-        config,
-        routing,
+        config: object,
+        routing: "RoutingAlgorithm",
         params: Optional[NetworkParams] = None,
         seed: int = 0,
         warmup_ns: float = 0.0,

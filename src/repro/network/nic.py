@@ -11,12 +11,15 @@ setup used by the paper).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.network.credits import OutputCredits
 from repro.network.link import Channel
 from repro.network.packet import Packet
 from repro.network.params import NetworkParams
+
+if TYPE_CHECKING:  # typing only: the network wires NICs to the simulator
+    from repro.engine.simulator import Simulator
 
 
 class Nic:
@@ -47,7 +50,7 @@ class Nic:
         "_ev_delivery",
     )
 
-    def __init__(self, node: int, params: NetworkParams, sim) -> None:
+    def __init__(self, node: int, params: NetworkParams, sim: Simulator) -> None:
         self.node = node
         self.params = params
         self.sim = sim

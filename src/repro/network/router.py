@@ -32,13 +32,17 @@ deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from repro.network.credits import OutputCredits
 from repro.network.link import Channel
 from repro.network.packet import Packet
 from repro.network.params import NetworkParams
 from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # typing only: routing attaches after construction
+    from repro.engine.simulator import Simulator
+    from repro.routing.base import RoutingAlgorithm
 
 
 class Router:
@@ -82,7 +86,7 @@ class Router:
         router_id: int,
         topo: Topology,
         params: NetworkParams,
-        sim,
+        sim: Simulator,
         num_vcs: int,
     ) -> None:
         self.id = router_id
@@ -147,7 +151,7 @@ class Router:
         self._cred_cap[port] = downstream_credits.capacity
         self._hop_delay[port] = self.serialization_ns + channel.latency_ns
 
-    def attach_routing(self, routing) -> None:
+    def attach_routing(self, routing: "RoutingAlgorithm") -> None:
         self.routing = routing
 
     # -------------------------------------------------------------- reception

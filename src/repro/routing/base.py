@@ -22,11 +22,16 @@ nonsense routes.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.network.packet import Packet
 from repro.network.router import Router
 from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # typing only: the network constructs and attaches us
+    import random
+
+    from repro.network.network import Network
 
 
 @runtime_checkable
@@ -68,12 +73,12 @@ class RoutingAlgorithm(abc.ABC):
     supported_topologies: Optional[Tuple[str, ...]] = None
 
     def __init__(self) -> None:
-        self.network = None
+        self.network: Optional["Network"] = None
         self.topo: Optional[Topology] = None
-        self.rng = None
+        self.rng: Optional["random.Random"] = None
 
     # ----------------------------------------------------------------- wiring
-    def attach(self, network) -> None:
+    def attach(self, network: "Network") -> None:
         """Bind the algorithm to a network (called by ``Network``)."""
         if self.network is not None and self.network is not network:
             raise RuntimeError(

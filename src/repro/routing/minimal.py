@@ -21,6 +21,8 @@ class MinimalRouting(RoutingAlgorithm):
     """Deterministic minimal-path routing (the paper's "MIN")."""
 
     name = "MIN"
+    #: topology-generic: routes along whatever min_next_hop the family provides.
+    supported_topologies = None
 
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
         return self._min_next(router.id, packet.dst_router)

@@ -25,6 +25,8 @@ additionally uses ``scratch = False`` to mark "re-evaluated, still minimal".
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.network.packet import Packet
 from repro.network.router import Router
 from repro.routing.base import RoutingAlgorithm
@@ -56,8 +58,13 @@ class _UgalBase(RoutingAlgorithm):
             raise ValueError("candidate target equals the current router")
         return self._min_next(router.id, target_router)
 
-    def _sample_nonminimal(self, router: Router, packet: Packet):
-        """Sample a non-minimal candidate; returns (first_port, hops, imd_router, imd_group)."""
+    def _sample_nonminimal(
+        self, router: Router, packet: Packet,
+    ) -> Tuple[int, int, int, int]:
+        """Sample a non-minimal candidate; returns (first_port, hops, imd_router, imd_group).
+
+        ``imd_router`` is ``-1`` for UGALg's group-level detours.
+        """
         topo = self.topo
         dst_group = self._router_group[packet.dst_router]
         if self.node_valiant:
@@ -76,7 +83,10 @@ class _UgalBase(RoutingAlgorithm):
             entry_router, packet.dst_router
         )
         direct = topo.global_port_to_group(router.id, imd_group)
-        port = direct if direct is not None else self._first_hop_towards_router(router, entry_router)
+        if direct is not None:
+            port = direct
+        else:
+            port = self._first_hop_towards_router(router, entry_router)
         return port, hops, -1, imd_group
 
     def _adaptive_choice(self, router: Router, packet: Packet) -> bool:

@@ -23,13 +23,20 @@ state): VALg stores the intermediate group id, VALn and VAL store a
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.network.packet import Packet
 from repro.network.router import Router
 from repro.routing.base import RoutingAlgorithm
+from repro.topology.base import Topology
 from repro.topology.dragonfly import DragonflyTopology
 
+if TYPE_CHECKING:  # typing only: sim code draws via RngFactory streams
+    import random
 
-def choose_intermediate_group(rng, num_groups: int, src_group: int, dst_group: int) -> int:
+
+def choose_intermediate_group(rng: "random.Random", num_groups: int,
+                              src_group: int, dst_group: int) -> int:
     """Random group different from both the source and the destination group."""
     while True:
         group = rng.randrange(num_groups)
@@ -37,7 +44,8 @@ def choose_intermediate_group(rng, num_groups: int, src_group: int, dst_group: i
             return group
 
 
-def choose_intermediate_router(rng, topo: DragonflyTopology, src_group: int, dst_group: int) -> int:
+def choose_intermediate_router(rng: "random.Random", topo: DragonflyTopology,
+                               src_group: int, dst_group: int) -> int:
     """Random router located in a random group other than source/destination."""
     group = choose_intermediate_group(rng, topo.g, src_group, dst_group)
     return group * topo.a + rng.randrange(topo.a)
@@ -122,8 +130,10 @@ class ValiantRouterRouting(RoutingAlgorithm):
     """
 
     name = "VAL"
+    #: topology-generic: only needs host_routers() and minimal next hops.
+    supported_topologies = None
 
-    def max_hops(self, topo) -> int:
+    def max_hops(self, topo: Topology) -> int:
         return 2 * topo.diameter
 
     def _setup(self) -> None:

@@ -53,7 +53,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -62,5 +62,5 @@ def __getattr__(name: str):
     return getattr(import_module(module_name), name)
 
 
-def __dir__():
+def __dir__() -> list:
     return sorted(set(globals()) | set(_LAZY))

@@ -15,7 +15,7 @@ and :func:`study_by_name` see user-registered studies too.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.experiments.presets import (
     PAPER_ALGORITHMS,
@@ -52,7 +52,10 @@ __all__ = [
 STUDIES = Registry("study")
 
 
-def register_study(name, builder=None, *, aliases=(), metadata=None, replace=False):
+def register_study(name: str, builder: Optional[Callable[..., Study]] = None, *,
+                   aliases: Sequence[str] = (),
+                   metadata: Optional[dict] = None,
+                   replace: bool = False) -> None:
     """Register a study builder (``builder(scale: ExperimentScale) -> Study``)."""
     STUDIES.register(name, builder, aliases=aliases, metadata=metadata,
                      replace=replace)

@@ -68,7 +68,7 @@ class RegistryEntry:
             self.factory = self.loader()  # type: ignore[misc]
         return self.factory
 
-    def keys(self) -> Tuple[str, ...]:
+    def lookup_keys(self) -> Tuple[str, ...]:
         """Every normalised key this entry answers to (canonical + aliases)."""
         return tuple(dict.fromkeys(
             normalize_key(name) for name in (self.canonical, *self.aliases)
@@ -112,7 +112,7 @@ class Registry:
             metadata=dict(metadata or {}),
             match=match,
         )
-        taken = [key for key in entry.keys() if key in self._alias_of]
+        taken = [key for key in entry.lookup_keys() if key in self._alias_of]
         if taken:
             if not replace:
                 owners = sorted({self._entries[self._alias_of[k]].canonical for k in taken})
@@ -124,7 +124,7 @@ class Registry:
                 self.unregister(self._entries[self._alias_of[key]].canonical)
         key = normalize_key(canonical)
         self._entries[key] = entry
-        for alias_key in entry.keys():
+        for alias_key in entry.lookup_keys():
             self._alias_of[alias_key] = key
         return entry
 
@@ -134,7 +134,7 @@ class Registry:
         if key is None:
             raise ValueError(self._unknown_message(name))
         entry = self._entries.pop(key)
-        for alias_key in entry.keys():
+        for alias_key in entry.lookup_keys():
             if self._alias_of.get(alias_key) == key:
                 del self._alias_of[alias_key]
 

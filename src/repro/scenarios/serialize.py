@@ -22,7 +22,7 @@ object instead of a bare dict.
 from __future__ import annotations
 
 from importlib import import_module
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import Any, Collection, Dict, Mapping, Sequence, Tuple, Union
 
 #: schema version of a serialized ExperimentSpec document.
 #: (2: added the optional ``warm_start`` checkpoint reference.
@@ -80,7 +80,8 @@ def check_keys(
         )
 
 
-def check_schema(data: Mapping[str, Any], expected, context: str) -> None:
+def check_schema(data: Mapping[str, Any],
+                 expected: Union[int, Collection[int]], context: str) -> None:
     """Validate the ``schema`` field of a top-level document.
 
     ``expected`` is either a single version or a sequence of readable

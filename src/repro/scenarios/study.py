@@ -29,6 +29,8 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
+    Any,
+    Callable,
     Dict,
     Iterator,
     List,
@@ -54,12 +56,14 @@ from repro.traffic import LoadSchedule, canonical_pattern_name
 if TYPE_CHECKING:  # imported lazily at runtime: the harness sits above this
     # module in the import graph (it pulls in repro.experiments.figures,
     # which reduces over the catalog, which is built from these classes).
-    from repro.experiments.harness import ExperimentResult, ExperimentSpec
+    from repro.experiments.harness import ExperimentResult, ExperimentSpec, StoreLike
+    from repro.experiments.parallel import SweepRunner
 
 __all__ = ["Scenario", "Study", "StudyPoint", "StudyResult", "TrainStage"]
 
 
-def _names_tuple(value: Union[str, Sequence[str]], canonical) -> Tuple[str, ...]:
+def _names_tuple(value: Union[str, Sequence[str]],
+                 canonical: Callable[[str], str]) -> Tuple[str, ...]:
     """Accept one name or a sequence; canonicalise each against a registry."""
     if isinstance(value, str):
         value = (value,)
@@ -406,12 +410,13 @@ class Study:
     def specs(self) -> List[ExperimentSpec]:
         return [point.spec for point in self.expand()]
 
-    def _effective(self, scenario: Scenario, name: str):
+    def _effective(self, scenario: Scenario, name: str) -> Any:
         value = getattr(scenario, name)
         return getattr(self, name) if value is None else value
 
     # -------------------------------------------------------------- execution
-    def run(self, runner=None, store=None) -> "StudyResult":
+    def run(self, runner: Optional["SweepRunner"] = None,
+            store: "StoreLike" = None) -> "StudyResult":
         """Execute every expanded spec through a sweep runner.
 
         ``runner=None`` honours the ``REPRO_WORKERS`` / ``REPRO_CACHE``
@@ -449,7 +454,7 @@ class Study:
         return StudyResult(study=self, points=points, results=results,
                            checkpoints=checkpoints)
 
-    def run_train_stage(self, store=None) -> Dict[str, str]:
+    def run_train_stage(self, store: "StoreLike" = None) -> Dict[str, str]:
         """Produce (or reuse) one checkpoint per trained routing.
 
         Returns ``{canonical routing name: checkpoint path}``.  Memoized
@@ -587,7 +592,7 @@ class Study:
         return cls(**kwargs)
 
     # ------------------------------------------------------------------ files
-    def save(self, path) -> Path:
+    def save(self, path: Union[str, Path]) -> Path:
         """Write the study as a scenario file (JSON, or YAML by extension)."""
         path = Path(path)
         if path.suffix.lower() in (".yaml", ".yml"):
@@ -599,7 +604,7 @@ class Study:
         return path
 
     @classmethod
-    def load(cls, path) -> "Study":
+    def load(cls, path: Union[str, Path]) -> "Study":
         """Read a scenario file written by :meth:`save` (or by hand)."""
         path = Path(path)
         text = path.read_text(encoding="utf-8")
@@ -614,7 +619,7 @@ class Study:
         return cls.from_dict(data)
 
 
-def _yaml_module():
+def _yaml_module() -> Any:
     try:
         import yaml
     except ImportError as exc:  # pragma: no cover - depends on environment
@@ -639,7 +644,7 @@ class StudyResult:
     checkpoints: Dict[str, str] = field(default_factory=dict)
 
     def __iter__(self) -> Iterator[Tuple[StudyPoint, ExperimentResult]]:
-        return iter(zip(self.points, self.results))
+        return iter(zip(self.points, self.results, strict=True))
 
     def __len__(self) -> int:
         return len(self.points)

@@ -11,7 +11,7 @@ import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 
-def json_safe(value):
+def json_safe(value: object) -> object:
     """Recursively replace non-finite floats with ``None`` for strict JSON.
 
     ``json.dump`` writes ``float("nan")`` as the bare token ``NaN`` (and the
@@ -62,7 +62,7 @@ def format_table(
 def format_series(label: str, xs: Iterable[float], ys: Iterable[float],
                   x_name: str = "x", y_name: str = "y") -> str:
     """Render one plotted series as ``label: (x, y) (x, y) ...`` pairs."""
-    pairs = ", ".join(f"({x:g}, {y:.4g})" for x, y in zip(xs, ys))
+    pairs = ", ".join(f"({x:g}, {y:.4g})" for x, y in zip(xs, ys, strict=True))
     return f"{label} [{x_name} -> {y_name}]: {pairs}"
 
 

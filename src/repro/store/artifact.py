@@ -31,14 +31,31 @@ import tempfile
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
 from repro.scenarios.serialize import check_keys, check_schema
 
+if TYPE_CHECKING:  # circular at runtime: routing/harness import the store
+    from repro.experiments.harness import ExperimentSpec
+    from repro.routing.base import RoutingAlgorithm
+
 #: schema version of a checkpoint manifest document.
 MANIFEST_SCHEMA_VERSION = 1
+
+#: manifest versions this build can read (contiguous from 1).
+MANIFEST_SCHEMA_COMPAT = (1,)
 
 #: default location of the on-disk checkpoint store, relative to the CWD
 #: (sibling of the experiment result cache).
@@ -112,7 +129,7 @@ class CheckpointManifest:
                       "created_at", "state_digest"),
             context="CheckpointManifest",
         )
-        check_schema(data, MANIFEST_SCHEMA_VERSION, "CheckpointManifest")
+        check_schema(data, MANIFEST_SCHEMA_COMPAT, "CheckpointManifest")
         return cls(
             checkpoint_id=data["checkpoint_id"],
             routing=data["routing"],
@@ -245,7 +262,7 @@ class Checkpoint:
                 f"across {what}"
             )
 
-    def apply(self, routing_algorithm) -> None:
+    def apply(self, routing_algorithm: "RoutingAlgorithm") -> None:
         """Load this checkpoint into an attached routing algorithm."""
         from repro.routing.base import is_checkpointable
 
@@ -331,7 +348,7 @@ class ArtifactStore:
         state: Mapping[str, Any],
         *,
         trained_sim_ns: float = 0.0,
-        spec=None,
+        spec: Optional["ExperimentSpec"] = None,
         spec_fingerprint: Optional[str] = None,
         name: Optional[str] = None,
     ) -> Checkpoint:
@@ -376,8 +393,10 @@ class ArtifactStore:
         )
         return Checkpoint.write(self.path_of(checkpoint_id), state, manifest)
 
-    def save_from(self, routing_algorithm, *, trained_sim_ns: float = 0.0,
-                  spec=None, name: Optional[str] = None) -> Checkpoint:
+    def save_from(self, routing_algorithm: "RoutingAlgorithm", *,
+                  trained_sim_ns: float = 0.0,
+                  spec: Optional["ExperimentSpec"] = None,
+                  name: Optional[str] = None) -> Checkpoint:
         """Convenience: export an attached algorithm's state and save it."""
         from repro.routing.base import is_checkpointable
 
@@ -409,7 +428,7 @@ class ArtifactStore:
         return (self.path_of(checkpoint_id) / _MANIFEST_NAME).is_file()
 
     # ---------------------------------------------------------------- queries
-    def _entries(self):
+    def _entries(self) -> Iterator[Path]:
         """Checkpoint directories of the store, in sorted order.
 
         Dot-prefixed entries are excluded: they are `Checkpoint.write`

@@ -129,7 +129,7 @@ def route_ports(topo: DragonflyTopology, router_path: List[int]) -> List[Tuple[i
     which depends on the destination node rather than the router path).
     """
     pairs: List[Tuple[int, int]] = []
-    for current, nxt in zip(router_path[:-1], router_path[1:]):
+    for current, nxt in zip(router_path[:-1], router_path[1:], strict=False):
         src_group = topo.group_of_router(current)
         dst_group = topo.group_of_router(nxt)
         if src_group == dst_group:
@@ -150,7 +150,7 @@ def path_time(topo: DragonflyTopology, router_path: List[int], timing: LinkTimin
     total = memo.get(key)
     if total is None:
         total = 0.0
-        for current, out_port in route_ports(topo, router_path):
+        for _current, out_port in route_ports(topo, router_path):
             total += timing.hop_time(topo.port_type(out_port))
         total += timing.hop_time(PortType.HOST)  # ejection to the destination node
         memo[key] = total

@@ -187,7 +187,7 @@ def _make_parser(
     field_names: Tuple[str, ...],
     build: Callable[..., Any],
 ) -> Callable[[str], Any]:
-    def parse(text: str):
+    def parse(text: str) -> Any:
         factory = presets.get(text.strip().lower())
         if factory is not None:
             return factory()

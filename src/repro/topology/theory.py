@@ -27,7 +27,7 @@ from typing import Dict
 from repro.topology.config import DragonflyConfig
 
 
-def _require_dragonfly(config, context: str) -> DragonflyConfig:
+def _require_dragonfly(config: object, context: str) -> DragonflyConfig:
     """Reject non-Dragonfly configs with the family named in the error."""
     if isinstance(config, DragonflyConfig):
         return config
@@ -44,7 +44,7 @@ def _require_dragonfly(config, context: str) -> DragonflyConfig:
 
 
 @dataclass(frozen=True)
-class ThroughputBounds:
+class ThroughputBounds:  # repro: ignore[S304] -- export-only report row, never reloaded
     """Upper bounds on sustainable offered load for one (pattern, routing) pair."""
 
     pattern: str

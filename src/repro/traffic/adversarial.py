@@ -19,6 +19,9 @@ from repro.traffic.base import TrafficPattern
 class AdversarialTraffic(TrafficPattern):
     """ADV+i: group ``G`` sends to random nodes of group ``(G + i) mod g``."""
 
+    #: family default; instances carry their concrete shift (``ADV+<i>``).
+    name = "ADV+1"
+
     def __init__(self, shift: int = 1) -> None:
         super().__init__()
         if shift < 1:

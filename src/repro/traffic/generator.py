@@ -15,7 +15,10 @@ reproduce the dynamic-load experiment of Figure 8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # typing only: the harness hands us the built network
+    from repro.network.network import Network
 
 from repro.traffic.base import TrafficPattern
 
@@ -40,7 +43,7 @@ class LoadPhase:
 class LoadSchedule:
     """Piecewise-constant offered load over time."""
 
-    def __init__(self, phases: Sequence[Tuple[float, float]]):
+    def __init__(self, phases: Sequence[Tuple[float, float]]) -> None:
         if not phases:
             raise ValueError("a load schedule needs at least one phase")
         ordered = sorted(phases, key=lambda item: item[0])
@@ -111,7 +114,7 @@ class TrafficGenerator:
 
     def __init__(
         self,
-        network,
+        network: "Network",
         pattern: TrafficPattern,
         offered_load: Optional[float] = None,
         schedule: Optional[LoadSchedule] = None,

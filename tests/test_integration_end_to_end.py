@@ -70,7 +70,7 @@ def test_paths_are_topologically_legal(algorithm):
         routers = [r for r in packet.path if r >= 0]
         assert routers[0] == probe_net.topo.router_of_node(packet.src_node)
         assert routers[-1] == probe_net.topo.router_of_node(packet.dst_node)
-        for current, nxt in zip(routers[:-1], routers[1:]):
+        for current, nxt in zip(routers[:-1], routers[1:], strict=False):
             assert any(
                 probe_net.topo.neighbor_of(current, port)[0] == nxt
                 for port in probe_net.topo.non_host_ports

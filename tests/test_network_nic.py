@@ -12,7 +12,7 @@ def test_injection_respects_serialization_rate():
     packets = [net.send(0, 2) for _ in range(4)]
     net.run()
     inject_times = sorted(p.inject_time_ns for p in packets)
-    gaps = [b - a for a, b in zip(inject_times, inject_times[1:])]
+    gaps = [b - a for a, b in zip(inject_times, inject_times[1:], strict=False)]
     assert all(gap >= net.params.serialization_ns - 1e-9 for gap in gaps)
     assert nic.injected_packets == 4
     assert nic.delivered_packets == 0  # deliveries land on the destination NIC

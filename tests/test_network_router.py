@@ -8,12 +8,11 @@ from repro.topology.config import DragonflyConfig
 
 def _loaded_network():
     """A tiny network with a burst of traffic through router 0."""
-    net = DragonflyNetwork(
+    return DragonflyNetwork(
         DragonflyConfig.tiny(),
         MinimalRouting(),
         params=NetworkParams(vc_buffer_packets=4),
     )
-    return net
 
 
 def test_port_congestion_zero_at_rest():

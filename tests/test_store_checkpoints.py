@@ -357,7 +357,7 @@ def test_run_load_sweep_cold_path_is_unchanged(tmp_path):
         TINY, ["MIN"], "UR", [0.2, 0.3],
         warmup_ns=2_000.0, measure_ns=2_000.0, seed=5,
     )
-    for result, load in zip(results["MIN"], [0.2, 0.3]):
+    for result, load in zip(results["MIN"], [0.2, 0.3], strict=True):
         assert result.spec.offered_load == load
         assert result.spec.warm_start is None
         assert result.spec.warmup_ns == 2_000.0
@@ -494,5 +494,5 @@ def test_warm_started_specs_run_on_worker_pools(tmp_path):
     ]
     serial = SweepRunner(workers=1).run(specs)
     parallel = SweepRunner(workers=2).run(specs)
-    for left, right in zip(serial, parallel):
+    for left, right in zip(serial, parallel, strict=True):
         assert left.summary_row() == right.summary_row()

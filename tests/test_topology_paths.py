@@ -20,7 +20,7 @@ TIMING = LinkTiming()  # paper defaults: 32 ns serialization, 30/300/10 ns laten
 
 
 def _hops_are_adjacent(topo, path):
-    for current, nxt in zip(path[:-1], path[1:]):
+    for current, nxt in zip(path[:-1], path[1:], strict=False):
         ports = [p for p in topo.non_host_ports if topo.neighbor_of(current, p)[0] == nxt]
         assert ports, f"{current} and {nxt} are not neighbours"
 
@@ -75,7 +75,7 @@ def test_route_ports_match_path(small_topo):
     path = minimal_route(small_topo, 0, small_topo.num_routers - 1)
     pairs = route_ports(small_topo, path)
     assert len(pairs) == len(path) - 1
-    for (router, port), nxt in zip(pairs, path[1:]):
+    for (router, port), nxt in zip(pairs, path[1:], strict=True):
         assert small_topo.neighbor_of(router, port)[0] == nxt
 
 

@@ -45,7 +45,8 @@ def test_neighbor_symmetry_everywhere(config):
 
 
 @settings(max_examples=25, deadline=None)
-@given(configs, st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=10_000))
+@given(configs, st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=0, max_value=10_000))
 def test_minimal_paths_respect_diameter_and_connectivity(config, src_raw, dst_raw):
     topo = DragonflyTopology(config)
     src = src_raw % topo.num_routers
@@ -53,7 +54,7 @@ def test_minimal_paths_respect_diameter_and_connectivity(config, src_raw, dst_ra
     path = minimal_route(topo, src, dst)
     assert path[0] == src and path[-1] == dst
     assert len(path) - 1 == topo.minimal_hops(src, dst) <= 3
-    for current, nxt in zip(path[:-1], path[1:]):
+    for current, nxt in zip(path[:-1], path[1:], strict=False):
         assert any(
             topo.neighbor_of(current, port)[0] == nxt for port in topo.non_host_ports
         )
