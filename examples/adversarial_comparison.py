@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import DragonflyConfig, DragonflyNetwork
+from repro import DragonflyConfig, Network
 from repro.routing import make_routing
 from repro.stats.report import comparison_table
 from repro.traffic import TrafficGenerator, make_pattern
@@ -29,7 +29,7 @@ def simulate(algorithm: str, pattern_name: str, offered_load: float, sim_time_us
     config = DragonflyConfig.small_72()
     sim_time_ns = sim_time_us * 1_000.0
     # Q-adaptive needs time to learn; measure the final third of the run.
-    network = DragonflyNetwork(
+    network = Network(
         config, make_routing(algorithm), seed=seed, warmup_ns=sim_time_ns * 2 / 3
     )
     generator = TrafficGenerator(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import DragonflyConfig, DragonflyNetwork
+from repro import DragonflyConfig, Network
 from repro.routing import make_routing
 from repro.stats.report import comparison_table
 from repro.traffic import TrafficGenerator, UniformRandomTraffic
@@ -23,7 +23,7 @@ def simulate(algorithm: str, offered_load: float, sim_time_us: float, seed: int 
     """Run one algorithm under uniform random traffic and return its metrics."""
     config = DragonflyConfig.small_72()
     sim_time_ns = sim_time_us * 1_000.0
-    network = DragonflyNetwork(
+    network = Network(
         config,
         make_routing(algorithm),
         seed=seed,

@@ -30,7 +30,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
                                 "benchmarks"))
 from conftest import bench_scale  # noqa: E402
 
-from repro.experiments import SweepRunner, figure5_sweep, run_load_sweep  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    RunOptions,
+    SweepRunner,
+    figure5_sweep,
+    run_load_sweep,
+)
 
 ALGORITHMS = ("MIN", "VALn", "UGALn", "Q-adp")
 PATTERNS = ("UR", "ADV+1")
@@ -58,7 +63,7 @@ def time_train_once_eval_many(scale) -> dict:
     with tempfile.TemporaryDirectory() as store_dir:
         started = time.perf_counter()
         results = run_load_sweep(runner=SweepRunner(workers=1), train_once=True,
-                                 store=store_dir, **common)
+                                 options=RunOptions(store=store_dir), **common)
         warm_s = time.perf_counter() - started
     assert len(results["Q-adp"]) == len(TRAIN_ONCE_LOADS)
     return {

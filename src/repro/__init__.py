@@ -8,20 +8,41 @@ Dragonfly, k-ary fat-tree, 2D mesh/torus), all baseline routing algorithms
 the evaluation, and the experiment harness that regenerates every figure of
 the paper.
 
-Quick start::
+Quick start — the declarative harness is the supported entry point::
 
-    from repro import DragonflyConfig, DragonflyNetwork
+    from repro import DragonflyConfig, ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(DragonflyConfig.small_72(), routing="Q-adp",
+                          pattern="ADV+1", offered_load=0.3,
+                          sim_time_ns=50_000.0)
+    print(run_experiment(spec).summary_row())
+
+or drive the simulator directly (lower level, no caching/telemetry)::
+
+    from repro import DragonflyConfig, Network
     from repro.core import QAdaptiveRouting
     from repro.traffic import UniformRandomTraffic, TrafficGenerator
 
-    net = DragonflyNetwork(DragonflyConfig.small_72(), QAdaptiveRouting(), seed=1)
+    net = Network(DragonflyConfig.small_72(), QAdaptiveRouting(), seed=1)
     gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.5)
     gen.start()
     net.run(until=50_000.0)        # 50 µs
     print(net.finalize().to_dict())
+
+Public surface
+--------------
+``__all__`` below is the supported API.  The harness-level names
+(:func:`run_experiment`, :class:`ExperimentSpec`, :class:`RunOptions`,
+:class:`Study`, :class:`FaultSchedule`, :class:`ArtifactStore`,
+:class:`ProbeBus`, the registries) are re-exported lazily (PEP 562), so
+``import repro`` stays as cheap as the simulator core.  ``DragonflyNetwork``
+is a deprecated alias of the topology-generic :class:`Network` and will be
+removed in repro 2.0.
 """
 
-from repro.network.network import DragonflyNetwork, Network
+from typing import TYPE_CHECKING
+
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.stats.collectors import RunStats
 from repro.topology.base import Topology
@@ -30,17 +51,82 @@ from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.fattree import FatTreeConfig
 from repro.topology.mesh import MeshConfig
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only re-exports
+    from repro.experiments import (
+        ExperimentResult,
+        ExperimentSpec,
+        RunOptions,
+        run_experiment,
+        train_experiment,
+    )
+    from repro.faults import FaultSchedule
+    from repro.instrument import PROBE_REGISTRY, ProbeBus
+    from repro.routing import ROUTING_REGISTRY
+    from repro.scenarios import STUDIES, Scenario, Study
+    from repro.store import ArtifactStore
+    from repro.traffic import PATTERN_REGISTRY
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "DragonflyConfig",
     "DragonflyNetwork",
     "DragonflyTopology",
+    "ExperimentResult",
+    "ExperimentSpec",
     "FatTreeConfig",
+    "FaultSchedule",
     "MeshConfig",
     "Network",
     "NetworkParams",
+    "PATTERN_REGISTRY",
+    "PROBE_REGISTRY",
+    "ProbeBus",
+    "ROUTING_REGISTRY",
+    "RunOptions",
     "RunStats",
+    "STUDIES",
+    "Scenario",
+    "Study",
     "Topology",
     "__version__",
+    "run_experiment",
+    "train_experiment",
 ]
+
+#: lazily re-exported harness names: ``{name: module}`` (PEP 562).
+_LAZY_EXPORTS = {
+    "ArtifactStore": "repro.store",
+    "ExperimentResult": "repro.experiments",
+    "ExperimentSpec": "repro.experiments",
+    "FaultSchedule": "repro.faults",
+    "PATTERN_REGISTRY": "repro.traffic",
+    "PROBE_REGISTRY": "repro.instrument",
+    "ProbeBus": "repro.instrument",
+    "ROUTING_REGISTRY": "repro.routing",
+    "RunOptions": "repro.experiments",
+    "STUDIES": "repro.scenarios",
+    "Scenario": "repro.scenarios",
+    "Study": "repro.scenarios",
+    "run_experiment": "repro.experiments",
+    "train_experiment": "repro.experiments",
+}
+
+
+def __getattr__(name: str) -> object:
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
+    if name == "DragonflyNetwork":
+        # Delegates to the shim in repro.network.network, which emits the
+        # DeprecationWarning and returns the topology-generic Network.
+        from repro.network import network as _network
+
+        return _network.DragonflyNetwork
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS) | {"DragonflyNetwork"})

@@ -49,6 +49,7 @@ SERIALIZATION_SCOPE = (
     "repro.core.qadaptive",
     "repro.core.qrouting",
     "repro.store",
+    "repro.faults",
 )
 
 

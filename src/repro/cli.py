@@ -62,6 +62,16 @@ analysis report::
     repro-sim report fairness.json
     repro-sim report fairness.json --export analysis.json
     repro-sim list probes
+
+Inject link/router failures (a JSON-serialized fault schedule) into a single
+run, or compare how every algorithm routes around a mid-run link failure with
+the ``resilience`` study (per-failure-epoch delivery rate + latency
+re-convergence time, per topology family)::
+
+    repro-sim run --routing Q-routing --pattern UR --faults faults.json \
+        --telemetry fault-delivery reconvergence --json
+    repro-sim study run resilience --scale bench --out resilience.json
+    repro-sim report resilience.json
 """
 
 from __future__ import annotations
@@ -74,6 +84,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence
 from repro.analysis import runner as analysis_runner
 from repro.experiments import (
     ExperimentSpec,
+    RunOptions,
     SweepRunner,
     ablation_hyperparams,
     ablation_maxq,
@@ -90,6 +101,7 @@ from repro.experiments import (
 )
 from repro.experiments.parallel import DEFAULT_CACHE_DIR, ResultCache, default_runner
 from repro.experiments.presets import default_scale, describe_scales, scale_by_name
+from repro.faults.schedule import FaultSchedule
 from repro.instrument import PROBE_REGISTRY, available_probes
 from repro.instrument.report import export_payload, load_result_document, render_report
 from repro.routing import ROUTING_REGISTRY, available_algorithms
@@ -165,6 +177,23 @@ def _build_spec(args: argparse.Namespace, routing: str) -> ExperimentSpec:
     )
 
 
+def _faults_from_args(args: argparse.Namespace) -> Optional[FaultSchedule]:
+    """Load ``--faults FILE`` (a serialized FaultSchedule) when given."""
+    if not getattr(args, "faults", None):
+        return None
+    try:
+        with open(args.faults, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read --faults {args.faults!r}: {exc}") from None
+    try:
+        return FaultSchedule.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"bad fault schedule in {args.faults!r}: {exc}"
+        ) from None
+
+
 def _resolve_warm_start(args: argparse.Namespace) -> str:
     """Turn ``--warm-start`` (store id or checkpoint path) into a path."""
     try:
@@ -182,8 +211,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             spec = spec.with_overrides(telemetry=tuple(args.telemetry))
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+    faults = _faults_from_args(args)
+    if faults is not None:
+        spec = spec.with_overrides(faults=faults)
     try:
-        result = run_experiment(spec, save_state=args.save_state, store=args.store)
+        result = run_experiment(
+            spec, options=RunOptions(save_state=args.save_state, store=args.store))
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     row = result.summary_row()
@@ -216,8 +249,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         # than _build_spec's half-time split.  An explicit --warmup-us wins.
         spec = spec.with_overrides(warmup_ns=0.0)
     try:
-        trained = train_experiment(spec, args.store, name=args.tag,
-                                   reuse=not args.retrain)
+        trained = train_experiment(spec, options=RunOptions(
+            store=args.store, name=args.tag, reuse=not args.retrain))
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     payload = {
@@ -304,7 +337,7 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     study = _study_from_args(args)
     runner = _runner_from_args(args)
     try:
-        result = study.run(runner, store=args.store)
+        result = study.run(runner, options=RunOptions(store=args.store))
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     rows = result.rows()
@@ -473,7 +506,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--telemetry", nargs="+", default=None, metavar="PROBE",
                        help="attach telemetry probes (see 'list probes'): "
                             "link-util, queue-occupancy, source-latency, "
-                            "q-convergence")
+                            "q-convergence, fault-delivery, reconvergence")
+    run_p.add_argument("--faults", default=None, metavar="FILE",
+                       help="inject a fault schedule: a JSON file holding a "
+                            "serialized FaultSchedule ({'schema': 1, 'events': "
+                            "[[time_ns, kind, router, port], ...]})")
     add_store(run_p)
     run_p.set_defaults(func=_cmd_run)
 

@@ -43,6 +43,11 @@ class TabularMarlRouting(RoutingAlgorithm):
     #: default keeps the probes-off fast path at one None check per update.
     _ev_q_update = None
 
+    #: live network ports per router while faults are active (see
+    #: :mod:`repro.faults`); the class default keeps faults-off decisions on
+    #: the unmasked fast path at one attribute check.
+    _fault_live = None
+
     def __init__(
         self,
         hysteretic: HystereticParams,
@@ -86,6 +91,27 @@ class TabularMarlRouting(RoutingAlgorithm):
         # Per-router candidate lists for ε-greedy exploration: built once
         # instead of per decision (on Dragonfly every router shares one list).
         self._explore_ports = [topo.network_ports_of(r) for r in topo.all_routers()]
+
+    def on_fault_update(self, live_ports: Optional[List[List[int]]],
+                        dead_routers: "frozenset[int]") -> None:
+        """Mask dead ports out of the ε-greedy exploration candidates.
+
+        Learning itself stays on — the tables keep updating through the
+        degraded topology, so the re-route is *learned*.  A router whose
+        network ports all died keeps its original candidates: its packets
+        drain into the controller's sinks (the physical outcome) instead of
+        crashing the exploration draw.
+        """
+        topo = self.topo
+        if live_ports is None:  # last fault recovered: pristine candidates
+            self._explore_ports = [topo.network_ports_of(r) for r in topo.all_routers()]
+            self._fault_live = None
+            return
+        self._explore_ports = [
+            live_ports[r] if live_ports[r] else topo.network_ports_of(r)
+            for r in topo.all_routers()
+        ]
+        self._fault_live = live_ports
 
     def table(self, router_id: int) -> _PortQTable:
         """Value table of one router (inspection / tests)."""

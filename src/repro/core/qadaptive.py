@@ -28,7 +28,7 @@ configuration deadlock free.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.hysteretic import HystereticParams
 from repro.core.marl import TabularMarlRouting
@@ -126,7 +126,12 @@ class QAdaptiveRouting(TabularMarlRouting):
     def _setup(self) -> None:
         super()._setup()
         # Local-port candidates for the intermediate-group ε-greedy decision.
+        # Every router shares one list; the per-router indirection exists so
+        # the fault controller can mask dead ports per router without
+        # touching the shared (faults-off) list.
         self._local_ports = list(self.topo.local_ports)
+        self._local_ports_of = [self._local_ports] * self.topo.num_routers
+        self._dead_ports = None
         self._router_group = self.topo.router_groups()
 
     def _build_table(self, router_id: int) -> TwoLevelQTable:
@@ -136,6 +141,29 @@ class QAdaptiveRouting(TabularMarlRouting):
 
     def _row_for(self, packet: Packet) -> int:
         return self._router_group[packet.dst_router] * self.topo.p + packet.src_node_local
+
+    # ------------------------------------------------------------ degradation
+    def on_fault_update(self, live_ports: Optional[List[List[int]]],
+                        dead_routers: "frozenset[int]") -> None:
+        """Additionally mask the local-port re-route and direct-global checks."""
+        super().on_fault_update(live_ports, dead_routers)
+        topo = self.topo
+        if live_ports is None:
+            self._local_ports_of = [self._local_ports] * topo.num_routers
+            self._dead_ports = None
+            return
+        self._local_ports_of = []
+        self._dead_ports = set()
+        local_set = set(self._local_ports)
+        for router in topo.all_routers():
+            live = [p for p in live_ports[router] if p in local_set]
+            # A router with no live local port keeps the shared candidates:
+            # its re-routes drain into the controller's sinks.
+            self._local_ports_of.append(live if live else self._local_ports)
+            alive = set(live_ports[router])
+            for port in topo.network_ports_of(router):
+                if port not in alive:
+                    self._dead_ports.add((router, port))
 
     # ----------------------------------------------------------------- routing
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
@@ -157,8 +185,19 @@ class QAdaptiveRouting(TabularMarlRouting):
             first_port = table.first_port
             row_values = table.values[row].tolist()
             q_min = row_values[min_port - first_port]
-            q_best = min(row_values)
-            best_port = row_values.index(q_best) + first_port
+            if self._fault_live is None:
+                q_best = min(row_values)
+                best_port = row_values.index(q_best) + first_port
+            else:
+                # Degraded mode: rank surviving ports only (dead ports hold
+                # stale estimates that no feedback refreshes).
+                ports = self._explore_ports[router.id]
+                best_port = ports[0]
+                q_best = row_values[best_port - first_port]
+                for port in ports[1:]:
+                    value = row_values[port - first_port]
+                    if value < q_best:
+                        best_port, q_best = port, value
             temp_port, _ = select_with_threshold(
                 min_port, q_min, best_port, q_best, self.params.q_thld1
             )
@@ -175,11 +214,13 @@ class QAdaptiveRouting(TabularMarlRouting):
         if packet.scratch is None and router.group != packet.src_group:
             packet.scratch = True
             direct = topo.global_port_to_group(router.id, dst_group)
-            if direct is not None:
+            if direct is not None and (
+                self._dead_ports is None or (router.id, direct) not in self._dead_ports
+            ):
                 self.intermediate_minimal += 1
                 return direct
             min_port = self._min_next(router.id, packet.dst_router)
-            local_ports = self._local_ports
+            local_ports = self._local_ports_of[router.id]
             best_port = local_ports[self.rng.randrange(len(local_ports))]
             q_min = table.value(row, min_port)
             q_best = table.value(row, best_port)

@@ -112,7 +112,18 @@ class QRoutingAlgorithm(TabularMarlRouting):
             return self._min_next(router.id, packet.dst_router)
         table = self.tables[router.id]
         row = packet.dst_router
-        best_port, _ = table.best_port(row)
+        if self._fault_live is None:
+            best_port, _ = table.best_port(row)
+        else:
+            # Degraded mode: the greedy argmin only ranks surviving ports
+            # (dead ports hold stale estimates that no feedback refreshes).
+            ports = self._explore_ports[router.id]
+            best_port = ports[0]
+            best_value = table.value(row, best_port)
+            for port in ports[1:]:
+                value = table.value(row, port)
+                if value < best_value:
+                    best_port, best_value = port, value
         self.greedy_decisions += 1
         return epsilon_greedy(
             self.rng, best_port, self._explore_ports[router.id], self.params.epsilon

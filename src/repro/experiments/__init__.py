@@ -15,6 +15,7 @@ from repro.experiments.harness import (
     run_load_sweep,
     train_experiment,
 )
+from repro.experiments.options import LEGACY_REMOVAL, RunOptions
 from repro.experiments.parallel import (
     ExperimentResultData,
     ResultCache,
@@ -40,7 +41,9 @@ __all__ = [
     "ExperimentResultData",
     "ExperimentScale",
     "ExperimentSpec",
+    "LEGACY_REMOVAL",
     "ResultCache",
+    "RunOptions",
     "SweepRunner",
     "available_scales",
     "default_runner",

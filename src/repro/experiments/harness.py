@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.experiments.options import UNSET, RunOptions
+from repro.faults.schedule import FaultSchedule
 from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.routing import canonical_routing_name, make_routing
@@ -92,6 +94,13 @@ class ExperimentSpec:
     #: without (the cached payload differs), though the simulation itself is
     #: bit-identical either way.
     telemetry: Tuple[str, ...] = ()
+    #: fault schedule injected into the run (see :mod:`repro.faults`): link /
+    #: router failures and recoveries applied at fixed simulation times with
+    #: degraded-mode routing in between.  Folded into the serialized form and
+    #: the cache fingerprint — identical seeds plus an identical schedule
+    #: reproduce a bit-identical fault timeline; ``None`` (the default) keeps
+    #: the fault layer completely out of the simulation.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.schedule is not None:
@@ -145,6 +154,10 @@ class ExperimentSpec:
             self.telemetry = tuple(dict.fromkeys(
                 canonical_probe_name(name) for name in self.telemetry
             ))
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ValueError(
+                f"faults must be a FaultSchedule, got {type(self.faults).__name__}"
+            )
 
     @property
     def display_name(self) -> str:
@@ -192,6 +205,8 @@ class ExperimentSpec:
             data["warm_start"] = self.warm_start
         if self.telemetry:
             data["telemetry"] = list(self.telemetry)
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
@@ -208,14 +223,16 @@ class ExperimentSpec:
             optional=("topology", "config", "offered_load", "schedule",
                       "sim_time_ns", "warmup_ns", "seed", "arrival",
                       "stats_bin_ns", "routing_kwargs", "pattern_kwargs",
-                      "network_params", "label", "warm_start", "telemetry"),
+                      "network_params", "label", "warm_start", "telemetry",
+                      "faults"),
             context="ExperimentSpec",
         )
         # Documents are written at SPEC_SCHEMA_VERSION; version-1 documents
-        # (pre-warm_start), version-2 documents (pre-telemetry) and version-3
+        # (pre-warm_start), version-2 documents (pre-telemetry), version-3
         # documents (Dragonfly-only ``config`` block instead of ``topology``)
-        # migrate transparently — every field they may carry reads identically
-        # and the newer fields keep their defaults.
+        # and version-4 documents (pre-faults) migrate transparently — every
+        # field they may carry reads identically and the newer fields keep
+        # their defaults.
         check_schema(data, SPEC_SCHEMA_COMPAT, "ExperimentSpec")
         if ("topology" in data) == ("config" in data):
             raise ValueError(
@@ -259,6 +276,8 @@ class ExperimentSpec:
                     f"names, got {telemetry!r}"
                 )
             kwargs["telemetry"] = tuple(telemetry)
+        if "faults" in data:
+            kwargs["faults"] = FaultSchedule.from_dict(data["faults"])
         if kwargs["offered_load"] is None and "schedule" not in data:
             raise ValueError(
                 "ExperimentSpec: a serialized spec needs offered_load or schedule"
@@ -352,6 +371,10 @@ def build_network(spec: ExperimentSpec) -> Tuple[Network, TrafficGenerator]:
         checkpoint = Checkpoint.load(spec.warm_start)
         checkpoint.check_compatible(spec.routing, config_to_dict(spec.config))
         checkpoint.apply(network.routing)
+    if spec.faults is not None:
+        from repro.faults.controller import FaultController
+
+        FaultController(network, spec.faults).install()
     pattern = make_pattern(spec.pattern, **spec.pattern_kwargs)
     generator = TrafficGenerator(
         network,
@@ -398,6 +421,9 @@ def _execute(spec: ExperimentSpec) -> Tuple[ExperimentResult, Network]:
             diagnostics[attr] = getattr(routing, attr)
     if spec.warm_start is not None:
         diagnostics["warm_start"] = spec.warm_start
+    controller = getattr(network, "fault_controller", None)
+    if controller is not None:
+        diagnostics.update(controller.diagnostics())
 
     result = ExperimentResult(
         spec=spec,
@@ -415,19 +441,30 @@ def _execute(spec: ExperimentSpec) -> Tuple[ExperimentResult, Network]:
 
 def run_experiment(
     spec: ExperimentSpec,
+    options: Optional[RunOptions] = None,
     *,
-    save_state: Optional[str] = None,
-    store: StoreLike = None,
+    save_state: object = UNSET,
+    store: object = UNSET,
 ) -> ExperimentResult:
     """Run one experiment to completion and collect its results.
 
-    ``save_state`` persists the learned routing state after the run as a
-    checkpoint named ``save_state`` in ``store`` (an
+    ``options`` (a :class:`~repro.experiments.options.RunOptions`) carries
+    the execution knobs: ``options.save_state`` persists the learned routing
+    state after the run as a checkpoint of that name in ``options.store`` (an
     :class:`~repro.store.ArtifactStore`, a directory path, or ``None`` for
     the default store); the checkpoint path lands in
     ``result.routing_diagnostics["checkpoint"]``.  Requesting it for an
-    algorithm without learned state is an error.
+    algorithm without learned state is an error.  ``options.telemetry`` and
+    ``options.faults`` fold into the spec (the spec's own fields win).
+
+    The bare ``save_state=`` / ``store=`` keywords are deprecated aliases
+    (removed in repro 2.0).
     """
+    options = (options or RunOptions()).merged_legacy(
+        "run_experiment", save_state=save_state, store=store)
+    spec = options.apply_to_spec(spec)
+    save_state = options.save_state
+    store = options.store
     if save_state is not None:
         # Fail before simulating: a save request on a learned-state-free
         # algorithm must not cost the whole run first.
@@ -470,23 +507,32 @@ class TrainResult:
 
 def train_experiment(
     spec: ExperimentSpec,
-    store: StoreLike = None,
+    store: object = UNSET,
     *,
-    name: Optional[str] = None,
-    reuse: bool = True,
+    name: object = UNSET,
+    reuse: object = UNSET,
+    options: Optional[RunOptions] = None,
 ) -> TrainResult:
     """Run a training spec and persist its learned state as a checkpoint.
 
-    Training is memoized through the store: when ``reuse`` is true (the
-    default) and a checkpoint whose manifest records this spec's fingerprint
-    already exists, it is returned without simulating — the checkpoint store
-    plays the same role for learned state that the result cache plays for
-    measurements.
+    Training is memoized through the store: when ``options.reuse`` is true
+    (the default) and a checkpoint whose manifest records this spec's
+    fingerprint already exists, it is returned without simulating — the
+    checkpoint store plays the same role for learned state that the result
+    cache plays for measurements.  The bare ``store``/``name=``/``reuse=``
+    parameters are deprecated aliases (removed in repro 2.0); pass
+    ``options=RunOptions(store=..., name=..., reuse=...)``.
     """
     from repro.experiments.parallel import spec_fingerprint
     from repro.routing.base import is_checkpointable
     from repro.store import resolve_store
 
+    options = (options or RunOptions()).merged_legacy(
+        "train_experiment", store=store, name=name, reuse=reuse)
+    spec = options.apply_to_spec(spec)
+    store = options.store
+    name = options.name
+    reuse = options.reuse
     if not is_checkpointable(make_routing(spec.routing, **spec.routing_kwargs)):
         raise ValueError(
             f"routing {spec.routing!r} has no learned state to train; "
@@ -540,15 +586,19 @@ def run_load_sweep(
     train_ns: Optional[float] = None,
     train_load: Optional[float] = None,
     eval_warmup_ns: Optional[float] = None,
-    store: StoreLike = None,
+    store: object = UNSET,
+    options: Optional[RunOptions] = None,
 ) -> Dict[str, List[ExperimentResult]]:
     """Sweep offered load for several algorithms under one traffic pattern.
 
     Returns ``{algorithm: [result_per_load]}`` in the order of ``loads``; this
     is the data behind each column of Figure 5.  ``runner`` is an optional
-    :class:`~repro.experiments.parallel.SweepRunner`; by default the sweep
-    honours the ``REPRO_WORKERS`` / ``REPRO_CACHE`` environment variables
-    (serial, uncached if unset).
+    :class:`~repro.experiments.parallel.SweepRunner`; when unset, one is
+    built from ``options`` (``workers``/``cache``/``progress``), falling back
+    to the ``REPRO_WORKERS`` / ``REPRO_CACHE`` environment variables (serial,
+    uncached if unset).  ``options.telemetry``/``options.faults`` fold into
+    every *evaluation* spec (training runs stay fault-free); the bare
+    ``store=`` keyword is a deprecated alias (removed in repro 2.0).
 
     Train-once/eval-many (``train_once=True``): instead of every load point
     re-learning routing state from scratch during its own ``warmup_ns``, each
@@ -564,8 +614,10 @@ def run_load_sweep(
     """
     from repro.experiments.parallel import resolve_runner
 
+    options = (options or RunOptions()).merged_legacy("run_load_sweep", store=store)
+    store = options.store
     routing_kwargs = routing_kwargs or {}
-    runner = resolve_runner(runner)
+    runner = resolve_runner(runner if runner is not None else options.make_runner())
     loads = list(loads)
 
     warm_starts: Dict[str, str] = {}
@@ -595,7 +647,7 @@ def run_load_sweep(
                 network_params=network_params,
                 label=f"train:{algorithm}",
             )
-            trained = train_experiment(train_spec, store)
+            trained = train_experiment(train_spec, options=RunOptions(store=store))
             warm_starts[algorithm] = str(trained.checkpoint.path)
 
     eval_warmup = eval_warmup_ns if eval_warmup_ns is not None else warmup_ns / 5.0
@@ -603,7 +655,7 @@ def run_load_sweep(
     for algorithm in algorithms:
         warm = warm_starts.get(algorithm)
         for load in loads:
-            specs.append(ExperimentSpec(
+            specs.append(options.apply_to_spec(ExperimentSpec(
                 config=config,
                 routing=algorithm,
                 pattern=pattern,
@@ -614,6 +666,6 @@ def run_load_sweep(
                 routing_kwargs=dict(routing_kwargs.get(algorithm, {})),
                 network_params=network_params,
                 warm_start=warm,
-            ))
+            )))
     flat = iter(runner.run(specs))
     return {algorithm: [next(flat) for _ in loads] for algorithm in algorithms}

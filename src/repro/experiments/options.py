@@ -1,0 +1,181 @@
+"""Unified run-options facade for the experiment entry points.
+
+Before this module, the run-time knobs of the harness were spread over
+per-function keyword sprawl: ``run_experiment(save_state=, store=)``,
+``train_experiment(store, name=, reuse=)``, ``run_load_sweep(runner=,
+store=)``, ``Study.run(runner=, store=)`` — and the fault layer would have
+added a ``faults=`` keyword to each.  :class:`RunOptions` consolidates them:
+one dataclass carries everything that controls *how* a run executes (storage,
+parallelism, caching, progress, telemetry, faults), while the spec/study
+keeps describing *what* is simulated.
+
+Every entry point accepts ``options=RunOptions(...)``; the legacy keywords
+keep working but emit :class:`DeprecationWarning` and will be removed in
+repro 2.0 (see the API-migration table in the README).  Fields irrelevant to
+an entry point (e.g. ``workers`` on a single :func:`run_experiment`) are
+simply unused there.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
+
+from repro.faults.schedule import FaultSchedule
+
+if TYPE_CHECKING:  # runtime imports stay local: parallel imports the harness
+    from repro.experiments.harness import ExperimentSpec
+    from repro.experiments.parallel import RunProgress, SweepRunner
+    from repro.store import ArtifactStore
+
+__all__ = ["RunOptions", "UNSET", "warn_legacy_option"]
+
+#: release in which the deprecated per-function keywords disappear.
+LEGACY_REMOVAL = "repro 2.0"
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from an explicit None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+#: sentinel default of every deprecated legacy keyword.
+UNSET = _Unset()
+
+
+def warn_legacy_option(function: str, keyword: str) -> None:
+    """One standard deprecation warning per legacy keyword use."""
+    warnings.warn(
+        f"{function}({keyword}=...) is deprecated and will be removed in "
+        f"{LEGACY_REMOVAL}; pass options=RunOptions({keyword}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass
+class RunOptions:
+    """How to execute a run/sweep/study (storage, parallelism, instrumentation).
+
+    Parameters
+    ----------
+    save_state:
+        Checkpoint id to persist the learned routing state under after a
+        single run (:func:`~repro.experiments.harness.run_experiment`).
+    store:
+        Artifact store for checkpoints: an
+        :class:`~repro.store.ArtifactStore`, a directory path, or ``None``
+        for the default store.
+    name:
+        Checkpoint id for :func:`~repro.experiments.harness.train_experiment`.
+    reuse:
+        Reuse an existing checkpoint with the same spec fingerprint instead
+        of retraining (train entry points only).
+    workers:
+        Worker processes for sweeps/studies (``None`` → environment-driven
+        default; ``0`` → one per CPU; ``1`` → serial).
+    cache:
+        Result cache for sweeps/studies: ``True`` for the default directory,
+        a path for a specific one, ``False``/``None`` to disable.
+    progress:
+        Per-completed-run progress callback (``True`` for the stderr
+        default printer).
+    telemetry:
+        Probe names attached to every spec executed under these options
+        (merged into each spec's own ``telemetry`` tuple).
+    faults:
+        :class:`~repro.faults.schedule.FaultSchedule` applied to every spec
+        executed under these options (a spec's own ``faults`` wins).
+    """
+
+    save_state: Optional[str] = None
+    store: Union[None, str, "os.PathLike[str]", "ArtifactStore"] = None
+    name: Optional[str] = None
+    reuse: bool = True
+    workers: Optional[int] = None
+    cache: Union[None, bool, str, "os.PathLike[str]"] = None
+    progress: Union[None, bool, Callable[["RunProgress"], None]] = None
+    telemetry: Tuple[str, ...] = ()
+    faults: Optional[FaultSchedule] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.telemetry, str):
+            self.telemetry = (self.telemetry,)
+        else:
+            self.telemetry = tuple(self.telemetry)
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ValueError(
+                f"faults must be a FaultSchedule, got {type(self.faults).__name__}"
+            )
+
+    # ------------------------------------------------------------ legacy merge
+    def merged_legacy(self, function: str, **legacy: object) -> "RunOptions":
+        """Fold deprecated per-function keywords into a copy of these options.
+
+        Every keyword actually passed (not :data:`UNSET`) emits a
+        :class:`DeprecationWarning`; passing a legacy keyword *and* the same
+        field on ``options`` is a hard error — silently preferring one would
+        make the migration ambiguous.
+        """
+        updates: Dict[str, object] = {}
+        for keyword, value in legacy.items():
+            if isinstance(value, _Unset):
+                continue
+            warn_legacy_option(function, keyword)
+            default = type(self).__dataclass_fields__[keyword].default
+            if getattr(self, keyword) != default and getattr(self, keyword) != value:
+                raise ValueError(
+                    f"{function}: {keyword!r} was passed both as a legacy "
+                    f"keyword and via options=RunOptions(...); drop the "
+                    "legacy keyword"
+                )
+            updates[keyword] = value
+        return replace(self, **updates) if updates else self
+
+    # -------------------------------------------------------------- resolution
+    def apply_to_spec(self, spec: "ExperimentSpec") -> "ExperimentSpec":
+        """Spec with these options' telemetry/faults folded in.
+
+        The spec's own fields win over the options' (options provide
+        defaults for whole sweeps; a spec states its own requirements).
+        """
+        updates: Dict[str, object] = {}
+        if self.telemetry:
+            merged = tuple(dict.fromkeys((*spec.telemetry, *self.telemetry)))
+            if merged != spec.telemetry:
+                updates["telemetry"] = merged
+        if self.faults is not None and spec.faults is None:
+            updates["faults"] = self.faults
+        return spec.with_overrides(**updates) if updates else spec
+
+    def make_runner(self) -> Optional["SweepRunner"]:
+        """A :class:`~repro.experiments.parallel.SweepRunner` configured from
+        ``workers``/``cache``/``progress``, or ``None`` when none of them is
+        set (callers then fall back to the environment-driven default)."""
+        if self.workers is None and self.cache in (None, False) \
+                and self.progress in (None, False):
+            return None
+        from repro.experiments.parallel import (
+            DEFAULT_CACHE_DIR,
+            SweepRunner,
+            print_progress,
+        )
+
+        if self.cache in (None, False):
+            cache_dir = None
+        elif self.cache is True:
+            cache_dir = DEFAULT_CACHE_DIR
+        else:
+            cache_dir = self.cache
+        if self.progress in (None, False):
+            progress = None
+        elif self.progress is True:
+            progress = print_progress
+        else:
+            progress = self.progress
+        workers = 1 if self.workers is None else self.workers
+        return SweepRunner(workers=workers, cache_dir=cache_dir, progress=progress)

@@ -55,8 +55,10 @@ from repro.stats.collectors import RunStats
 #: schema v2 — warm_start checkpoints — retires every v1-keyed entry.
 #: 4: spec schema v3 + the telemetry block in the wire format.
 #: 5: spec schema v4 — family-tagged ``topology`` blocks replace the
-#:    Dragonfly-only ``config`` key in the serialized form.)
-CACHE_VERSION = 5
+#:    Dragonfly-only ``config`` key in the serialized form.
+#: 6: spec schema v5 — optional fault-schedule blocks in the serialized
+#:    form, fault diagnostics in the cached payload.)
+CACHE_VERSION = 6
 
 #: default location of the on-disk result cache, relative to the CWD.
 DEFAULT_CACHE_DIR = Path(".cache") / "experiments"

@@ -32,10 +32,12 @@ or declaratively through the harness::
 from repro.instrument.bus import HOOKS, Probe, ProbeBus
 from repro.instrument.probes import (
     PROBE_REGISTRY,
+    FaultDeliveryProbe,
     InstrumentProbe,
     LinkUtilizationProbe,
     QConvergenceProbe,
     QueueOccupancyProbe,
+    ReconvergenceProbe,
     SourceLatencyProbe,
     available_probes,
     canonical_probe_name,
@@ -45,6 +47,7 @@ from repro.instrument.probes import (
 
 __all__ = [
     "HOOKS",
+    "FaultDeliveryProbe",
     "InstrumentProbe",
     "LinkUtilizationProbe",
     "PROBE_REGISTRY",
@@ -52,6 +55,7 @@ __all__ = [
     "ProbeBus",
     "QConvergenceProbe",
     "QueueOccupancyProbe",
+    "ReconvergenceProbe",
     "SourceLatencyProbe",
     "available_probes",
     "canonical_probe_name",

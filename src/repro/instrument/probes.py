@@ -11,6 +11,11 @@ Each probe measures one per-entity view the aggregate
   fairness index across groups, and the Figure-6-style tail breakdown.
 * :class:`QConvergenceProbe` — per-router |ΔQ| time series (how fast each
   agent's table settles, the Figure-7 transient per router).
+* :class:`FaultDeliveryProbe` — per-failure-epoch delivery rate when the run
+  carries a :mod:`repro.faults` schedule (how much traffic each outage costs).
+* :class:`ReconvergenceProbe` — time until the post-failure latency returns
+  within a band of the pre-failure steady state (how fast an algorithm
+  *routes around* a failure — the paper-relevant resilience measurement).
 
 Probes are attached with
 :meth:`~repro.network.network.DragonflyNetwork.attach_probe` (or declared on
@@ -22,6 +27,7 @@ disk and export with ``repro-sim report``.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,10 +42,12 @@ if TYPE_CHECKING:  # typing only: probes bind late, after the network exists
 
 __all__ = [
     "PROBE_REGISTRY",
+    "FaultDeliveryProbe",
     "InstrumentProbe",
     "LinkUtilizationProbe",
     "QConvergenceProbe",
     "QueueOccupancyProbe",
+    "ReconvergenceProbe",
     "SourceLatencyProbe",
     "available_probes",
     "canonical_probe_name",
@@ -343,6 +351,158 @@ class QConvergenceProbe(InstrumentProbe):
         }
 
 
+class FaultDeliveryProbe(InstrumentProbe):
+    """Per-failure-epoch delivery rate of a fault-bearing run.
+
+    The run is split into epochs at every scheduled failure time (the
+    baseline epoch covers everything before the first failure); packets are
+    binned by *generation* time and by *delivery* time, so each epoch's
+    delivery rate measures how much of the traffic offered during that outage
+    window actually arrived.  On a faults-off run the probe degrades to one
+    whole-run epoch.
+    """
+
+    name = "fault-delivery"
+
+    def __init__(self, bin_ns: float = 1_000.0, warmup_ns: float = 0.0) -> None:
+        super().__init__(bin_ns, warmup_ns)
+        self._boundaries: List[float] = []
+        self._generated: List[int] = [0]
+        self._delivered: List[int] = [0]
+        self._latency_sum: List[float] = [0.0]
+        self._controller: Optional[object] = None
+
+    def bind(self, network: "Network") -> None:
+        """Read the epoch boundaries off the run's fault controller (if any)."""
+        controller = getattr(network, "fault_controller", None)
+        self._controller = controller
+        if controller is None:
+            return
+        self._boundaries = list(controller.schedule.failure_times())
+        bins = len(self._boundaries) + 1
+        self._generated = [0] * bins
+        self._delivered = [0] * bins
+        self._latency_sum = [0.0] * bins
+
+    def subscriptions(self) -> Dict[str, Callable]:
+        return {
+            "packet_generated": self.on_packet_generated,
+            "packet_delivered": self.on_packet_delivered,
+        }
+
+    def on_packet_generated(self, packet: "Packet") -> None:
+        self._generated[bisect_right(self._boundaries, packet.create_time_ns)] += 1
+
+    def on_packet_delivered(self, packet: "Packet", now: float) -> None:
+        epoch = bisect_right(self._boundaries, now)
+        self._delivered[epoch] += 1
+        self._latency_sum[epoch] += now - packet.create_time_ns
+
+    def summary(self, end_ns: float) -> Dict:
+        starts = [0.0, *self._boundaries]
+        ends = [*self._boundaries, float(end_ns)]
+        epochs: List[Dict] = []
+        for index, (start, end) in enumerate(zip(starts, ends, strict=True)):
+            generated = self._generated[index]
+            delivered = self._delivered[index]
+            epochs.append({
+                "epoch": index,
+                "start_ns": start,
+                "end_ns": end,
+                "generated": generated,
+                "delivered": delivered,
+                "delivery_rate": (delivered / generated) if generated else float("nan"),
+                "mean_latency_ns": (self._latency_sum[index] / delivered)
+                if delivered else float("nan"),
+            })
+        generated_total = sum(self._generated)
+        delivered_total = sum(self._delivered)
+        dropped = getattr(self._controller, "packets_dropped", 0)
+        return {
+            "probe": self.name,
+            "fault_times_ns": list(self._boundaries),
+            "packets_dropped": int(dropped),
+            "generated": generated_total,
+            "delivered": delivered_total,
+            "overall_delivery_rate": (delivered_total / generated_total)
+            if generated_total else float("nan"),
+            "epochs": epochs,
+        }
+
+
+class ReconvergenceProbe(InstrumentProbe):
+    """Re-convergence time after each failure: how long until the delivered
+    latency returns within ``band`` of the pre-failure steady state.
+
+    The steady state is the mean binned latency between ``warmup_ns`` and the
+    first scheduled failure; a failure epoch counts as re-converged at the
+    first subsequent bin whose mean latency falls back below
+    ``steady * (1 + band)``.  A failure whose latency never returns within
+    the band before the run ends reports ``reconverged: false`` — for the
+    learned algorithms that distinguishes "re-routed and recovered" from
+    "still thrashing", which is the paper-relevant resilience comparison.
+    """
+
+    name = "reconvergence"
+
+    def __init__(self, bin_ns: float = 1_000.0, warmup_ns: float = 0.0,
+                 band: float = 0.25) -> None:
+        super().__init__(bin_ns, warmup_ns)
+        if band <= 0.0:
+            raise ValueError(f"the latency band must be positive, got {band}")
+        self.band = float(band)
+        self._series = TimeSeries(self.bin_ns)
+        self._fault_times: List[float] = []
+
+    def bind(self, network: "Network") -> None:
+        controller = getattr(network, "fault_controller", None)
+        if controller is not None:
+            self._fault_times = list(controller.schedule.failure_times())
+
+    def subscriptions(self) -> Dict[str, Callable]:
+        return {"packet_delivered": self.on_packet_delivered}
+
+    def on_packet_delivered(self, packet: "Packet", now: float) -> None:
+        self._series.add(now, now - packet.create_time_ns)
+
+    def summary(self, end_ns: float) -> Dict:
+        times = self._series.bin_times()
+        means = self._series.means()
+        counts = self._series.counts()
+        first_failure = self._fault_times[0] if self._fault_times else float(end_ns)
+        steady_bins = [
+            float(mean)
+            for time, mean, count in zip(times, means, counts, strict=True)
+            if count > 0 and self.warmup_ns <= time < first_failure
+        ]
+        steady = (sum(steady_bins) / len(steady_bins)) if steady_bins else float("nan")
+        threshold = steady * (1.0 + self.band)
+        failures: List[Dict] = []
+        for fault_ns in self._fault_times:
+            entry: Dict = {"fault_ns": fault_ns, "reconverged": False,
+                           "reconvergence_ns": None, "peak_latency_ns": 0.0}
+            for time, mean, count in zip(times, means, counts, strict=True):
+                if count == 0 or time < fault_ns:
+                    continue
+                if mean > entry["peak_latency_ns"]:
+                    entry["peak_latency_ns"] = float(mean)
+                if mean <= threshold:
+                    entry["reconverged"] = True
+                    entry["reconvergence_ns"] = float(time) - fault_ns
+                    break
+            failures.append(entry)
+        return {
+            "probe": self.name,
+            "band": self.band,
+            "steady_state_latency_ns": steady,
+            "threshold_latency_ns": threshold,
+            "fault_times_ns": list(self._fault_times),
+            "failures": failures,
+            "reconverged_all": all(f["reconverged"] for f in failures),
+            "series": _series_payload(self._series),
+        }
+
+
 # -------------------------------------------------------------------- registry
 #: registry of probe factories, keyed by canonical name (plus aliases).
 PROBE_REGISTRY = Registry("telemetry probe")
@@ -366,6 +526,16 @@ PROBE_REGISTRY.register(
     QConvergenceProbe.name, QConvergenceProbe,
     aliases=("q-conv", "convergence"),
     metadata={"summary": "per-router Q-table |delta| time series"},
+)
+PROBE_REGISTRY.register(
+    FaultDeliveryProbe.name, FaultDeliveryProbe,
+    aliases=("fault-epochs", "delivery"),
+    metadata={"summary": "per-failure-epoch delivery rate under faults"},
+)
+PROBE_REGISTRY.register(
+    ReconvergenceProbe.name, ReconvergenceProbe,
+    aliases=("reconv", "recovery-time"),
+    metadata={"summary": "post-failure latency re-convergence time"},
 )
 
 

@@ -11,6 +11,8 @@ and as a strict-JSON analysis payload (``--export``):
   index, and the Figure-6-style mean/p95/p99 tail breakdown.
 * **Queue occupancy** — deepest output queues and credit-stall hotspots.
 * **Q-convergence** — mean |ΔQ| per time bin (the Figure-7 transient).
+* **Fault delivery** — per-failure-epoch delivery rate of fault-bearing runs.
+* **Re-convergence** — post-failure latency recovery time per failure epoch.
 
 Every function here consumes only the JSON document — never live simulation
 objects — so reports can be rendered long after (and far away from) the run
@@ -140,6 +142,34 @@ def _us(value: Optional[float]) -> Optional[float]:
     return round(value / 1_000.0, 3) if isinstance(value, (int, float)) else value
 
 
+def _fault_epoch_rows(payload: Dict) -> List[Dict]:
+    rows = []
+    for epoch in payload.get("epochs", []):
+        rate = epoch.get("delivery_rate")
+        rows.append({
+            "epoch": epoch.get("epoch"),
+            "start_us": _us(epoch.get("start_ns")),
+            "end_us": _us(epoch.get("end_ns")),
+            "generated": epoch.get("generated"),
+            "delivered": epoch.get("delivered"),
+            "delivery_rate": round(rate, 4) if isinstance(rate, float) else rate,
+            "mean_latency_us": _us(epoch.get("mean_latency_ns")),
+        })
+    return rows
+
+
+def _reconvergence_rows(payload: Dict) -> List[Dict]:
+    rows = []
+    for failure in payload.get("failures", []):
+        rows.append({
+            "fault_us": _us(failure.get("fault_ns")),
+            "reconverged": failure.get("reconverged"),
+            "reconvergence_us": _us(failure.get("reconvergence_ns")),
+            "peak_latency_us": _us(failure.get("peak_latency_ns")),
+        })
+    return rows
+
+
 def analyze_document(doc: Dict, max_rows: int = MAX_TABLE_ROWS) -> Dict:
     """Distill a study-result document into the report's analysis payload.
 
@@ -190,6 +220,22 @@ def analyze_document(doc: Dict, max_rows: int = MAX_TABLE_ROWS) -> Dict:
                 "routers_learning": convergence.get("routers_learning"),
                 "trace": _convergence_rows(convergence, max_rows),
             }
+        fault_delivery = telemetry.get("fault-delivery")
+        if fault_delivery:
+            run["fault_delivery"] = {
+                "packets_dropped": fault_delivery.get("packets_dropped"),
+                "overall_delivery_rate": fault_delivery.get("overall_delivery_rate"),
+                "fault_times_ns": fault_delivery.get("fault_times_ns"),
+                "epochs": _fault_epoch_rows(fault_delivery),
+            }
+        reconvergence = telemetry.get("reconvergence")
+        if reconvergence:
+            run["reconvergence"] = {
+                "band": reconvergence.get("band"),
+                "steady_state_latency_ns": reconvergence.get("steady_state_latency_ns"),
+                "reconverged_all": reconvergence.get("reconverged_all"),
+                "failures": _reconvergence_rows(reconvergence),
+            }
         runs.append(run)
     return {
         "study": doc.get("study"),
@@ -222,6 +268,7 @@ def render_report(doc: Dict, max_rows: int = MAX_TABLE_ROWS) -> str:
         lines += [analysis["description"], ""]
 
     utilization, fairness, queues, convergence = [], [], [], []
+    fault_delivery, reconvergence = [], []
     for run in analysis["runs"]:
         label = run["label"]
         if "link_utilization" in run:
@@ -256,11 +303,31 @@ def render_report(doc: Dict, max_rows: int = MAX_TABLE_ROWS) -> str:
                        f"{block['routers_learning']}")
             table = format_table(block["trace"]) if block["trace"] else "(no updates)"
             convergence.append((label, f"{summary}\n{table}"))
+        if "fault_delivery" in run:
+            block = run["fault_delivery"]
+            rate = block.get("overall_delivery_rate")
+            summary = (f"dropped: {block['packets_dropped']}   overall delivery: "
+                       f"{rate if not isinstance(rate, float) else format(rate, '.4f')}")
+            table = format_table(block["epochs"]) if block["epochs"] else "(no epochs)"
+            fault_delivery.append((label, f"{summary}\n{table}"))
+        if "reconvergence" in run:
+            block = run["reconvergence"]
+            steady = block.get("steady_state_latency_ns")
+            summary = (
+                f"steady state: "
+                f"{steady if not isinstance(steady, float) else format(steady / 1_000.0, '.3f')} us"
+                f"   band: {block['band']}   all re-converged: {block['reconverged_all']}"
+            )
+            table = format_table(block["failures"]) if block["failures"] \
+                else "(no failures scheduled)"
+            reconvergence.append((label, f"{summary}\n{table}"))
 
     lines += _section("Per-link utilization", utilization)
     lines += _section("Source-group fairness", fairness)
     lines += _section("Queue occupancy", queues)
     lines += _section("Q-convergence", convergence)
+    lines += _section("Fault delivery", fault_delivery)
+    lines += _section("Re-convergence", reconvergence)
     return "\n".join(lines).rstrip() + "\n"
 
 

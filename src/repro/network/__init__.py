@@ -8,13 +8,14 @@ This package models the hardware a Dragonfly routing algorithm runs on:
 * :class:`~repro.network.router.Router` — an input-queued router with virtual
   channels, credit-based flow control and per-output-port serialization;
 * :class:`~repro.network.nic.Nic` — node injection/ejection;
-* :class:`~repro.network.network.DragonflyNetwork` — wires everything together
-  on top of a :class:`~repro.topology.dragonfly.DragonflyTopology`.
+* :class:`~repro.network.network.Network` — wires everything together on top
+  of any registered :class:`~repro.topology.base.Topology`
+  (``DragonflyNetwork`` is a deprecated alias, removed in repro 2.0).
 """
 
 from repro.network.credits import OutputCredits
 from repro.network.link import Channel
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.nic import Nic
 from repro.network.packet import Packet
 from repro.network.params import NetworkParams
@@ -23,9 +24,19 @@ from repro.network.router import Router
 __all__ = [
     "Channel",
     "DragonflyNetwork",
+    "Network",
     "Nic",
     "NetworkParams",
     "OutputCredits",
     "Packet",
     "Router",
 ]
+
+
+def __getattr__(name: str) -> type:
+    if name == "DragonflyNetwork":
+        # The shim in repro.network.network emits the DeprecationWarning.
+        from repro.network import network as _network
+
+        return _network.DragonflyNetwork
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -293,5 +293,21 @@ class Network:
         )
 
 
-#: Backwards-compatible alias from before the network became topology-generic.
-DragonflyNetwork = Network
+def __getattr__(name: str) -> type:
+    """Deprecated alias from before the network became topology-generic.
+
+    ``DragonflyNetwork`` resolves to :class:`Network` with a
+    :class:`DeprecationWarning`; it will be removed in repro 2.0.
+    """
+    if name == "DragonflyNetwork":
+        import warnings
+
+        warnings.warn(
+            "DragonflyNetwork is a deprecated alias of the topology-generic "
+            "Network and will be removed in repro 2.0; use repro.Network "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Network
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

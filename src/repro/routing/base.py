@@ -105,6 +105,25 @@ class RoutingAlgorithm(abc.ABC):
     def _setup(self) -> None:
         """Hook for subclasses needing per-network state (tables, caches)."""
 
+    # ------------------------------------------------------------ degradation
+    def on_fault_update(self, live_ports: Optional[list],
+                        dead_routers: frozenset) -> None:
+        """Structural change notification from :mod:`repro.faults`.
+
+        Called by the :class:`~repro.faults.controller.FaultController` after
+        every applied fault event.  ``live_ports`` lists the surviving
+        network ports per router (indexed by router id); ``None`` means the
+        last fault recovered and the algorithm must restore its pristine
+        attach-time candidate state.  ``dead_routers`` names routers whose
+        links are all down (router outages).
+
+        The controller separately swaps ``self._min_next`` for a
+        live-graph lookup, so minimal algorithms need no override; algorithms
+        with their own candidate sets (exploration ports, Valiant
+        intermediates) override this to mask dead candidates.  Never called
+        on faults-off runs.
+        """
+
     # ------------------------------------------------------------- VC budget
     def max_hops(self, topo: Topology) -> int:
         """Upper bound on router-to-router hops of any path this algorithm builds.

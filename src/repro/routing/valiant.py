@@ -23,7 +23,7 @@ state): VALg stores the intermediate group id, VALn and VAL store a
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.network.packet import Packet
 from repro.network.router import Router
@@ -139,6 +139,23 @@ class ValiantRouterRouting(RoutingAlgorithm):
     def _setup(self) -> None:
         hosts = self.topo.host_routers()
         self._host_router_list = hosts if isinstance(hosts, (list, range)) else list(hosts)
+
+    def on_fault_update(self, live_ports: Optional[List[List[int]]],
+                        dead_routers: "frozenset[int]") -> None:
+        """Stop drawing intermediates on routers that are down.
+
+        Link-only failures leave the candidate set alone — the swapped
+        ``_min_next`` already detours both path phases around dead links.
+        """
+        hosts = self.topo.host_routers()
+        hosts = hosts if isinstance(hosts, (list, range)) else list(hosts)
+        if live_ports is None or not dead_routers:
+            self._host_router_list = hosts
+            return
+        live = [r for r in hosts if r not in dead_routers]
+        # Fewer than three live candidates starves the src/dst rejection
+        # loop; fall back to the full set (doomed draws sink and drop).
+        self._host_router_list = live if len(live) > 2 else hosts
 
     def decide(self, router: Router, packet: Packet, in_port: int) -> int:
         state = packet.scratch

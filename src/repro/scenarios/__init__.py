@@ -27,6 +27,7 @@ __all__ = [
     "Registry",
     "RegistryEntry",
     "SPEC_SCHEMA_VERSION",
+    "STUDIES",
     "STUDY_SCHEMA_VERSION",
     "Scenario",
     "Study",
@@ -41,6 +42,7 @@ __all__ = [
 ]
 
 _LAZY = {
+    "STUDIES": "repro.scenarios.catalog",
     "Scenario": "repro.scenarios.study",
     "Study": "repro.scenarios.study",
     "StudyPoint": "repro.scenarios.study",

@@ -23,6 +23,7 @@ from repro.experiments.presets import (
     REDUCED_SCALE,
     default_scale,
 )
+from repro.faults.schedule import FaultSchedule
 from repro.scenarios.registry import Registry
 from repro.scenarios.study import Scenario, Study, TrainStage
 from repro.traffic import LoadSchedule, canonical_pattern_name
@@ -43,6 +44,7 @@ __all__ = [
     "link_heatmap_study",
     "load_study",
     "register_study",
+    "resilience_study",
     "study_by_name",
     "transfer_study",
     "warm_fig5_study",
@@ -638,6 +640,110 @@ def cross_topology_study(
     )
 
 
+def _single_link_fault(config: object, warmup_ns: float,
+                       sim_time_ns: float) -> FaultSchedule:
+    """One deterministic mid-run link failure (with recovery) for a family.
+
+    Fails the first connected network link in canonical port order — router 0,
+    lowest wired network port — 40% of the way into the measured window, and
+    brings it back at the 70% mark, leaving a post-recovery tail for the
+    re-convergence probe to measure against.
+    """
+    from repro.topology.registry import topology_for
+
+    topo = topology_for(config)
+    for router in topo.all_routers():
+        for port in topo.network_ports_of(router):
+            if topo.neighbor_of(router, port) is not None:
+                window = sim_time_ns - warmup_ns
+                down = warmup_ns + 0.4 * window
+                up = warmup_ns + 0.7 * window
+                return FaultSchedule.single_link_failure(
+                    down, router, port, recover_ns=up)
+    raise ValueError("topology has no connected network link to fail")
+
+
+def resilience_study(
+    scale: Optional[ExperimentScale] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    patterns: Optional[Sequence[str]] = None,
+) -> Study:
+    """How fast each algorithm routes around a failed link, per topology.
+
+    One scenario per topology family (Dragonfly, mesh, torus) runs the
+    topology-generic algorithm slice (Q-routing, MIN, VAL) with a
+    deterministic mid-run link failure and recovery injected through
+    :mod:`repro.faults`.  The ``fault-delivery`` probe reports the delivery
+    rate of every failure epoch and the ``reconvergence`` probe the time each
+    algorithm needs to pull latency back inside the steady-state band, so
+    ``repro-sim report`` renders a routed-around-the-failure table per run.
+
+    Dragonfly additionally runs the adversarial pattern (ADV+i is defined by
+    Dragonfly's group structure); the mesh and torus scenarios keep the
+    topology-generic patterns.  As in the cross-topology study, the mesh and
+    torus configs and loads come from the ``*-bench`` scale presets while the
+    passed ``scale`` sets the windows, the seed and the Dragonfly config.
+    """
+    from repro.experiments.presets import scale_by_name
+
+    scale = scale or default_scale()
+    algorithms = tuple(algorithms or ("Q-routing", "MIN", "VAL"))
+    df_patterns = tuple(patterns or ("UR", "ADV+1", "Hotspot"))
+    # ADV+i shifts by Dragonfly group — keep only generic patterns elsewhere.
+    generic = tuple(
+        p for p in df_patterns
+        if not canonical_pattern_name(p).upper().startswith("ADV")
+    ) or ("UR",)
+
+    def loads_of(sc: ExperimentScale,
+                 pats: Sequence[str]) -> Dict[str, Tuple[float, ...]]:
+        return {p: (_reference_load(sc, p),) for p in pats}
+
+    def fault_for(config: object) -> FaultSchedule:
+        # Scenarios inherit the *study* windows, so every family's failure
+        # lands at the same simulated time.
+        return _single_link_fault(config, scale.warmup_ns, scale.sim_time_ns)
+
+    mesh = scale_by_name("mesh-bench")
+    torus = scale_by_name("torus-bench")
+    return Study(
+        name="resilience",
+        description="Degraded-mode routing: delivery rate per failure epoch "
+                    "and latency re-convergence time after a mid-run link "
+                    "failure, per algorithm and topology family",
+        config=scale.config,
+        sim_time_ns=scale.sim_time_ns,
+        warmup_ns=scale.warmup_ns,
+        seed=scale.seed,
+        telemetry=("fault-delivery", "reconvergence"),
+        scenarios=[
+            Scenario(
+                name="dragonfly",
+                routing=algorithms,
+                pattern=df_patterns,
+                loads_by_pattern=loads_of(scale, df_patterns),
+                faults=fault_for(scale.config),
+            ),
+            Scenario(
+                name="mesh",
+                config=mesh.config,
+                routing=algorithms,
+                pattern=generic,
+                loads_by_pattern=loads_of(mesh, generic),
+                faults=fault_for(mesh.config),
+            ),
+            Scenario(
+                name="torus",
+                config=torus.config,
+                routing=algorithms,
+                pattern=generic,
+                loads_by_pattern=loads_of(torus, generic),
+                faults=fault_for(torus.config),
+            ),
+        ],
+    )
+
+
 # ------------------------------------------------------------------ headline
 def headline_study(
     scale: Optional[ExperimentScale] = None,
@@ -698,3 +804,7 @@ register_study("link-heatmap", link_heatmap_study, aliases=("link_heatmap",),
 register_study("cross-topology", cross_topology_study, aliases=("cross_topology",),
                metadata={"summary": "Q-routing vs MIN vs VAL on Dragonfly, "
                                     "fat-tree, mesh and torus + link heatmaps"})
+register_study("resilience", resilience_study, aliases=("faults",),
+               metadata={"summary": "faults: per-epoch delivery rate and "
+                                    "re-convergence time after a link failure, "
+                                    "per algorithm and topology family"})

@@ -28,27 +28,31 @@ from typing import Any, Collection, Dict, Mapping, Sequence, Tuple, Union
 #: (2: added the optional ``warm_start`` checkpoint reference.
 #:  3: added the optional ``telemetry`` probe list.
 #:  4: the Dragonfly-only ``config`` block became the topology-generic
-#:     ``topology`` block carrying a ``family`` discriminator.)
-SPEC_SCHEMA_VERSION = 4
+#:     ``topology`` block carrying a ``family`` discriminator.
+#:  5: added the optional ``faults`` block — a serialized
+#:     :class:`~repro.faults.schedule.FaultSchedule`.)
+SPEC_SCHEMA_VERSION = 5
 
 #: spec schema versions this build can read.  Version-1 documents predate
 #: ``warm_start``, version-2 documents predate ``telemetry``, version-3
-#: documents spell the topology as a family-less Dragonfly ``config`` block;
-#: all load unchanged with the newer fields at their defaults.
-SPEC_SCHEMA_COMPAT = (1, 2, 3, 4)
+#: documents spell the topology as a family-less Dragonfly ``config`` block,
+#: version-4 documents predate ``faults``; all load unchanged with the newer
+#: fields at their defaults.
+SPEC_SCHEMA_COMPAT = (1, 2, 3, 4, 5)
 
 #: schema version of a serialized Study document.
 #: (2: added the optional ``train`` stage for staged train/eval studies.
 #:  3: added the optional ``telemetry`` probe lists on studies/scenarios.
 #:  4: ``config`` blocks became topology-generic, carrying an optional
-#:     ``family`` discriminator that defaults to ``"dragonfly"``.)
-STUDY_SCHEMA_VERSION = 4
+#:     ``family`` discriminator that defaults to ``"dragonfly"``.
+#:  5: added the optional ``faults`` blocks on studies/scenarios.)
+STUDY_SCHEMA_VERSION = 5
 
 #: study schema versions this build can read.  Version-1 documents predate
 #: the ``train`` stage, version-2 documents predate ``telemetry``, version-3
-#: documents predate topology families; all load unchanged with the newer
-#: fields at their defaults.
-STUDY_SCHEMA_COMPAT = (1, 2, 3, 4)
+#: documents predate topology families, version-4 documents predate
+#: ``faults``; all load unchanged with the newer fields at their defaults.
+STUDY_SCHEMA_COMPAT = (1, 2, 3, 4, 5)
 
 #: tag → (module, class) of hyper-parameter objects allowed inside kwargs.
 PARAM_CODECS: Dict[str, Tuple[str, str]] = {

@@ -40,6 +40,8 @@ from typing import (
     Union,
 )
 
+from repro.experiments.options import UNSET, RunOptions
+from repro.faults.schedule import FaultSchedule
 from repro.network.params import NetworkParams
 from repro.routing import canonical_routing_name
 from repro.scenarios.serialize import (
@@ -110,12 +112,21 @@ class Scenario:
     #: names from :data:`repro.instrument.PROBE_REGISTRY`); ``None`` falls
     #: back to the owning study's default.
     telemetry: Optional[Sequence[str]] = None
+    #: fault schedule injected into every run of this scenario (see
+    #: :mod:`repro.faults`); ``None`` falls back to the owning study's
+    #: default.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValueError(f"a scenario needs a non-empty string name, got {self.name!r}")
         if self.telemetry is not None:
             self.telemetry = _canonical_telemetry(self.telemetry)
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ValueError(
+                f"scenario {self.name!r}: faults must be a FaultSchedule, "
+                f"got {type(self.faults).__name__}"
+            )
         self.routing = _names_tuple(self.routing, canonical_routing_name)
         self.pattern = _names_tuple(self.pattern, canonical_pattern_name)
         self.loads = tuple(float(load) for load in self.loads)
@@ -186,6 +197,8 @@ class Scenario:
             }
         if self.telemetry is not None:
             data["telemetry"] = list(self.telemetry)
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
@@ -197,7 +210,7 @@ class Scenario:
             optional=("routing", "pattern", "loads", "loads_by_pattern", "schedule",
                       "replicates", "config", "sim_time_ns", "warmup_ns",
                       "stats_bin_ns", "seed", "arrival", "network_params",
-                      "routing_kwargs", "pattern_kwargs", "telemetry"),
+                      "routing_kwargs", "pattern_kwargs", "telemetry", "faults"),
             context=context,
         )
         kwargs: Dict = {"name": data["name"]}
@@ -223,6 +236,8 @@ class Scenario:
                 pattern: decode_kwargs(kw, f"{context}.pattern_kwargs")
                 for pattern, kw in data["pattern_kwargs"].items()
             }
+        if "faults" in data:
+            kwargs["faults"] = FaultSchedule.from_dict(data["faults"])
         return cls(**kwargs)
 
 
@@ -334,11 +349,19 @@ class Study:
     #: default telemetry probes of every scenario that does not set its own
     #: (canonical names from :data:`repro.instrument.PROBE_REGISTRY`).
     telemetry: Sequence[str] = ()
+    #: default fault schedule of every scenario that does not set its own
+    #: (see :mod:`repro.faults`); ``None`` keeps the fault layer out.
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValueError(f"a study needs a non-empty string name, got {self.name!r}")
         self.telemetry = _canonical_telemetry(self.telemetry) if self.telemetry else ()
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ValueError(
+                f"study {self.name!r}: faults must be a FaultSchedule, "
+                f"got {type(self.faults).__name__}"
+            )
         if self.train is not None and not isinstance(self.train, TrainStage):
             raise ValueError(
                 f"study {self.name!r}: train must be a TrainStage, "
@@ -372,6 +395,7 @@ class Study:
             network_params = scenario.network_params or self.network_params
             telemetry = (scenario.telemetry if scenario.telemetry is not None
                          else tuple(self.telemetry))
+            faults = scenario.faults if scenario.faults is not None else self.faults
             for pattern in scenario.pattern:
                 if scenario.schedule is not None:
                     loads: Tuple[Optional[float], ...] = (None,)
@@ -403,6 +427,7 @@ class Study:
                                 arrival=arrival,
                                 stats_bin_ns=stats_bin,
                                 telemetry=telemetry,
+                                faults=faults,
                             )
                             points.append(StudyPoint(scenario.name, index, spec))
         return points
@@ -416,22 +441,34 @@ class Study:
 
     # -------------------------------------------------------------- execution
     def run(self, runner: Optional["SweepRunner"] = None,
-            store: "StoreLike" = None) -> "StudyResult":
+            store: object = UNSET, *,
+            options: Optional[RunOptions] = None) -> "StudyResult":
         """Execute every expanded spec through a sweep runner.
 
-        ``runner=None`` honours the ``REPRO_WORKERS`` / ``REPRO_CACHE``
-        environment variables (serial, uncached when unset), exactly like the
-        figure drivers.
+        ``runner=None`` builds one from ``options``
+        (``workers``/``cache``/``progress``), falling back to the
+        ``REPRO_WORKERS`` / ``REPRO_CACHE`` environment variables (serial,
+        uncached when unset), exactly like the figure drivers.
+        ``options.telemetry``/``options.faults`` fold into every eval spec.
 
         Staged studies (``train`` set) run their training stage first —
-        through the artifact store ``store`` (default: the standard
+        through the artifact store ``options.store`` (default: the standard
         ``.cache/checkpoints`` store) — and warm-start the matching eval
-        specs from the resulting checkpoints.
+        specs from the resulting checkpoints.  The bare ``store=`` keyword is
+        a deprecated alias (removed in repro 2.0).
         """
         from repro.experiments.parallel import resolve_runner
 
-        runner = resolve_runner(runner)
+        options = (options or RunOptions()).merged_legacy("Study.run", store=store)
+        store = options.store
+        runner = resolve_runner(runner if runner is not None else options.make_runner())
         points = self.expand()
+        if options.telemetry or options.faults is not None:
+            points = [
+                StudyPoint(point.scenario, point.replicate,
+                           options.apply_to_spec(point.spec))
+                for point in points
+            ]
         checkpoints: Dict[str, str] = {}
         if self.train is not None:
             checkpoints = self.run_train_stage(store)
@@ -500,7 +537,7 @@ class Study:
                 stats_bin_ns=self.stats_bin_ns,
                 label=f"train:{routing}",
             )
-            trained = train_experiment(spec, store)
+            trained = train_experiment(spec, options=RunOptions(store=store))
             checkpoints[spec.routing] = str(trained.checkpoint.path)
         return checkpoints
 
@@ -556,6 +593,8 @@ class Study:
             data["train"] = self.train.to_dict()
         if self.telemetry:
             data["telemetry"] = list(self.telemetry)
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
@@ -565,7 +604,7 @@ class Study:
             required=("schema", "name", "config", "scenarios"),
             optional=("sim_time_ns", "warmup_ns", "stats_bin_ns", "seed",
                       "arrival", "network_params", "description", "train",
-                      "telemetry"),
+                      "telemetry", "faults"),
             context="Study",
         )
         # Documents are written at STUDY_SCHEMA_VERSION; version-1 documents
@@ -589,6 +628,8 @@ class Study:
             kwargs["network_params"] = NetworkParams.from_dict(data["network_params"])
         if "train" in data:
             kwargs["train"] = TrainStage.from_dict(data["train"])
+        if "faults" in data:
+            kwargs["faults"] = FaultSchedule.from_dict(data["faults"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------------ files

@@ -18,7 +18,7 @@ if _SRC not in sys.path:  # pragma: no cover - environment dependent
 
 from repro.engine.rng import RngFactory  # noqa: E402
 from repro.engine.simulator import Simulator  # noqa: E402
-from repro.network.network import DragonflyNetwork  # noqa: E402
+from repro.network.network import Network  # noqa: E402
 from repro.network.params import NetworkParams  # noqa: E402
 from repro.topology.config import DragonflyConfig  # noqa: E402
 from repro.topology.dragonfly import DragonflyTopology  # noqa: E402
@@ -60,11 +60,11 @@ def tiny_topo(tiny_config) -> DragonflyTopology:
 
 
 def build_network(routing, config=None, seed: int = 7, record_paths: bool = False,
-                  **param_overrides) -> DragonflyNetwork:
+                  **param_overrides) -> Network:
     """Helper used across tests to build a small network quickly."""
     config = config or DragonflyConfig.small_72()
     params = NetworkParams(record_paths=record_paths, **param_overrides)
-    return DragonflyNetwork(config, routing, params=params, seed=seed)
+    return Network(config, routing, params=params, seed=seed)
 
 
 @pytest.fixture

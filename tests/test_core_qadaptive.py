@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.qadaptive import QAdaptiveParams, QAdaptiveRouting
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.topology.config import DragonflyConfig
 from repro.topology.dragonfly import DragonflyTopology
@@ -16,7 +16,7 @@ CONFIG = DragonflyConfig.small_72()
 def _network(routing=None, **params_overrides):
     routing = routing or QAdaptiveRouting()
     params = NetworkParams(**params_overrides)
-    return DragonflyNetwork(CONFIG, routing, params=params, seed=9)
+    return Network(CONFIG, routing, params=params, seed=9)
 
 
 def test_default_params_match_section_5_1():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.qrouting import QRoutingAlgorithm, QRoutingParams
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.topology.config import DragonflyConfig
 from repro.topology.dragonfly import DragonflyTopology
@@ -34,7 +34,7 @@ def test_vc_budget_scales_with_maxq():
 
 def test_tables_are_per_destination_router():
     routing = QRoutingAlgorithm(max_q=2)
-    net = DragonflyNetwork(CONFIG, routing, seed=3)
+    net = Network(CONFIG, routing, seed=3)
     table = routing.table(0)
     assert table.shape == (net.topo.num_routers, net.topo.k - net.topo.p)
     # twice the rows of the two-level design for a balanced Dragonfly
@@ -43,7 +43,7 @@ def test_tables_are_per_destination_router():
 
 def test_maxq_zero_behaves_like_minimal_routing():
     routing = QRoutingAlgorithm(max_q=0, epsilon=0.0)
-    net = DragonflyNetwork(CONFIG, routing, params=NetworkParams(record_paths=True), seed=3)
+    net = Network(CONFIG, routing, params=NetworkParams(record_paths=True), seed=3)
     topo = net.topo
     dst = next(n for n in topo.all_nodes() if topo.minimal_hops(0, topo.router_of_node(n)) == 3)
     packet = net.send(0, dst)
@@ -57,7 +57,7 @@ def test_maxq_zero_behaves_like_minimal_routing():
 def test_hop_bound_maxq_plus_three():
     maxq = 3
     routing = QRoutingAlgorithm(max_q=maxq, epsilon=0.3)  # heavy exploration
-    net = DragonflyNetwork(CONFIG, routing, seed=4)
+    net = Network(CONFIG, routing, seed=4)
     gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.25)
     gen.start()
     net.run(until=15_000.0)
@@ -68,7 +68,7 @@ def test_hop_bound_maxq_plus_three():
 
 def test_learning_happens_and_packets_delivered():
     routing = QRoutingAlgorithm(max_q=4)
-    net = DragonflyNetwork(CONFIG, routing, seed=4)
+    net = Network(CONFIG, routing, seed=4)
     gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.25, stop_ns=8_000.0)
     gen.start()
     net.run(until=8_000.0)

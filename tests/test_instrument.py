@@ -27,7 +27,7 @@ from repro.instrument import (
     make_probe,
 )
 from repro.instrument.report import analyze_document, export_payload, render_report
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.routing import make_routing
 from repro.topology.config import DragonflyConfig
 from repro.traffic import TrafficGenerator, UniformRandomTraffic
@@ -41,11 +41,11 @@ def _strict_loads(text: str):
     return json.loads(text, parse_constant=reject)
 
 
-def _tiny_network(routing_name: str = "Q-adp", seed: int = 3) -> DragonflyNetwork:
-    return DragonflyNetwork(DragonflyConfig.tiny(), make_routing(routing_name), seed=seed)
+def _tiny_network(routing_name: str = "Q-adp", seed: int = 3) -> Network:
+    return Network(DragonflyConfig.tiny(), make_routing(routing_name), seed=seed)
 
 
-def _drive(net: DragonflyNetwork, until: float = 12_000.0, load: float = 0.6) -> None:
+def _drive(net: Network, until: float = 12_000.0, load: float = 0.6) -> None:
     generator = TrafficGenerator(net, UniformRandomTraffic(), offered_load=load)
     generator.start()
     net.run(until=until)
@@ -157,7 +157,11 @@ def test_two_delivery_listeners_both_fire():
 def test_legacy_on_delivery_slot_still_fires():
     net = _tiny_network("MIN")
     seen: list = []
-    net.nics[0].on_delivery = lambda packet, now: seen.append(packet)
+    # The single-listener slot is deprecated (removed in repro 2.0): the
+    # assignment must warn, but the behaviour is kept until then.
+    with pytest.warns(DeprecationWarning, match="on_delivery is deprecated"):
+        net.nics[0].on_delivery = lambda packet, now: seen.append(packet)
+    assert net.nics[0].on_delivery is not None  # reading stays silent
     _drive(net, until=6_000.0)
     assert net.nics[0].delivered_packets > 0
     assert len(seen) == net.nics[0].delivered_packets
@@ -264,7 +268,8 @@ def test_probe_registry_canonical_names():
     with pytest.raises(ValueError, match="unknown telemetry probe"):
         make_probe("no-such-probe")
     assert list(available_probes()) == [
-        "link-util", "queue-occupancy", "source-latency", "q-convergence"]
+        "link-util", "queue-occupancy", "source-latency", "q-convergence",
+        "fault-delivery", "reconvergence"]
 
 
 def test_jain_fairness_index():
@@ -294,7 +299,7 @@ def test_spec_telemetry_canonicalised_and_serialized():
     spec = _telemetry_spec()
     assert spec.telemetry == ("source-latency", "link-util", "q-convergence")
     data = spec.to_dict()
-    assert data["schema"] == 4
+    assert data["schema"] == 5
     assert data["telemetry"] == ["source-latency", "link-util", "q-convergence"]
     assert ExperimentSpec.from_dict(data) == spec
     with pytest.raises(ValueError, match="unknown telemetry probe"):
@@ -396,7 +401,7 @@ def test_report_max_rows_one_does_not_crash():
     assert "Q-convergence" in render_report(doc, max_rows=1)
 
 
-def test_study_documents_written_at_schema_4_and_v2_still_loads():
+def test_study_documents_written_at_schema_5_and_v2_still_loads():
     from repro.scenarios.study import Scenario, Study
 
     study = Study(
@@ -405,7 +410,7 @@ def test_study_documents_written_at_schema_4_and_v2_still_loads():
         scenarios=[Scenario(name="s", loads=(0.3,))],
     )
     data = study.to_dict()
-    assert data["schema"] == 4 and data["telemetry"] == ["link-util"]
+    assert data["schema"] == 5 and data["telemetry"] == ["link-util"]
     assert Study.from_dict(data).to_dict() == data
     # A pre-telemetry (v2) document reads unchanged with no probes attached.
     v2 = {k: v for k, v in data.items() if k != "telemetry"}

@@ -8,7 +8,7 @@ wins under UR, non-minimal/adaptive wins under ADV+i, Q-adaptive learns).
 
 import pytest
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.routing import make_routing
 from repro.topology.config import DragonflyConfig
@@ -29,7 +29,7 @@ HOP_BOUNDS = {
 
 
 def _run(algorithm, pattern, load=0.25, horizon=12_000.0, record_paths=False, seed=17):
-    net = DragonflyNetwork(
+    net = Network(
         CONFIG,
         make_routing(algorithm),
         params=NetworkParams(record_paths=record_paths),
@@ -56,7 +56,7 @@ def test_all_packets_delivered_within_hop_bound(algorithm, pattern):
 @pytest.mark.parametrize("algorithm", ["MIN", "UGALn", "PAR", "Q-adp"])
 def test_paths_are_topologically_legal(algorithm):
     checked = 0
-    probe_net = DragonflyNetwork(
+    probe_net = Network(
         CONFIG, make_routing(algorithm), params=NetworkParams(record_paths=True), seed=3
     )
     packets = []

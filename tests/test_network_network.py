@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.routing.minimal import MinimalRouting
 from repro.topology.config import DragonflyConfig
@@ -11,7 +11,7 @@ from repro.topology.paths import minimal_delivery_time
 
 def _network(config=None, **kwargs):
     config = config or DragonflyConfig.small_72()
-    return DragonflyNetwork(config, MinimalRouting(), **kwargs)
+    return Network(config, MinimalRouting(), **kwargs)
 
 
 def test_component_counts_match_topology():
@@ -42,7 +42,7 @@ def test_channels_wired_consistently_with_topology():
 def test_num_vcs_comes_from_routing_algorithm():
     net = _network()
     assert net.params.num_vcs == 3  # MIN needs one VC per minimal hop
-    explicit = DragonflyNetwork(
+    explicit = Network(
         DragonflyConfig.tiny(), MinimalRouting(), params=NetworkParams(num_vcs=7)
     )
     assert explicit.params.num_vcs == 7
@@ -84,7 +84,7 @@ def test_send_rejects_self_traffic():
 
 
 def test_record_paths_traces_visited_routers():
-    net = DragonflyNetwork(
+    net = Network(
         DragonflyConfig.small_72(), MinimalRouting(), params=NetworkParams(record_paths=True)
     )
     topo = net.topo
@@ -120,9 +120,9 @@ def test_many_packets_all_delivered_and_credits_restored():
 
 def test_routing_instance_cannot_be_shared_between_networks():
     routing = MinimalRouting()
-    DragonflyNetwork(DragonflyConfig.tiny(), routing)
+    Network(DragonflyConfig.tiny(), routing)
     with pytest.raises(RuntimeError):
-        DragonflyNetwork(DragonflyConfig.tiny(), routing)
+        Network(DragonflyConfig.tiny(), routing)
 
 
 def test_ejection_port_serializes_back_to_back_deliveries():
@@ -147,3 +147,17 @@ def test_run_stats_counts_match_collector():
     assert stats.delivered_packets == 2
     assert stats.measured_packets == 2
     assert stats.mean_hops >= 0
+
+
+def test_dragonfly_network_alias_is_deprecated_shim():
+    """``DragonflyNetwork`` predates the topology-generic core: accessing the
+    alias must warn (removed in repro 2.0) but still resolve to Network."""
+    import repro
+    import repro.network
+    import repro.network.network as network_module
+
+    for module in (repro, repro.network, network_module):
+        with pytest.warns(DeprecationWarning, match="DragonflyNetwork is a"
+                                                    " deprecated alias"):
+            alias = module.DragonflyNetwork
+        assert alias is Network

@@ -1,13 +1,13 @@
 """Unit tests for NIC injection behaviour."""
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.routing.minimal import MinimalRouting
 from repro.topology.config import DragonflyConfig
 
 
 def test_injection_respects_serialization_rate():
-    net = DragonflyNetwork(DragonflyConfig.tiny(), MinimalRouting())
+    net = Network(DragonflyConfig.tiny(), MinimalRouting())
     nic = net.nics[0]
     packets = [net.send(0, 2) for _ in range(4)]
     net.run()
@@ -19,7 +19,7 @@ def test_injection_respects_serialization_rate():
 
 
 def test_delivery_counted_at_destination_nic():
-    net = DragonflyNetwork(DragonflyConfig.tiny(), MinimalRouting())
+    net = Network(DragonflyConfig.tiny(), MinimalRouting())
     net.send(0, 2)
     net.run()
     assert net.nics[2].delivered_packets == 1
@@ -27,7 +27,7 @@ def test_delivery_counted_at_destination_nic():
 
 def test_finite_injection_queue_drops_excess():
     params = NetworkParams(injection_queue_packets=2)
-    net = DragonflyNetwork(DragonflyConfig.tiny(), MinimalRouting(), params=params)
+    net = Network(DragonflyConfig.tiny(), MinimalRouting(), params=params)
     nic = net.nics[0]
     accepted = 0
     for _ in range(6):
@@ -41,7 +41,7 @@ def test_finite_injection_queue_drops_excess():
 
 
 def test_queue_length_decreases_as_packets_leave():
-    net = DragonflyNetwork(DragonflyConfig.tiny(), MinimalRouting())
+    net = Network(DragonflyConfig.tiny(), MinimalRouting())
     nic = net.nics[0]
     for _ in range(3):
         net.send(0, 2)
@@ -51,7 +51,7 @@ def test_queue_length_decreases_as_packets_leave():
 
 
 def test_unbounded_queue_accepts_everything():
-    net = DragonflyNetwork(DragonflyConfig.tiny(), MinimalRouting())
+    net = Network(DragonflyConfig.tiny(), MinimalRouting())
     nic = net.nics[0]
     for _ in range(100):
         assert nic.can_accept()

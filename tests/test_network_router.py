@@ -1,6 +1,6 @@
 """Unit tests for router-level behaviour (congestion queries, flow control)."""
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.routing.minimal import MinimalRouting
 from repro.topology.config import DragonflyConfig
@@ -8,7 +8,7 @@ from repro.topology.config import DragonflyConfig
 
 def _loaded_network():
     """A tiny network with a burst of traffic through router 0."""
-    return DragonflyNetwork(
+    return Network(
         DragonflyConfig.tiny(),
         MinimalRouting(),
         params=NetworkParams(vc_buffer_packets=4),
@@ -113,7 +113,7 @@ def test_serve_waiting_restores_order_when_no_waiter_is_eligible():
 
 def test_small_buffers_still_deliver_everything():
     """Back-pressure with 1-packet buffers must not deadlock or drop packets."""
-    net = DragonflyNetwork(
+    net = Network(
         DragonflyConfig.tiny(),
         MinimalRouting(),
         params=NetworkParams(vc_buffer_packets=1),

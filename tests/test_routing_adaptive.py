@@ -1,6 +1,6 @@
 """Tests for the adaptive baselines: UGALg, UGALn and PAR."""
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.routing.par import ParRouting
 from repro.routing.ugal import UgalGRouting, UgalNRouting
@@ -13,7 +13,7 @@ CONFIG = DragonflyConfig.small_72()
 
 
 def _drive(routing, pattern, load=0.3, until=15_000.0, record_paths=True, seed=5):
-    net = DragonflyNetwork(
+    net = Network(
         CONFIG, routing, params=NetworkParams(record_paths=record_paths), seed=seed
     )
     gen = TrafficGenerator(net, pattern, offered_load=load)

@@ -5,7 +5,7 @@ import pytest
 from repro.core.marl import TabularMarlRouting
 from repro.core.qadaptive import QAdaptiveRouting
 from repro.network.link import Channel
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.minimal import MinimalRouting
 from repro.topology.config import DragonflyConfig
@@ -19,7 +19,7 @@ def test_routing_base_is_abstract():
 
 def test_routing_attach_binds_topology_and_rng():
     routing = MinimalRouting()
-    net = DragonflyNetwork(DragonflyConfig.tiny(), routing)
+    net = Network(DragonflyConfig.tiny(), routing)
     assert routing.network is net
     assert routing.topo is net.topo
     assert routing.rng is not None
@@ -31,7 +31,7 @@ def test_routing_attach_binds_topology_and_rng():
 
 def test_route_ejects_at_destination_router():
     routing = MinimalRouting()
-    net = DragonflyNetwork(DragonflyConfig.tiny(), routing)
+    net = Network(DragonflyConfig.tiny(), routing)
     topo = net.topo
     packet = net.create_packet(0, 1)
     out_port = routing.route(net.routers[topo.router_of_node(1)], packet, in_port=0)
@@ -41,7 +41,7 @@ def test_route_ejects_at_destination_router():
 
 def test_minimal_port_helper_matches_topology():
     routing = MinimalRouting()
-    net = DragonflyNetwork(DragonflyConfig.small_72(), routing)
+    net = Network(DragonflyConfig.small_72(), routing)
     topo = net.topo
     packet = net.create_packet(0, topo.num_nodes - 1)
     router = net.routers[0]
@@ -69,7 +69,7 @@ def test_marl_base_rejects_bad_feedback_mode():
 def test_instant_feedback_applies_synchronously():
     routing = QAdaptiveRouting()
     routing.instant_feedback = True
-    net = DragonflyNetwork(DragonflyConfig.tiny(), routing, seed=1)
+    net = Network(DragonflyConfig.tiny(), routing, seed=1)
     net.send(0, net.topo.num_nodes - 1)
     net.run()
     # with instant feedback every sent update has been applied by the end of the run
@@ -78,7 +78,7 @@ def test_instant_feedback_applies_synchronously():
 
 def test_feedback_skipped_when_learning_disabled():
     routing = QAdaptiveRouting()
-    net = DragonflyNetwork(DragonflyConfig.tiny(), routing, seed=1)
+    net = Network(DragonflyConfig.tiny(), routing, seed=1)
     routing.freeze()
     net.send(0, net.topo.num_nodes - 1)
     net.run()
@@ -88,7 +88,7 @@ def test_feedback_skipped_when_learning_disabled():
 
 def test_table_snapshot_modes():
     routing = QAdaptiveRouting()
-    DragonflyNetwork(DragonflyConfig.tiny(), routing, seed=1)
+    Network(DragonflyConfig.tiny(), routing, seed=1)
     per_router_means = routing.table_snapshot()
     assert len(per_router_means) == 6  # tiny() has 6 routers
     single = routing.table_snapshot(0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.network.params import NetworkParams
 from repro.routing import make_routing
 from repro.routing.minimal import MinimalRouting
@@ -21,7 +21,7 @@ CONFIG = DragonflyConfig.small_72()
 
 def _run_pairs(routing, pairs, config=CONFIG):
     """Send one packet per (src, dst) pair and return the delivered packets."""
-    net = DragonflyNetwork(config, routing, params=NetworkParams(record_paths=True), seed=11)
+    net = Network(config, routing, params=NetworkParams(record_paths=True), seed=11)
     packets = [net.send(src, dst) for src, dst in pairs]
     net.run()
     assert all(p.delivered for p in packets)

@@ -98,7 +98,7 @@ def test_spec_round_trip_with_schedule():
 def test_spec_dict_is_json_ready_and_versioned():
     spec = _spec(routing_kwargs={"max_q": 3}, routing="Q-routing")
     data = spec.to_dict()
-    assert data["schema"] == 4
+    assert data["schema"] == 5
     json.dumps(data)  # no custom types anywhere
 
 

@@ -422,7 +422,7 @@ def test_staged_study_runs_overridden_topology_scenarios_cold(tmp_path):
 def test_staged_study_round_trips_as_document(tmp_path):
     study = _staged_study()
     data = study.to_dict()
-    assert data["schema"] == 4
+    assert data["schema"] == 5
     assert data["train"]["pattern"] == "UR"
     json.dumps(data)
     clone = Study.from_dict(data)

@@ -220,7 +220,7 @@ def _spec(config) -> ExperimentSpec:
 def test_spec_topology_block_round_trips(config):
     spec = _spec(config)
     data = spec.to_dict()
-    assert data["schema"] == 4
+    assert data["schema"] == 5
     assert data["topology"]["family"] == family_of_config(config).family
     assert "config" not in data
     clone = ExperimentSpec.from_dict(data)

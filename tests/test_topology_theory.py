@@ -50,12 +50,12 @@ def test_all_bounds_keys():
 
 def test_simulated_min_throughput_respects_adv_bound():
     """The simulator must not exceed the analytic MIN bound under ADV+1."""
-    from repro.network.network import DragonflyNetwork
+    from repro.network.network import Network
     from repro.routing.minimal import MinimalRouting
     from repro.traffic import AdversarialTraffic, TrafficGenerator
 
     config = DragonflyConfig.small_72()
-    net = DragonflyNetwork(config, MinimalRouting(), seed=6, warmup_ns=10_000.0)
+    net = Network(config, MinimalRouting(), seed=6, warmup_ns=10_000.0)
     gen = TrafficGenerator(net, AdversarialTraffic(1), offered_load=0.4)
     gen.start()
     net.run(until=30_000.0)
@@ -66,12 +66,12 @@ def test_simulated_min_throughput_respects_adv_bound():
 
 
 def test_simulated_ur_throughput_respects_bound():
-    from repro.network.network import DragonflyNetwork
+    from repro.network.network import Network
     from repro.routing.minimal import MinimalRouting
     from repro.traffic import TrafficGenerator, UniformRandomTraffic
 
     config = DragonflyConfig.small_72()
-    net = DragonflyNetwork(config, MinimalRouting(), seed=6, warmup_ns=8_000.0)
+    net = Network(config, MinimalRouting(), seed=6, warmup_ns=8_000.0)
     gen = TrafficGenerator(net, UniformRandomTraffic(), offered_load=0.5)
     gen.start()
     net.run(until=24_000.0)

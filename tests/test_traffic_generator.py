@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.network.network import DragonflyNetwork
+from repro.network.network import Network
 from repro.routing.minimal import MinimalRouting
 from repro.topology.config import DragonflyConfig
 from repro.traffic import LoadSchedule, TrafficGenerator, UniformRandomTraffic
 
 
 def _network(seed=5):
-    return DragonflyNetwork(DragonflyConfig.tiny(), MinimalRouting(), seed=seed)
+    return Network(DragonflyConfig.tiny(), MinimalRouting(), seed=seed)
 
 
 # --------------------------------------------------------------- LoadSchedule
