@@ -11,6 +11,10 @@ that results are comparable across commits:
   routing under uniform-random traffic on the 72-node system); these also
   emit a *determinism fingerprint* (``events_processed`` plus the aggregate
   statistics), which must be bit-for-bit identical on every machine.
+* ``batch`` — the batched replicate backend advancing 1/8/32 derived seeds of
+  the ``smoke_qadp_ur`` spec in lockstep; records aggregate events/sec, the
+  ``batched_vs_scalar`` speedup, and per-replicate fingerprints that are
+  asserted bit-identical to the scalar run and batch-size independent.
 * ``fig5_fast_sweep`` — wall time of the fast-scale Figure 5 sweep, the
   workload behind ``BENCH_parallel.json`` (full mode only).
 
@@ -157,6 +161,86 @@ def network_run(routing: str, pattern: str, offered_load: float,
     }
 
 
+def batch_run(scalar_ref: dict, batch_sizes=(1, 8, 32)) -> dict:
+    """Batched replicate backend on the ``smoke_qadp_ur`` spec.
+
+    Runs the pinned spec under ``derive_replicate_seeds(SEED, n)`` for each
+    batch size, recording aggregate events/sec (scalar-equivalent events of
+    all replicates over the batch wall time) and the per-replicate
+    determinism fingerprints.  Two invariants are asserted in-process:
+
+    * replicate 0 (seed ``SEED``) reproduces the scalar workload's
+      fingerprint bit-for-bit at every batch size;
+    * each batch is a prefix-extension of the smaller ones — replicate
+      fingerprints depend only on (spec, seed), never on batch size.
+
+    ``batched_vs_scalar`` records the aggregate-throughput ratio of the
+    largest batch against the scalar reference run.
+    """
+    from repro.engine.batch import BatchSimulation
+    from repro.engine.rng import derive_replicate_seeds
+
+    spec = ExperimentSpec(
+        config=CONFIG, routing="Q-adp", pattern="UR", offered_load=0.5,
+        sim_time_ns=8_000.0, warmup_ns=3_000.0, seed=SEED,
+    )
+    sizes: dict = {}
+    fingerprints: dict = {}
+    for n in batch_sizes:
+        seeds = derive_replicate_seeds(SEED, n)
+        started = time.perf_counter()
+        sim = BatchSimulation(spec, seeds)
+        results = sim.results()
+        wall = time.perf_counter() - started
+        events = sim.events_processed()
+        fps = []
+        for result, count in zip(results, events):
+            stats = result.stats
+            fps.append({
+                "events_processed": count,
+                "generated_packets": stats.generated_packets,
+                "delivered_packets": stats.delivered_packets,
+                "measured_packets": stats.measured_packets,
+                "mean_latency_ns": stats.mean_latency_ns,
+                "mean_hops": stats.mean_hops,
+                "throughput": stats.throughput,
+                "latency_p99_ns": stats.latency.p99,
+            })
+        assert fps[0] == scalar_ref["fingerprint"], (
+            f"batched replicate 0 diverged from the scalar run at n={n}")
+        for smaller in sizes.values():
+            prefix = fingerprints[smaller["batch_size"]]
+            assert fps[:len(prefix)] == prefix, (
+                f"batch size {n} is not a prefix-extension of "
+                f"{smaller['batch_size']}")
+        fingerprints[n] = fps
+        sizes[str(n)] = {
+            "batch_size": n,
+            "aggregate_events": sum(events),
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(sum(events) / wall, 1),
+        }
+    largest = sizes[str(batch_sizes[-1])]
+    scalar_eps = scalar_ref["events_per_sec"]
+    return {
+        "kind": "batch",
+        "routing": spec.routing,
+        "pattern": spec.pattern,
+        "offered_load": spec.offered_load,
+        "sim_time_ns": spec.sim_time_ns,
+        "sizes": sizes,
+        "events_per_sec": largest["events_per_sec"],
+        "batched_vs_scalar": {
+            "batch_size": largest["batch_size"],
+            "scalar_events_per_sec": scalar_eps,
+            "batched_events_per_sec": largest["events_per_sec"],
+            "speedup": round(largest["events_per_sec"] / scalar_eps, 2),
+        },
+        # Per-replicate fingerprints: bit-identical everywhere, any batch size.
+        "fingerprint": {str(n): fingerprints[n] for n in batch_sizes},
+    }
+
+
 def fig5_fast_sweep() -> dict:
     """Single-worker wall time of the fast-scale Figure 5 sweep."""
     from conftest import bench_scale
@@ -184,6 +268,9 @@ def collect(smoke_only: bool) -> dict:
     # topology-generic router/Q-table path and pins its fingerprint.
     workloads["smoke_qrouting_mesh_ur"] = network_run(
         "Q-routing", "UR", 0.3, 8_000.0, 3_000.0, config=MESH_CONFIG)
+    # Batched replicate backend: aggregate throughput at batch sizes 1/8/32
+    # plus per-replicate fingerprints (asserted identical to the scalar run).
+    workloads["smoke_batch_qadp_ur"] = batch_run(workloads["smoke_qadp_ur"])
     if not smoke_only:
         workloads["engine_churn"] = engine_churn(chains=4096, events_per_chain=60)
         workloads["qadp_ur"] = network_run("Q-adp", "UR", 0.5, 30_000.0, 10_000.0)
@@ -222,6 +309,10 @@ def check_against(fresh: dict, baseline_path: str, tolerance: float) -> int:
                                 f"{result['fingerprint']} != {base['fingerprint']}")
             else:
                 print(f"[check] {name}: determinism fingerprint identical")
+        if "batched_vs_scalar" in result and "batched_vs_scalar" in base:
+            print(f"[check] {name}: batched_vs_scalar speedup "
+                  f"{result['batched_vs_scalar']['speedup']}x "
+                  f"(baseline {base['batched_vs_scalar']['speedup']}x)")
     if failures:
         print("\nFAILED perf/determinism gate:", file=sys.stderr)
         for failure in failures:

@@ -13,6 +13,13 @@ short settling warm-up) against the cold sweep where every load point
 re-learns from scratch during its own full warm-up.  Unlike worker-pool
 fan-out this reduction does not depend on the CPU count — it removes
 simulated time.
+
+Finally, a workers x backend matrix times the same replicate workload (16
+derived seeds of the pinned Q-adp/UR spec) under every combination of
+``SweepRunner`` pool size and execution backend (scalar vs batched lockstep).
+Cells with ``expected_flat: true`` ran with more workers than CPUs — their
+wall times cannot improve on this machine and are recorded only to pin the
+overhead.
 """
 
 from __future__ import annotations
@@ -42,6 +49,60 @@ PATTERNS = ("UR", "ADV+1")
 
 #: load axis of the train-once/eval-many comparison (>= 4 points).
 TRAIN_ONCE_LOADS = (0.1, 0.3, 0.5, 0.7)
+
+#: replicate count of the workers x backend matrix.
+MATRIX_REPLICATES = 16
+
+
+def time_replicate_matrix(workers_list) -> dict:
+    """Wall time of one replicate workload per (backend, workers) cell.
+
+    The workload is ``MATRIX_REPLICATES`` derived seeds of the pinned
+    Q-adp/UR spec (the ``smoke_qadp_ur`` spec of ``bench_core``).  The
+    batched backend chunks the seeds so every worker gets one lockstep batch;
+    the scalar backend fans individual runs out over the pool.  Results are
+    bit-identical across all four cells, so only wall time varies.
+    """
+    from repro.experiments import ExperimentSpec
+    from repro.topology.config import DragonflyConfig
+
+    spec = ExperimentSpec(
+        config=DragonflyConfig.small_72(), routing="Q-adp", pattern="UR",
+        offered_load=0.5, sim_time_ns=8_000.0, warmup_ns=3_000.0, seed=7,
+    )
+    cpu_count = multiprocessing.cpu_count()
+    cells = {}
+    for backend in ("scalar", "batched"):
+        for workers in workers_list:
+            chunk = -(-MATRIX_REPLICATES // max(1, workers))
+            runner = SweepRunner(workers=workers)
+            started = time.perf_counter()
+            results = runner.run_replicates(
+                spec, MATRIX_REPLICATES, backend=backend, batch_size=chunk)
+            wall = time.perf_counter() - started
+            assert len(results) == MATRIX_REPLICATES
+            label = f"{backend}_workers_{workers}"
+            cells[label] = {
+                "backend": backend,
+                "workers": workers,
+                "wall_s": round(wall, 2),
+                # More workers than CPUs cannot speed anything up here; the
+                # cell is recorded to pin the overhead, not as a speedup claim.
+                "expected_flat": workers > cpu_count,
+            }
+            print(f"{label}: {cells[label]['wall_s']} s"
+                  f"{' (expected flat: workers > cpus)' if workers > cpu_count else ''}",
+                  flush=True)
+    return {
+        "replicates": MATRIX_REPLICATES,
+        "spec": {"routing": spec.routing, "pattern": spec.pattern,
+                 "offered_load": spec.offered_load,
+                 "sim_time_ns": spec.sim_time_ns, "seed": spec.seed},
+        "cells": cells,
+        "note": "all cells produce bit-identical per-replicate results; "
+                "cells with expected_flat=true ran with more workers than "
+                "CPUs and cannot show speedup on the recording machine",
+    }
 
 
 def time_train_once_eval_many(scale) -> dict:
@@ -112,12 +173,16 @@ def main() -> None:
           f"{train_once['train_once_wall_s']} s "
           f"({train_once['speedup']}x)", flush=True)
 
+    print("timing the workers x backend replicate matrix...", flush=True)
+    replicate_matrix = time_replicate_matrix(args.workers)
+
     payload = {
         "benchmark": "bench_fig5_load_sweep (fast bench scale)",
         "workload": {"algorithms": list(ALGORITHMS), "patterns": list(PATTERNS),
                      "runs": runs},
         "wall_time_s": timings,
         "train_once_eval_many": train_once,
+        "replicate_backend_matrix": replicate_matrix,
         "machine": {"cpu_count": cpu_count,
                     "python": platform.python_version(),
                     "platform": platform.platform()},

@@ -95,6 +95,7 @@ from repro.experiments import (
     figure9_scaleup,
     print_progress,
     run_experiment,
+    run_replicates,
     table1_configurations,
     table_qtable_memory,
     train_experiment,
@@ -202,6 +203,32 @@ def _resolve_warm_start(args: argparse.Namespace) -> str:
         raise SystemExit(str(exc)) from None
 
 
+def _run_replicate_batch(args: argparse.Namespace, spec: "ExperimentSpec") -> int:
+    """``run --replicates N [--backend batched]``: one summary row per seed.
+
+    ``UnsupportedByBackend`` (a ``ValueError``) surfaces as a clean exit — the
+    batched backend refuses telemetry/faults/warm-start specs up front rather
+    than approximating them.
+    """
+    replicates = args.replicates if args.replicates is not None else 1
+    if replicates < 1:
+        raise SystemExit("--replicates must be at least 1")
+    options = RunOptions(backend=args.backend, save_state=args.save_state,
+                         store=args.store)
+    try:
+        results = run_replicates(spec, replicates, options=options)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    rows = [dict(seed=result.spec.seed, **result.summary_row())
+            for result in results]
+    if args.json:
+        print(json.dumps(json_safe({"backend": args.backend, "rows": rows}),
+                         indent=2))
+    else:
+        print(format_table(rows))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _build_spec(args, args.routing[0])
     if args.warm_start:
@@ -214,6 +241,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     faults = _faults_from_args(args)
     if faults is not None:
         spec = spec.with_overrides(faults=faults)
+    if args.replicates is not None or args.backend != "scalar":
+        return _run_replicate_batch(args, spec)
     try:
         result = run_experiment(
             spec, options=RunOptions(save_state=args.save_state, store=args.store))
@@ -511,6 +540,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject a fault schedule: a JSON file holding a "
                             "serialized FaultSchedule ({'schema': 1, 'events': "
                             "[[time_ns, kind, router, port], ...]})")
+    run_p.add_argument("--replicates", type=int, default=None, metavar="N",
+                       help="run N replicates under seeds derived from --seed "
+                            "(index 0 keeps the base seed) and print one "
+                            "summary row per replicate")
+    run_p.add_argument("--backend", choices=("scalar", "batched"),
+                       default="scalar",
+                       help="replicate execution backend: 'scalar' runs one "
+                            "simulator per seed; 'batched' advances all "
+                            "replicates in lockstep with bit-identical "
+                            "per-replicate results (default: scalar)")
     add_store(run_p)
     run_p.set_defaults(func=_cmd_run)
 

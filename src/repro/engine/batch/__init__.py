@@ -1,0 +1,28 @@
+"""Batched replicate backend: advance many seeds of one spec in lockstep.
+
+The batched backend runs N replicates of the *same* ExperimentSpec under
+derived seeds together: replicate-independent precompute (topology wiring,
+minimal-route tables, initial Q-tables — see :mod:`repro.engine.batch.model`)
+is paid once per batch, Q-table state lives in one numpy array indexed
+``[replicate, router, row, column]``, and provably no-op wake events are
+elided from the per-replicate heaps (:mod:`repro.engine.batch.kernel`).
+
+Per-replicate results are **bit-identical** to the scalar backend — same
+event ordering, same float accumulation order, same RNG draws — or the spec
+is refused up front with :class:`UnsupportedByBackend` (never a silent
+approximation).  Select it through ``RunOptions(backend="batched")``, the
+harness's ``run_replicates``, or the CLI's ``run --backend batched``.
+"""
+
+from repro.engine.batch.errors import UnsupportedByBackend
+from repro.engine.batch.model import BatchModel, build_model, check_batchable
+from repro.engine.batch.runner import BatchSimulation, run_batch
+
+__all__ = [
+    "BatchModel",
+    "BatchSimulation",
+    "UnsupportedByBackend",
+    "build_model",
+    "check_batchable",
+    "run_batch",
+]

@@ -1,0 +1,13 @@
+"""Errors of the batched replicate backend."""
+
+from __future__ import annotations
+
+
+class UnsupportedByBackend(ValueError):
+    """The batched backend cannot reproduce this spec bit-identically.
+
+    Raised *before* any simulation work happens, so a spec is either refused
+    loudly or produces exactly the scalar backend's results — never a silent
+    approximation.  The message names the offending spec feature; rerun with
+    ``backend="scalar"`` (the default) for full feature coverage.
+    """

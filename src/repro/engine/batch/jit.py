@@ -1,0 +1,35 @@
+"""Optional numba acceleration of the batched kernel's numeric helpers.
+
+The batched backend is pure Python + numpy and never requires numba.  When
+the environment variable ``REPRO_BATCH_JIT`` is set to a truthy value *and*
+numba is importable, :func:`maybe_jit` compiles the decorated numeric helper
+with ``numba.njit``; in every other case it returns the function unchanged,
+so the pure-Python fallback is always available and is the default.
+
+The flag is an experimental performance knob: the committed fingerprints and
+the equivalence test suite are recorded with the flag off (compiled float
+arithmetic may contract expressions differently on some targets).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def jit_requested() -> bool:
+    """Whether the ``REPRO_BATCH_JIT`` feature flag asks for compilation."""
+    return os.environ.get("REPRO_BATCH_JIT", "").strip().lower() in _TRUTHY
+
+
+def maybe_jit(func: Callable) -> Callable:
+    """Compile ``func`` with numba when requested and possible, else pass through."""
+    if not jit_requested():
+        return func
+    try:  # pragma: no cover - exercised only where numba is installed
+        from numba import njit  # type: ignore[import-not-found]
+    except ImportError:
+        return func
+    return njit(cache=True)(func)  # pragma: no cover - see above

@@ -1,0 +1,713 @@
+"""The batched replicate kernel: N scalar runs, bit-identical, in lockstep.
+
+One :class:`BatchKernel` advances every replicate of a batch through the same
+simulated-time slices.  Each replicate owns a private event heap of plain
+tuples ``(time, seq, code, a, b, payload)`` — ``(time, seq)`` is unique, so
+tuple comparison never reaches the payload — and a private sequence counter
+incremented at exactly the points the scalar :class:`~repro.engine.simulator.
+Simulator` allocates sequence numbers.  Same times, same tie-breaks, same
+float arithmetic: every replicate's event ordering and statistics are
+bit-identical to the scalar backend's run of the same ``(spec, seed)``.
+
+Q-table state is held as one numpy array indexed ``[replicate, router, row,
+column]``; reads go through ``.item()`` so the learning math runs on the same
+Python floats the scalar per-router tables produce.
+
+The kernel's speed comes from *event elision*: a scalar event whose execution
+provably cannot change any observable state is accounted for (it still counts
+towards ``events_processed`` and keeps its reserved sequence number) without
+ever travelling through the heap.  Four elision protocols run:
+
+* **wake elision** — the post-forward serve-waiting wake is pended while its
+  output port has no waiters; a waiter joining the port materializes the
+  still-relevant wakes with their reserved sequence numbers (a wake that
+  scalar already executed before the current event necessarily fired on an
+  empty waiter queue, a pure no-op, and is counted instead);
+* **credit elision** — a credit return towards a waiterless output port only
+  increments a counter and wakes nobody, so it is pended per port (per-port
+  return times are monotone: each output port is refilled by exactly one
+  downstream input port over one constant-latency link) and applied lazily
+  before the next credit read of that port; a waiter joining materializes the
+  unmatured returns;
+* **NIC-credit elision** — symmetric, for host-link credit returns towards a
+  NIC whose source queue is empty (the scalar handler is then an increment
+  plus an immediately-returning injection attempt);
+* **feedback elision** — a Q-feedback event only writes one table entry of
+  one router, so it is pended per target router and folded in, in scalar
+  event order, before the next read of that router's table;
+* **delivery elision** — the final wire hop into a NIC only appends to the
+  delivery log; its timestamp (forward time plus the constant host-link
+  delay) is monotone over forwards, so the record is written at forward time
+  and the event never exists.
+
+``events_processed`` = executed + elided matches the scalar event count
+exactly; the equivalence suite pins that along with every statistic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.batch.jit import maybe_jit
+from repro.engine.batch.model import KIND_MIN, KIND_QADP, BatchModel
+from repro.engine.batch.trace import TraceEntry, record_traffic_trace
+from repro.engine.rng import RngFactory
+from repro.traffic import make_pattern
+
+# Event codes (dispatch order in `_advance` follows event frequency).
+EV_RECV = 0  # a=router*k+in_port, b=vc, payload=packet
+EV_CREDIT_R = 1  # a=router*k+out_port, b=vc
+EV_SERVE = 2  # a=router*k+out_port
+EV_GEN = 3  # a=node
+EV_CREDIT_N = 4  # a=node
+EV_NIC_RETRY = 5  # a=node
+
+# Packet slots (plain lists: fastest mutable record in CPython).
+P_CREATE = 0  # create_time_ns
+P_DST = 1  # dst_node
+P_DSTR = 2  # dst_router
+P_SRCR = 3  # src_router
+P_SRCG = 4  # src_group
+P_SRCL = 5  # src_node_local
+P_HOPS = 6
+P_OUT = 7  # routed out_port (decision of the current router)
+P_OVC = 8  # routed out_vc
+P_ARR = 9  # router_arrival_ns
+P_SCRATCH = 10  # Q-adp one-shot intermediate-reroute flag
+P_QFB = 11  # pending feedback (prev_router, row, column, prev_arrival)
+
+
+@maybe_jit
+def _hysteretic_fold(current: float, target: float, alpha: float,
+                     beta: float) -> float:
+    """Hysteretic Q-update (Equation 3): optimistic rate towards worse values."""
+    delta = target - current
+    rate = alpha if delta < 0.0 else beta
+    return current + rate * delta
+
+
+class ReplicateState:
+    """Mutable per-replicate simulation state (see BatchKernel)."""
+
+    __slots__ = (
+        "seed", "heap", "seq", "bufs", "out_busy", "waiting", "cred",
+        "pend_wakes", "pend_cred", "pend_qfb",
+        "nic_busy", "nic_q", "nic_retry", "nic_cred", "pend_nic",
+        "qv", "rng", "trace", "ptr", "executed", "elided",
+        "glog", "dlog",
+        "c_src_min", "c_src_best", "c_int_min", "c_int_rr",
+        "c_fb_sent", "c_fb_app", "c_forced",
+    )
+
+    def __init__(self, model: BatchModel, seed: int,
+                 qv: Optional[np.ndarray]) -> None:
+        size = model.num_routers * model.k
+        num_vcs = model.num_vcs
+        self.seed = seed
+        self.heap: List[Tuple] = []
+        self.seq = 0
+        self.bufs = [[deque() for _ in range(num_vcs)] for _ in range(size)]
+        self.out_busy = [0.0] * size
+        self.waiting = [deque() for _ in range(size)]
+        self.cred = [
+            None if cap is None else [cap] * num_vcs for cap in model.cred_cap
+        ]
+        # Elision pends (see the module docstring for the protocols):
+        self.pend_wakes: List[List[Tuple[float, int]]] = [[] for _ in range(size)]
+        self.pend_cred: List[List[Tuple[float, int, int]]] = [[] for _ in range(size)]
+        self.pend_qfb: List[List[Tuple]] = [[] for _ in range(model.num_routers)]
+        num_nodes = model.num_nodes
+        self.nic_busy = [0.0] * num_nodes
+        self.nic_q = [deque() for _ in range(num_nodes)]
+        self.nic_retry = [False] * num_nodes
+        self.nic_cred = [model.nic_cred_cap] * num_nodes
+        self.pend_nic: List[List[Tuple[float, int]]] = [[] for _ in range(num_nodes)]
+        self.qv = qv  # [router, row, col] float64 view of the batch array
+        # The same named stream the scalar routing draws from on attach.
+        self.rng = RngFactory(seed).py(f"routing:{model.spec.routing}")
+        spec = model.spec
+        pattern = make_pattern(spec.pattern, **spec.pattern_kwargs)
+        self.trace: List[List[TraceEntry]] = record_traffic_trace(
+            model.topo, model.params, pattern, seed, spec.offered_load,
+            spec.schedule, spec.arrival, spec.sim_time_ns,
+        )
+        self.ptr = [0] * num_nodes
+        self.executed = 0
+        self.elided = 0
+        self.glog: List[float] = []  # create times, generation order
+        self.dlog: List[Tuple[float, float, int]] = []  # (create, deliver, hops)
+        self.c_src_min = 0
+        self.c_src_best = 0
+        self.c_int_min = 0
+        self.c_int_rr = 0
+        self.c_fb_sent = 0
+        self.c_fb_app = 0
+        self.c_forced = 0
+        # Mirror TrafficGenerator.start(): one initial event per driven node,
+        # sequence numbers allocated in ascending node order.
+        heap = self.heap
+        for node, entries in enumerate(self.trace):
+            if entries:
+                seq = self.seq
+                self.seq = seq + 1
+                heappush(heap, (entries[0][0], seq, EV_GEN, node, 0, None))
+
+    def events_processed(self) -> int:
+        """Scalar-equivalent event count (executed plus elided no-op events)."""
+        return self.executed + self.elided
+
+
+class BatchKernel:
+    """Advances all replicates of one batch in lockstep time slices."""
+
+    def __init__(self, model: BatchModel, seeds: List[int]) -> None:
+        self.model = model
+        self.seeds = list(seeds)
+        self.horizon = float(model.spec.sim_time_ns)
+        if model.init_values is not None:
+            # The tentpole state layout: Q-values of the whole batch in one
+            # array indexed [replicate, router, row, column].
+            self.qvalues: Optional[np.ndarray] = np.repeat(
+                model.init_values[None, ...], len(self.seeds), axis=0
+            )
+        else:
+            self.qvalues = None
+        self.states = [
+            ReplicateState(
+                model, seed, None if self.qvalues is None else self.qvalues[i]
+            )
+            for i, seed in enumerate(self.seeds)
+        ]
+        self.now = 0.0
+
+    # ------------------------------------------------------------- lockstep
+    def run(self, until: float, slices: int = 8) -> None:
+        """Advance every replicate to ``until`` in ``slices`` lockstep steps."""
+        start = self.now
+        span = until - start
+        for step in range(1, slices + 1):
+            bound = until if step == slices else start + span * (step / slices)
+            for state in self.states:
+                self._advance(state, bound)
+            self.now = bound
+
+    def finalize(self, until: float) -> None:
+        """Account every pended event the scalar run would have executed."""
+        alpha = self.model.alpha
+        beta = self.model.beta
+        for st in self.states:
+            elided = 0
+            for pend in st.pend_wakes:
+                for entry in pend:
+                    if entry[0] <= until:
+                        elided += 1
+                del pend[:]
+            for pend in st.pend_cred:
+                for entry in pend:
+                    if entry[0] <= until:
+                        elided += 1
+                del pend[:]
+            for pend in st.pend_nic:
+                for entry in pend:
+                    if entry[0] <= until:
+                        elided += 1
+                del pend[:]
+            qv = st.qv
+            for router, pend in enumerate(st.pend_qfb):
+                matured = [e for e in pend if e[0] <= until]
+                matured.sort()
+                for _t, _s, row, column, target in matured:
+                    qv[router, row, column] = _hysteretic_fold(
+                        qv.item(router, row, column), target, alpha, beta
+                    )
+                st.c_fb_app += len(matured)
+                elided += len(matured)
+                del pend[:]
+            st.elided += elided
+
+    # ------------------------------------------------------------ event loop
+    def _advance(self, st: ReplicateState, until: float) -> None:
+        heap = st.heap
+        bufs = st.bufs
+        cred = st.cred
+        waiting = st.waiting
+        nic_cred = st.nic_cred
+        nic_retry = st.nic_retry
+        chain = self._chain
+        serve = self._serve
+        generate = self._generate
+        nic_try = self._nic_try
+        pop = heappop
+        executed = st.executed
+        while heap:
+            ev = heap[0]
+            now = ev[0]
+            if now > until:
+                break
+            pop(heap)
+            executed += 1
+            code = ev[2]
+            a = ev[3]
+            if code == EV_RECV:
+                pkt = ev[5]
+                pkt[9] = now
+                buf = bufs[a][ev[4]]
+                buf.append(pkt)
+                if len(buf) == 1:
+                    chain(st, a, ev[4], now, ev[1], False)
+            elif code == EV_CREDIT_R:
+                cc = cred[a]
+                if cc is not None:
+                    cc[ev[4]] += 1
+                if waiting[a]:
+                    serve(st, a, now, ev[1])
+            elif code == EV_SERVE:
+                if waiting[a]:
+                    serve(st, a, now, ev[1])
+            elif code == EV_GEN:
+                generate(st, a, now, ev[1])
+            elif code == EV_CREDIT_N:
+                nic_cred[a] += 1
+                nic_try(st, a, now)
+            else:  # EV_NIC_RETRY
+                nic_retry[a] = False
+                nic_try(st, a, now)
+        st.executed = executed
+
+    # -------------------------------------------------------------- traffic
+    def _generate(self, st: ReplicateState, node: int, now: float,
+                  cur_seq: int) -> None:
+        """Replay one generator wake-up (mirrors TrafficGenerator._generate)."""
+        m = self.model
+        entries = st.trace[node]
+        index = st.ptr[node]
+        dst = entries[index][1]
+        if dst >= 0:
+            # The source queue turns non-empty: pended NIC credits that scalar
+            # executed before this event were increment-only no-ops (queue
+            # empty throughout their window); the rest could now trigger an
+            # injection, so they must become real events again.
+            pend = st.pend_nic[node]
+            if pend:
+                heap = st.heap
+                elided = 0
+                for t, s in pend:
+                    if t < now or (t == now and s < cur_seq):
+                        st.nic_cred[node] += 1
+                        elided += 1
+                    else:
+                        heappush(heap, (t, s, EV_CREDIT_N, node, 0, None))
+                del pend[:]
+                st.elided += elided
+            hpr = m.hpr
+            src_router = m.nic_router[node]
+            pkt = [now, dst, dst // hpr, src_router, m.group[src_router],
+                   node % hpr, 0, -1, 0, now, None, None]
+            st.glog.append(now)
+            st.nic_q[node].append(pkt)
+            self._nic_try(st, node, now)
+        index += 1
+        st.ptr[node] = index
+        if index < len(entries):
+            seq = st.seq
+            st.seq = seq + 1
+            heappush(st.heap, (entries[index][0], seq, EV_GEN, node, 0, None))
+
+    def _nic_try(self, st: ReplicateState, node: int, now: float) -> None:
+        """Mirror Nic._try_inject: drain the source queue onto the host link."""
+        queue = st.nic_q[node]
+        m = self.model
+        heap = st.heap
+        while queue:
+            busy_until = st.nic_busy[node]
+            if busy_until > now:
+                if not st.nic_retry[node]:
+                    st.nic_retry[node] = True
+                    seq = st.seq
+                    st.seq = seq + 1
+                    heappush(heap, (busy_until, seq, EV_NIC_RETRY, node, 0, None))
+                return
+            if st.nic_cred[node] <= 0:
+                return  # the router's credit return retries
+            pkt = queue.popleft()
+            st.nic_busy[node] = now + m.ser
+            st.nic_cred[node] -= 1
+            seq = st.seq
+            st.seq = seq + 1
+            heappush(
+                heap, (now + m.nic_hop_delay, seq, EV_RECV, m.nic_fidx[node], 0, pkt)
+            )
+            # clock unchanged: the loop exits through the busy check
+
+    # ----------------------------------------------------------- forwarding
+    def _chain(self, st: ReplicateState, fidx: int, vc: int, now: float,
+               cur_seq: int, forward_first: bool) -> None:
+        """Route-and-forward chain of one input buffer.
+
+        Mirrors the scalar Router's mutually recursive ``_route_head`` /
+        ``_forward`` pair as one loop: route the head, forward while port and
+        credits allow, then route the next head of the same buffer — exactly
+        the scalar control flow, without the recursion.  ``forward_first``
+        enters at the forward step (the serve path re-forwards an
+        already-routed waiter).
+        """
+        m = self.model
+        k = m.k
+        router = fidx // k
+        in_port = fidx - router * k
+        buf = st.bufs[fidx][vc]
+        heap = st.heap
+        kind = m.kind
+        num_host = m.num_host[router]
+        max_vc = m.max_vc
+        hop_delay = m.hop_delay
+        hpr = m.hpr
+        ser = m.ser
+        remote_idx = m.remote_idx
+        cred = st.cred
+        out_busy = st.out_busy
+        waiting = st.waiting
+        pend_cred = st.pend_cred
+        pend_wakes = st.pend_wakes
+        min_next = m.min_next[router]
+        base = router * k
+        horizon = self.horizon
+        if kind:
+            pend_qfb_r = st.pend_qfb[router]
+            qv = st.qv
+            alpha = m.alpha
+            beta = m.beta
+        while True:
+            pkt = buf[0]
+            if forward_first:
+                forward_first = False
+                out = pkt[P_OUT]
+                out_vc = pkt[P_OVC]
+                fo = base + out
+                cc = cred[fo]
+            else:
+                # --- route the head (Router._route_head + routing.route) ---
+                dst_router = pkt[P_DSTR]
+                if dst_router == router:
+                    # Ejection never reads the Q-table (the feedback target of
+                    # a delivered packet is zero), so no feedback flush here.
+                    out = pkt[P_DST] % hpr
+                elif kind == KIND_MIN:
+                    out = min_next[dst_router]
+                else:
+                    if pend_qfb_r:
+                        # Inlined fast path of _apply_matured_qfb: one pended
+                        # update, already matured — the overwhelmingly common
+                        # case under steady feedback traffic.
+                        if len(pend_qfb_r) == 1:
+                            entry = pend_qfb_r[0]
+                            t = entry[0]
+                            if t < now or (t == now and entry[1] < cur_seq):
+                                del pend_qfb_r[0]
+                                row = entry[2]
+                                column = entry[3]
+                                current = qv.item(router, row, column)
+                                delta = entry[4] - current
+                                rate = alpha if delta < 0.0 else beta
+                                qv[router, row, column] = current + rate * delta
+                                st.c_fb_app += 1
+                                st.elided += 1
+                        else:
+                            self._apply_matured_qfb(st, router, now, cur_seq)
+                    if kind == KIND_QADP:
+                        out = self._decide_qadp(st, router, pkt)
+                    else:
+                        out = self._decide_qrouting(st, router, pkt)
+                if kind and pkt[P_QFB] is not None:
+                    self._feedback(st, router, fidx, pkt, out, now)
+                pkt[P_OUT] = out
+                if out < num_host:
+                    out_vc = 0
+                else:
+                    out_vc = pkt[P_HOPS]
+                    if out_vc > max_vc:
+                        out_vc = max_vc
+                pkt[P_OVC] = out_vc
+                fo = base + out
+                pend = pend_cred[fo]
+                if pend and (pend[0][0] < now
+                             or (pend[0][0] == now and pend[0][1] < cur_seq)):
+                    self._apply_matured_credits(st, fo, now, cur_seq)
+                cc = cred[fo]
+                if out_busy[fo] > now or not (cc is None or cc[out_vc] > 0):
+                    waiting[fo].append((in_port, vc, pkt))
+                    # A waiter joined: pended wakes/credits of this port can
+                    # now serve somebody — restore the unmatured ones to the
+                    # heap with their reserved sequence numbers.
+                    pend = pend_wakes[fo]
+                    if pend:
+                        self._flush_wakes(st, pend, fo, now, cur_seq)
+                    pend = pend_cred[fo]
+                    if pend:
+                        for entry in pend:
+                            heappush(heap, (entry[0], entry[1], EV_CREDIT_R,
+                                            fo, entry[2], None))
+                        del pend[:]
+                    return
+            # --- forward (Router._forward) ---
+            buf.popleft()
+            out_busy[fo] = now + ser
+            if cc is not None:
+                cc[out_vc] -= 1
+            seq = st.seq
+            if in_port < num_host:
+                node = m.node_at[fidx]
+                if st.nic_q[node]:
+                    heappush(heap, (now + hop_delay[fidx], seq, EV_CREDIT_N,
+                                    node, 0, None))
+                else:
+                    st.pend_nic[node].append((now + hop_delay[fidx], seq))
+            else:
+                target = remote_idx[fidx]
+                if waiting[target]:
+                    heappush(heap, (now + hop_delay[fidx], seq, EV_CREDIT_R,
+                                    target, vc, None))
+                else:
+                    pend_cred[target].append((now + hop_delay[fidx], seq, vc))
+            if kind and out >= num_host:
+                # routing.on_forward: tag the hop for the next router's feedback
+                if kind == KIND_QADP:
+                    row = m.group[pkt[P_DSTR]] * m.p + pkt[P_SRCL]
+                else:
+                    row = pkt[P_DSTR]
+                pkt[P_QFB] = (router, row, out - m.first_port, pkt[P_ARR])
+            if out < num_host:
+                # Delivery elision: the final wire hop only appends to the
+                # delivery log, and its timestamp is monotone over forwards.
+                deliver = now + hop_delay[fo]
+                if deliver <= horizon:
+                    st.dlog.append((pkt[P_CREATE], deliver, pkt[P_HOPS]))
+                    st.elided += 1
+            else:
+                pkt[P_HOPS] += 1
+                heappush(heap, (now + hop_delay[fo], seq + 1, EV_RECV,
+                                remote_idx[fo], out_vc, pkt))
+            # Serve-waiting wake: reserve the sequence number, but only put
+            # the event on the heap if a waiter already needs it.
+            if waiting[fo]:
+                heappush(heap, (now + ser, seq + 2, EV_SERVE, fo, 0, None))
+            else:
+                pend_wakes[fo].append((now + ser, seq + 2))
+            st.seq = seq + 3
+            if not buf:
+                return
+
+    # -------------------------------------------------------------- elision
+    def _flush_wakes(self, st: ReplicateState, pend: List[Tuple[float, int]],
+                     fo: int, now: float, cur_seq: int) -> None:
+        """A waiter joined ``fo``: decide the fate of every reserved wake.
+
+        A reserved wake is a scalar event ``(wake_time, wake_seq)``.  If it
+        sorts *before* the currently executing event — ``wake_time < now``,
+        or same time with a smaller sequence number — the scalar run already
+        executed it, necessarily on an empty waiter queue (waiters only join
+        during an executing event, and none joined since the reservation), so
+        it was a no-op: count it as elided.  If it sorts *after* the current
+        event, the scalar run has not executed it yet and it may now find
+        this waiter: materialize it on the heap with its reserved sequence
+        number, restoring exact scalar ordering.
+        """
+        heap = st.heap
+        for wake_time, wake_seq in pend:
+            if wake_time > now or (wake_time == now and wake_seq > cur_seq):
+                heappush(heap, (wake_time, wake_seq, EV_SERVE, fo, 0, None))
+            else:
+                st.elided += 1
+        del pend[:]
+
+    def _apply_matured_credits(self, st: ReplicateState, fo: int, now: float,
+                               cur_seq: int) -> None:
+        """Fold in pended credit returns that scalar already executed.
+
+        A pended return still in the list means no waiter joined ``fo`` since
+        it was pended, so its scalar execution was an increment plus a no-op
+        serve.  Entries are monotone in ``(time, seq)`` — each output port is
+        refilled over exactly one constant-latency link — so maturity is a
+        prefix.
+        """
+        pend = st.pend_cred[fo]
+        cc = st.cred[fo]
+        drop = 0
+        for t, s, vc in pend:
+            if t < now or (t == now and s < cur_seq):
+                if cc is not None:
+                    cc[vc] += 1
+                drop += 1
+            else:
+                break
+        if drop:
+            del pend[:drop]
+            st.elided += drop
+
+    def _apply_matured_qfb(self, st: ReplicateState, router: int, now: float,
+                           cur_seq: int) -> None:
+        """Fold in pended Q-feedback that scalar executed before this event.
+
+        Pended entries are not time-ordered (reverse-link latencies differ per
+        port), so the matured subset is sorted into scalar ``(time, seq)``
+        order before applying.  Unmatured entries stay pended: nothing reads
+        the table before the next flush point.
+        """
+        pend = st.pend_qfb[router]
+        matured = None
+        keep = 0
+        for entry in pend:
+            t = entry[0]
+            if t < now or (t == now and entry[1] < cur_seq):
+                if matured is None:
+                    matured = [entry]
+                else:
+                    matured.append(entry)
+            else:
+                pend[keep] = entry
+                keep += 1
+        if matured is None:
+            return
+        del pend[keep:]
+        if len(matured) > 1:
+            matured.sort()
+        m = self.model
+        alpha = m.alpha
+        beta = m.beta
+        qv = st.qv
+        for _t, _s, row, column, target in matured:
+            qv[router, row, column] = _hysteretic_fold(
+                qv.item(router, row, column), target, alpha, beta
+            )
+        st.c_fb_app += len(matured)
+        st.elided += len(matured)
+
+    # ---------------------------------------------------------------- serve
+    def _serve(self, st: ReplicateState, fo: int, now: float,
+               cur_seq: int) -> None:
+        """Mirror Router._serve_waiting: forward one eligible waiter, FIFO."""
+        waiters = st.waiting[fo]
+        if st.out_busy[fo] > now:
+            return
+        k = self.model.k
+        base = (fo // k) * k
+        cc = st.cred[fo]
+        bufs = st.bufs
+        scanned = 0
+        skipped = 0
+        total = len(waiters)
+        while scanned < total and waiters:
+            in_port, vc, pkt = waiters[0]
+            buf = bufs[base + in_port][vc]
+            if not buf or buf[0] is not pkt:
+                # Stale: the packet left through another port's serve already.
+                waiters.popleft()
+                scanned += 1
+                continue
+            if cc is None or cc[pkt[P_OVC]] > 0:
+                waiters.popleft()
+                if skipped:
+                    waiters.rotate(skipped)
+                self._chain(st, base + in_port, vc, now, cur_seq, True)
+                return
+            waiters.rotate(-1)
+            skipped += 1
+            scanned += 1
+        if skipped:
+            waiters.rotate(skipped)
+
+    # ---------------------------------------------------------- Q decisions
+    def _decide_qadp(self, st: ReplicateState, router: int, pkt: List) -> int:
+        """Mirror QAdaptiveRouting.decide (faults-off path), draw for draw."""
+        m = self.model
+        dst_router = pkt[P_DSTR]
+        dst_group = m.group[dst_router]
+        if m.group[router] == dst_group:
+            return m.min_next[router][dst_router]
+        row = dst_group * m.p + pkt[P_SRCL]
+        first_port = m.first_port
+        qv = st.qv
+        epsilon = m.epsilon
+        rng = st.rng
+        if router == pkt[P_SRCR] and pkt[P_HOPS] == 0:
+            min_port = m.min_next[router][dst_router]
+            row_values = qv[router, row].tolist()
+            q_min = row_values[min_port - first_port]
+            q_best = min(row_values)
+            best_port = row_values.index(q_best) + first_port
+            advantage = 0.0 if q_min <= 0.0 else (q_min - q_best) / q_min
+            temp_port = min_port if advantage < m.q_thld1 else best_port
+            if temp_port == min_port:
+                st.c_src_min += 1
+            else:
+                st.c_src_best += 1
+            candidates = m.explore[router]
+            if epsilon > 0.0 and candidates and rng.random() < epsilon:
+                return candidates[rng.randrange(len(candidates))]
+            return temp_port
+        if pkt[P_SCRATCH] is None and m.group[router] != pkt[P_SRCG]:
+            pkt[P_SCRATCH] = True
+            direct = m.direct[router][dst_group]
+            if direct >= 0:
+                st.c_int_min += 1
+                return direct
+            min_port = m.min_next[router][dst_router]
+            local_ports = m.local_ports
+            best_port = local_ports[rng.randrange(len(local_ports))]
+            q_min = qv.item(router, row, min_port - first_port)
+            q_best = qv.item(router, row, best_port - first_port)
+            advantage = 0.0 if q_min <= 0.0 else (q_min - q_best) / q_min
+            temp_port = min_port if advantage < m.q_thld2 else best_port
+            if temp_port == min_port:
+                st.c_int_min += 1
+            else:
+                st.c_int_rr += 1
+            if epsilon > 0.0 and local_ports and rng.random() < epsilon:
+                return local_ports[rng.randrange(len(local_ports))]
+            return temp_port
+        return m.min_next[router][dst_router]
+
+    def _decide_qrouting(self, st: ReplicateState, router: int,
+                         pkt: List) -> int:
+        """Mirror QRoutingAlgorithm.decide (faults-off path)."""
+        m = self.model
+        if pkt[P_HOPS] >= m.max_q:
+            st.c_forced += 1
+            return m.min_next[router][pkt[P_DSTR]]
+        best_port = int(st.qv[router, pkt[P_DSTR]].argmin()) + m.first_port
+        epsilon = m.epsilon
+        candidates = m.explore[router]
+        rng = st.rng
+        if epsilon > 0.0 and candidates and rng.random() < epsilon:
+            return candidates[rng.randrange(len(candidates))]
+        return best_port
+
+    def _feedback(self, st: ReplicateState, router: int, fidx: int,
+                  pkt: List, out: int, now: float) -> None:
+        """Mirror TabularMarlRouting._send_feedback (learning always on).
+
+        The update is pended towards its target router instead of scheduled
+        (feedback elision); the table of the *current* router read here was
+        brought up to date at the top of the routing step.
+        """
+        m = self.model
+        prev_router, row, column, prev_arrival = pkt[P_QFB]
+        pkt[P_QFB] = None
+        reward = pkt[P_ARR] - prev_arrival
+        if router == pkt[P_DSTR]:
+            q_next = 0.0
+        elif m.onpolicy and out >= m.num_host[router]:
+            q_next = st.qv.item(router, row, out - m.first_port)
+        else:
+            q_next = st.qv[router, row].min().item()
+        target = reward + q_next
+        st.c_fb_sent += 1
+        seq = st.seq
+        st.seq = seq + 1
+        st.pend_qfb[prev_router].append(
+            (now + m.lat[fidx], seq, row, column, target)
+        )

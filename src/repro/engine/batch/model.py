@@ -1,0 +1,239 @@
+"""Replicate-independent precompute shared by every run of one batch.
+
+Every replicate of a batch runs the *same* spec under a different seed, so
+everything that does not depend on the seed — topology wiring, per-port
+delays, credit capacities, minimal-route tables, routing hyper-parameters,
+and the initial (uncongested) Q-tables — is computed once per batch by
+building one real :class:`~repro.network.network.Network` and flattening its
+state into plain lists indexed ``router * k + port``.  The kernel then only
+pays per-replicate cost for state that actually diverges between seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.engine.batch.errors import UnsupportedByBackend
+
+if TYPE_CHECKING:  # typing only
+    from repro.experiments.harness import ExperimentSpec
+    from repro.network.params import NetworkParams
+    from repro.topology.base import Topology
+
+#: routing kinds the kernel implements (index = dispatch code).
+KIND_MIN = 0
+KIND_QADP = 1
+KIND_QROUTING = 2
+
+_KIND_OF_ROUTING = {"MIN": KIND_MIN, "Q-adp": KIND_QADP, "Q-routing": KIND_QROUTING}
+
+
+def check_batchable(spec: "ExperimentSpec") -> None:
+    """Refuse every spec feature the kernel does not reproduce bit-identically.
+
+    The checks run before any simulation work: a spec either raises
+    :class:`UnsupportedByBackend` here or produces exactly the scalar
+    backend's per-replicate results.
+    """
+    if spec.telemetry:
+        raise UnsupportedByBackend(
+            "the batched backend runs probes-off only; telemetry probes "
+            f"{list(spec.telemetry)} need the scalar backend"
+        )
+    if spec.faults is not None:
+        raise UnsupportedByBackend(
+            "fault schedules (degraded-mode routing) are only simulated by "
+            "the scalar backend"
+        )
+    if spec.warm_start is not None:
+        raise UnsupportedByBackend(
+            "warm-started Q-tables are only loaded by the scalar backend"
+        )
+    from repro.routing import canonical_routing_name
+
+    routing_name = canonical_routing_name(spec.routing)
+    if routing_name not in _KIND_OF_ROUTING:
+        raise UnsupportedByBackend(
+            f"routing {routing_name!r} has no batched kernel; supported: "
+            f"{sorted(_KIND_OF_ROUTING)} (use backend='scalar' for the rest)"
+        )
+    params = spec.network_params
+    if params is not None:
+        if params.record_paths:
+            raise UnsupportedByBackend(
+                "record_paths=True is only supported by the scalar backend"
+            )
+        if params.injection_queue_packets is not None:
+            raise UnsupportedByBackend(
+                "finite injection queues drop packets based on backpressure "
+                "the traffic trace cannot know; use the scalar backend"
+            )
+
+
+@dataclass
+class BatchModel:
+    """Flattened static state of one batch (see module docstring)."""
+
+    spec: "ExperimentSpec"
+    topo: "Topology"
+    params: "NetworkParams"  # num_vcs resolved
+    kind: int
+    offered_load: float
+    # --- geometry (flat index f = router * k + port) ---
+    k: int = 0
+    num_routers: int = 0
+    num_nodes: int = 0
+    num_vcs: int = 0
+    max_vc: int = 0
+    ser: float = 0.0
+    hpr: int = 0  # hosts per router (node id = router * hpr + local index)
+    num_host: List[int] = field(default_factory=list)  # host ports per router
+    group: List[int] = field(default_factory=list)  # group of each router
+    hop_delay: List[float] = field(default_factory=list)  # [f] ser + link latency
+    lat: List[float] = field(default_factory=list)  # [f] link latency only
+    node_at: List[int] = field(default_factory=list)  # [f] node of a host port, -1
+    remote_idx: List[int] = field(default_factory=list)  # [f] neighbor flat idx, -1
+    cred_cap: List[Optional[int]] = field(default_factory=list)  # [f] None = infinite
+    min_next: List[List[int]] = field(default_factory=list)  # [router][dst_router]
+    # --- NIC wiring ---
+    nic_fidx: List[int] = field(default_factory=list)  # [node] router*k + host port
+    nic_router: List[int] = field(default_factory=list)
+    nic_hop_delay: float = 0.0
+    nic_cred_cap: int = 0  # credits towards the router host input (vc 0)
+    # --- learned routing (kind != MIN) ---
+    init_values: Optional[np.ndarray] = None  # [routers, rows, cols] float64
+    first_port: int = 0
+    explore: List[List[int]] = field(default_factory=list)  # [router] candidates
+    onpolicy: bool = False
+    alpha: float = 0.0
+    beta: float = 0.0
+    epsilon: float = 0.0
+    table_memory_bytes: int = 0
+    # --- Q-adp only ---
+    p: int = 0
+    q_thld1: float = 0.0
+    q_thld2: float = 0.0
+    local_ports: List[int] = field(default_factory=list)
+    direct: List[List[int]] = field(default_factory=list)  # [router][group] port, -1
+    # --- Q-routing only ---
+    max_q: int = 0
+
+
+def build_model(spec: "ExperimentSpec") -> BatchModel:
+    """Build the shared model of one batch (raises for unsupported specs)."""
+    check_batchable(spec)
+    # One real network resolves num_vcs, wires the topology, and initializes
+    # the routing tables exactly as every scalar replicate would.  Building it
+    # is cheap relative to a single replicate's event count.
+    from repro.network.network import Network
+    from repro.routing import canonical_routing_name, make_routing
+
+    routing = make_routing(spec.routing, **spec.routing_kwargs)
+    network = Network(
+        spec.config,
+        routing,
+        params=spec.network_params,
+        seed=spec.seed,
+        warmup_ns=spec.warmup_ns,
+        stats_bin_ns=spec.stats_bin_ns,
+    )
+    topo = network.topo
+    params = network.params
+    kind = _KIND_OF_ROUTING[canonical_routing_name(spec.routing)]
+    schedule = spec.schedule
+    offered = schedule.phases[0].load if schedule is not None else spec.offered_load
+
+    model = BatchModel(spec=spec, topo=topo, params=params, kind=kind,
+                       offered_load=offered)
+    k = topo.k
+    num_routers = topo.num_routers
+    model.k = k
+    model.num_routers = num_routers
+    model.num_nodes = topo.num_nodes
+    model.num_vcs = params.num_vcs
+    model.max_vc = params.num_vcs - 1
+    model.ser = params.serialization_ns
+    model.hpr = topo.hosts_per_router
+    model.num_host = [topo.num_host_ports(r) for r in range(num_routers)]
+    model.group = list(topo.router_groups())
+
+    # Flat per-port wiring, mirroring Network._build / Router.connect.
+    size = num_routers * k
+    model.hop_delay = [0.0] * size
+    model.lat = [0.0] * size
+    model.node_at = [-1] * size
+    model.remote_idx = [-1] * size
+    model.cred_cap = [None] * size
+    ser = model.ser
+    for router in range(num_routers):
+        base = router * k
+        num_host = model.num_host[router]
+        for port in range(k):
+            f = base + port
+            if port < num_host:
+                latency = params.host_link_latency_ns
+                model.hop_delay[f] = ser + latency
+                model.lat[f] = latency
+                model.node_at[f] = topo.node_at(router, port)
+                model.cred_cap[f] = params.ejection_credits
+                continue
+            neighbor = topo.neighbor_of(router, port)
+            if neighbor is None:
+                continue  # dark port (mesh edge, spare fat-tree column)
+            latency = params.link_latency_ns(topo.link_kind(router, port))
+            model.hop_delay[f] = ser + latency
+            model.lat[f] = latency
+            model.remote_idx[f] = neighbor[0] * k + neighbor[1]
+            model.cred_cap[f] = params.vc_buffer_packets
+
+    model.min_next = [
+        [topo.minimal_next_port(r, d) if d != r else -1 for d in range(num_routers)]
+        for r in range(num_routers)
+    ]
+
+    model.nic_fidx = [
+        topo.router_of_node(n) * k + topo.host_port_of_node(n)
+        for n in range(model.num_nodes)
+    ]
+    model.nic_router = [topo.router_of_node(n) for n in range(model.num_nodes)]
+    model.nic_hop_delay = ser + params.host_link_latency_ns
+    model.nic_cred_cap = params.vc_buffer_packets
+
+    if kind != KIND_MIN:
+        tables = routing.tables
+        model.init_values = np.stack([table.values for table in tables]).astype(
+            np.float64, copy=True
+        )
+        model.first_port = tables[0].first_port
+        model.explore = [list(ports) for ports in routing._explore_ports]
+        model.onpolicy = routing.feedback_mode == "onpolicy"
+        model.alpha = routing.hysteretic.alpha
+        model.beta = routing.hysteretic.beta
+        model.epsilon = routing.params.epsilon
+        model.table_memory_bytes = routing.total_table_memory_bytes()
+        if model.onpolicy and any(
+            model.num_host[r] < model.first_port for r in range(num_routers)
+        ):
+            raise UnsupportedByBackend(
+                "on-policy feedback on a topology with host ports outside the "
+                "table span is only supported by the scalar backend"
+            )
+    if kind == KIND_QADP:
+        model.p = topo.p
+        model.q_thld1 = routing.params.q_thld1
+        model.q_thld2 = routing.params.q_thld2
+        model.local_ports = list(topo.local_ports)
+        num_groups = topo.g
+        model.direct = [
+            [
+                -1 if (port := topo.global_port_to_group(r, g)) is None else port
+                for g in range(num_groups)
+            ]
+            for r in range(num_routers)
+        ]
+    elif kind == KIND_QROUTING:
+        model.max_q = routing.params.max_q
+    return model

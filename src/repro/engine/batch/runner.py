@@ -1,0 +1,143 @@
+"""Public entry points of the batched replicate backend.
+
+:class:`BatchSimulation` advances N replicates of one spec in lockstep and
+assembles per-replicate :class:`~repro.experiments.harness.ExperimentResult`
+objects that are bit-identical to N scalar ``run_experiment`` calls with the
+same derived seeds.  :func:`run_batch` is the one-shot convenience wrapper.
+
+Wall-clock timing deliberately lives with the callers (the harness, the
+benchmarks): simulation packages carry no wall-time dependency, so the
+``wall_time_s`` of every assembled result is 0.0 until a caller stamps it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.engine.batch.kernel import BatchKernel, ReplicateState
+from repro.engine.batch.model import KIND_QADP, KIND_QROUTING, build_model
+
+if TYPE_CHECKING:  # typing only
+    from repro.experiments.harness import ExperimentResult, ExperimentSpec
+
+#: lockstep granularity: each call advances every replicate by one slice of
+#: the simulated horizon before any replicate starts the next slice.
+DEFAULT_SLICES = 8
+
+
+class _ReplayPacket:
+    """Mutable stand-in carrying the three packet fields the collector reads."""
+
+    __slots__ = ("create_time_ns", "size_bytes", "hops")
+
+    def __init__(self, size_bytes: int) -> None:
+        self.create_time_ns = 0.0
+        self.size_bytes = size_bytes
+        self.hops = 0
+
+
+class BatchSimulation:
+    """N replicates of one spec advancing in lockstep (see module docstring)."""
+
+    def __init__(self, spec: "ExperimentSpec", seeds: Sequence[int]) -> None:
+        self.spec = spec
+        self.seeds = list(seeds)
+        self.model = build_model(spec)  # raises UnsupportedByBackend early
+        self.kernel = BatchKernel(self.model, self.seeds)
+        self._ran = False
+
+    def run(self, slices: int = DEFAULT_SLICES) -> "BatchSimulation":
+        """Advance every replicate to the spec's horizon (idempotent)."""
+        if not self._ran:
+            until = self.spec.sim_time_ns
+            self.kernel.run(until, slices=slices)
+            self.kernel.finalize(until)
+            self._ran = True
+        return self
+
+    def events_processed(self) -> List[int]:
+        """Scalar-equivalent per-replicate event counts (after :meth:`run`)."""
+        return [state.events_processed() for state in self.kernel.states]
+
+    def results(self) -> List["ExperimentResult"]:
+        """Per-replicate results, ordered like ``seeds`` (runs if needed)."""
+        self.run()
+        return [self._assemble(state) for state in self.kernel.states]
+
+    # ------------------------------------------------------------- assembly
+    def _assemble(self, st: ReplicateState) -> "ExperimentResult":
+        from repro.experiments.harness import ExperimentResult
+        from repro.stats.collectors import StatsCollector
+
+        model = self.model
+        spec = self.spec
+        collector = StatsCollector(
+            warmup_ns=spec.warmup_ns,
+            bin_ns=spec.stats_bin_ns,
+            num_nodes=model.num_nodes,
+            node_bandwidth_bytes_per_ns=model.params.link_bandwidth_bytes_per_ns,
+        )
+        collector.offered_load = model.offered_load
+        # Replay the generation/delivery logs chronologically: each stream is
+        # recorded in event order, and the two streams touch disjoint
+        # collector state, so every float accumulates in scalar order.
+        probe = _ReplayPacket(model.params.packet_bytes)
+        record_generated = collector.record_generated
+        for create_time in st.glog:
+            probe.create_time_ns = create_time
+            record_generated(probe)
+        record_delivery = collector.record_delivery
+        for create_time, deliver_time, hops in st.dlog:
+            probe.create_time_ns = create_time
+            probe.hops = hops
+            record_delivery(probe, deliver_time)
+        # The scalar simulator leaves now == until whether or not the heap
+        # drained early, so the aggregation window is always the horizon.
+        stats = collector.finalize(spec.sim_time_ns)
+
+        latency_times = collector.latency_series.bin_times() / 1_000.0
+        latency_means = collector.latency_series.means() / 1_000.0
+        throughput_times = collector.delivery_series.bin_times() / 1_000.0
+        throughput_values = collector.throughput_series()
+
+        diagnostics: Dict = {}
+        kind = model.kind
+        if kind == KIND_QADP:
+            diagnostics.update({
+                "source_minimal": st.c_src_min,
+                "source_best": st.c_src_best,
+                "intermediate_minimal": st.c_int_min,
+                "intermediate_reroutes": st.c_int_rr,
+                "feedback_sent": st.c_fb_sent,
+                "feedback_applied": st.c_fb_app,
+            })
+            diagnostics["table_memory_bytes"] = model.table_memory_bytes
+        elif kind == KIND_QROUTING:
+            diagnostics["table_memory_bytes"] = model.table_memory_bytes
+            diagnostics["forced_minimal"] = st.c_forced
+        return ExperimentResult(
+            spec=spec.with_overrides(seed=st.seed),
+            stats=stats,
+            latencies_ns=collector.latency_array_ns(),
+            hops=collector.hops_array(),
+            latency_timeline_us=(latency_times, latency_means),
+            throughput_timeline=(throughput_times, throughput_values),
+            routing_diagnostics=diagnostics,
+            wall_time_s=0.0,
+            telemetry={},
+        )
+
+
+def run_batch(
+    spec: "ExperimentSpec",
+    seeds: Sequence[int],
+    slices: int = DEFAULT_SLICES,
+) -> List["ExperimentResult"]:
+    """Run ``spec`` under every seed in lockstep; results ordered like ``seeds``.
+
+    Raises :class:`~repro.engine.batch.errors.UnsupportedByBackend` before any
+    simulation work when the spec uses a feature the batched kernel does not
+    reproduce bit-identically (telemetry, faults, warm starts, path recording,
+    finite injection queues, or a routing without a batched kernel).
+    """
+    return BatchSimulation(spec, seeds).run(slices=slices).results()

@@ -1,0 +1,128 @@
+"""Per-replicate traffic traces: the generator's decisions, precomputed.
+
+The batched kernel replays traffic instead of re-deriving it: every traffic
+pattern's ``destination()`` and the generator's arrival draws are pure
+functions of ``(spec, seed)`` and independent of network backpressure
+(generation is open-loop — the source queue absorbs congestion).  So the
+*real* :class:`~repro.traffic.generator.TrafficGenerator` is run once per
+replicate against a stub network that records instead of simulating, and the
+kernel replays the resulting per-node ``(time, destination)`` schedule while
+allocating event sequence numbers at exactly the points the scalar run would.
+
+Entries with ``destination == -1`` are generator wake-ups that produce no
+packet (phase-boundary resamples, zero-load phases) but still allocate a
+sequence number in the scalar event queue; the replay must preserve them or
+same-time events would tie-break differently.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.engine.rng import RngFactory
+from repro.engine.simulator import Simulator
+from repro.traffic.generator import LoadSchedule, TrafficGenerator
+
+if TYPE_CHECKING:  # typing only
+    from repro.network.params import NetworkParams
+    from repro.topology.base import Topology
+    from repro.traffic.base import TrafficPattern
+
+#: one generator wake-up of one node: (time_ns, destination node or -1).
+TraceEntry = Tuple[float, int]
+
+
+class _NullCollector:
+    """Offered-load sink: the generator publishes the schedule's first load here."""
+
+    __slots__ = ("offered_load",)
+
+    def __init__(self) -> None:
+        self.offered_load: Optional[float] = None
+
+
+class _SinkNics:
+    """``network.nics[node].inject(...)`` surface that swallows every packet."""
+
+    __slots__ = ()
+
+    def __getitem__(self, node: int) -> "_SinkNics":
+        return self
+
+    def inject(self, packet: object) -> bool:
+        return True
+
+
+class _TraceNetwork:
+    """Just enough network surface for a :class:`TrafficGenerator` to drive.
+
+    ``create_packet`` records ``(src, dst)`` instead of building a packet, and
+    the simulator is private to the trace, so recording never perturbs the
+    replicate's RNG streams or event ordering.
+    """
+
+    __slots__ = ("topo", "params", "rng", "sim", "collector", "nics", "created")
+
+    def __init__(self, topo: "Topology", params: "NetworkParams", seed: int) -> None:
+        self.topo = topo
+        self.params = params
+        self.rng = RngFactory(seed)
+        self.sim = Simulator()
+        self.collector = _NullCollector()
+        self.nics = _SinkNics()
+        self.created: List[Tuple[int, int]] = []
+
+    def create_packet(self, src: int, dst: int, now: float) -> None:
+        self.created.append((src, dst))
+
+
+def record_traffic_trace(
+    topo: "Topology",
+    params: "NetworkParams",
+    pattern: "TrafficPattern",
+    seed: int,
+    offered_load: Optional[float],
+    schedule: Optional[LoadSchedule],
+    arrival: str,
+    until: float,
+) -> List[List[TraceEntry]]:
+    """Record every generator wake-up of one replicate as per-node entry lists.
+
+    Executes the stub event queue exactly like ``Simulator.run(until)`` would
+    (events at ``until`` included); wake-ups scheduled past ``until`` are
+    appended as trailing ``(time, -1)`` entries because the scalar run pushes
+    them (allocating a sequence number) even though they never execute.
+    """
+    network = _TraceNetwork(topo, params, seed)
+    generator = TrafficGenerator(
+        network, pattern, offered_load=offered_load, schedule=schedule, arrival=arrival
+    )
+    generator.start()
+
+    entries: List[List[TraceEntry]] = [[] for _ in range(topo.num_nodes)]
+    sim = network.sim
+    heap = sim._queue._heap
+    created = network.created
+    while heap:
+        entry = heap[0]
+        if entry[2] is None:  # pragma: no cover - the generator never cancels
+            heappop(heap)
+            continue
+        time_ns = entry[0]
+        if time_ns > until:
+            break
+        heappop(heap)
+        sim._now = time_ns
+        marker = len(created)
+        entry[2](*entry[3])
+        node = entry[3][0]
+        dst = created[marker][1] if len(created) > marker else -1
+        entries[node].append((time_ns, dst))
+    # Push-only leftovers: scheduled (seq allocated) but never executed.
+    while heap:
+        entry = heappop(heap)
+        if entry[2] is None:  # pragma: no cover - see above
+            continue
+        entries[entry[3][0]].append((entry[0], -1))
+    return entries

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -23,6 +23,30 @@ import numpy as np
 def _derive_seed(root_seed: int, name: str) -> int:
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+def derive_replicate_seed(base_seed: int, run_index: int) -> int:
+    """Deterministic root seed for replicate ``run_index`` of one spec.
+
+    Index 0 returns ``base_seed`` unchanged, so a non-replicated run keeps
+    exactly the RNG streams of the serial harness.  Higher indices hash
+    ``(base_seed, run_index)`` with SHA-256, which is stable across Python
+    processes, platforms and versions (unlike ``hash()``).  Both the scalar
+    sweep path (:mod:`repro.experiments.parallel`) and the batched backend
+    (:mod:`repro.engine.batch`) derive replicate seeds from here, so a
+    replicate's result is independent of which backend produced it.
+    """
+    if run_index == 0:
+        return int(base_seed)
+    digest = hashlib.sha256(f"replicate:{base_seed}:{run_index}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def derive_replicate_seeds(base_seed: int, n: int) -> List[int]:
+    """The first ``n`` replicate seeds of ``base_seed`` (index 0 = the base)."""
+    if n < 0:
+        raise ValueError("replicate count must be non-negative")
+    return [derive_replicate_seed(base_seed, index) for index in range(n)]
 
 
 class RngFactory:

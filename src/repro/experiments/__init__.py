@@ -13,6 +13,7 @@ from repro.experiments.harness import (
     TrainResult,
     run_experiment,
     run_load_sweep,
+    run_replicates,
     train_experiment,
 )
 from repro.experiments.options import LEGACY_REMOVAL, RunOptions
@@ -64,6 +65,7 @@ __all__ = [
     "TrainResult",
     "run_experiment",
     "run_load_sweep",
+    "run_replicates",
     "table1_configurations",
     "table_qtable_memory",
     "train_experiment",

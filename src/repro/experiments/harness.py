@@ -492,6 +492,67 @@ def run_experiment(
     return result
 
 
+def run_replicates(
+    spec: ExperimentSpec,
+    replicates: Optional[int] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    options: Optional[RunOptions] = None,
+) -> List["ExperimentResult"]:
+    """Run one spec under many seeds; results are ordered like the seeds.
+
+    The seed list comes from ``seeds`` verbatim, or is derived from
+    ``spec.seed`` with :func:`repro.engine.rng.derive_replicate_seeds` when
+    only a ``replicates`` count is given (index 0 keeps the base seed, so a
+    single replicate is exactly ``run_experiment(spec)``).
+
+    ``options.backend`` selects the execution strategy:
+
+    * ``"scalar"`` (default) — one full simulator per seed, serially;
+    * ``"batched"`` — all seeds advance in lockstep through
+      :mod:`repro.engine.batch`; per-replicate results are bit-identical to
+      the scalar backend's, or the spec is refused with
+      :class:`~repro.engine.batch.errors.UnsupportedByBackend` (a
+      ``ValueError``).  ``wall_time_s`` is then the batch wall time split
+      evenly over the replicates (the kernel interleaves them; per-replicate
+      wall time has no scalar-equivalent meaning).
+
+    ``options.save_state`` is rejected here: replicates would race for one
+    checkpoint name.  Checkpoint a dedicated :func:`train_experiment` run
+    instead.
+    """
+    options = options or RunOptions()
+    if options.save_state is not None:
+        raise ValueError(
+            "save_state is not supported for replicate batches: every "
+            "replicate would overwrite the same checkpoint; checkpoint a "
+            "dedicated train_experiment run instead"
+        )
+    if seeds is None:
+        if replicates is None:
+            raise ValueError("pass a replicate count or an explicit seed list")
+        from repro.engine.rng import derive_replicate_seeds
+
+        seeds = derive_replicate_seeds(spec.seed, replicates)
+    elif replicates is not None and replicates != len(seeds):
+        raise ValueError(
+            f"replicates={replicates} contradicts len(seeds)={len(seeds)}"
+        )
+    seeds = list(seeds)
+    spec = options.apply_to_spec(spec)
+    if options.backend == "batched":
+        from repro.engine.batch import run_batch
+
+        started = time.perf_counter()
+        results = run_batch(spec, seeds)
+        wall = time.perf_counter() - started
+        share = wall / len(results) if results else 0.0
+        for result in results:
+            result.wall_time_s = share
+        return results
+    return [run_experiment(spec.with_overrides(seed=seed)) for seed in seeds]
+
+
 @dataclass
 class TrainResult:
     """Outcome of :func:`train_experiment`.

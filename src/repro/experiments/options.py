@@ -90,6 +90,13 @@ class RunOptions:
     faults:
         :class:`~repro.faults.schedule.FaultSchedule` applied to every spec
         executed under these options (a spec's own ``faults`` wins).
+    backend:
+        Replicate-execution backend: ``"scalar"`` (the default; one full
+        simulator per run) or ``"batched"`` (advance all replicates of one
+        spec in lockstep through :mod:`repro.engine.batch`, bit-identical
+        per replicate).  The batched backend refuses specs using features it
+        does not reproduce exactly — telemetry, faults, warm starts — with
+        :class:`~repro.engine.batch.errors.UnsupportedByBackend`.
     """
 
     save_state: Optional[str] = None
@@ -101,6 +108,7 @@ class RunOptions:
     progress: Union[None, bool, Callable[["RunProgress"], None]] = None
     telemetry: Tuple[str, ...] = ()
     faults: Optional[FaultSchedule] = None
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if isinstance(self.telemetry, str):
@@ -110,6 +118,10 @@ class RunOptions:
         if self.faults is not None and not isinstance(self.faults, FaultSchedule):
             raise ValueError(
                 f"faults must be a FaultSchedule, got {type(self.faults).__name__}"
+            )
+        if self.backend not in ("scalar", "batched"):
+            raise ValueError(
+                f"backend must be 'scalar' or 'batched', got {self.backend!r}"
             )
 
     # ------------------------------------------------------------ legacy merge

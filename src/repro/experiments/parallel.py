@@ -40,12 +40,14 @@ import os
 import pickle
 import sys
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, TextIO, Tuple
 
 import numpy as np
 
+from repro.engine.rng import derive_replicate_seed
 from repro.experiments.harness import ExperimentResult, ExperimentSpec, run_experiment
 from repro.stats.collectors import RunStats
 
@@ -68,15 +70,11 @@ DEFAULT_CACHE_DIR = Path(".cache") / "experiments"
 def derive_run_seed(base_seed: int, run_index: int) -> int:
     """Deterministic per-run seed for replicate ``run_index`` of one spec.
 
-    Index 0 returns ``base_seed`` unchanged, so a non-replicated run keeps
-    exactly the RNG streams of the serial harness.  Higher indices hash
-    ``(base_seed, run_index)`` with SHA-256 (stable across processes, unlike
-    ``hash()``), mirroring :mod:`repro.engine.rng`.
+    Thin alias of :func:`repro.engine.rng.derive_replicate_seed`, kept for
+    the established import path; the derivation itself lives in the engine so
+    the scalar and batched backends share one definition.
     """
-    if run_index == 0:
-        return base_seed
-    digest = hashlib.sha256(f"replicate:{base_seed}:{run_index}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "little")
+    return derive_replicate_seed(base_seed, run_index)
 
 
 def _json_default(value: object) -> object:
@@ -236,6 +234,29 @@ def _run_spec_to_data(indexed_spec: Tuple[int, ExperimentSpec]) -> Tuple[int, Ex
     return index, ExperimentResultData.from_result(result)
 
 
+def _run_batch_chunk(
+    task: Tuple[List[int], ExperimentSpec, List[int]],
+) -> Tuple[List[int], List[ExperimentResultData]]:
+    """Worker entry point: one batched chunk — many seeds of one spec.
+
+    The batch's wall time is split evenly over its replicates (the kernel
+    interleaves them in lockstep, so a per-replicate wall time has no
+    scalar-equivalent meaning).
+    """
+    indices, spec, seeds = task
+    from repro.engine.batch import run_batch
+
+    began = time.perf_counter()
+    results = run_batch(spec, seeds)
+    share = (time.perf_counter() - began) / len(results) if results else 0.0
+    payload = []
+    for result in results:
+        data = ExperimentResultData.from_result(result)
+        data.wall_time_s = share
+        payload.append(data)
+    return indices, payload
+
+
 @dataclass
 class RunProgress:
     """One progress update, emitted as each run finishes (in completion order)."""
@@ -344,6 +365,68 @@ class SweepRunner:
             for index in range(replicates)
         ]
 
+    #: default replicate count per batched-kernel invocation.
+    BATCH_CHUNK = 32
+
+    def run_replicates(
+        self,
+        spec: ExperimentSpec,
+        replicates: int,
+        *,
+        backend: str = "scalar",
+        batch_size: int = BATCH_CHUNK,
+    ) -> List[ExperimentResult]:
+        """Run ``replicates`` seeds of one spec, in seed-derivation order.
+
+        ``backend="scalar"`` is exactly ``run(expand_replicates(...))``.
+        ``backend="batched"`` chunks the uncached replicates into groups of
+        ``batch_size`` and advances each group in lockstep through
+        :mod:`repro.engine.batch`; chunks fan out over the worker pool when
+        ``workers > 1``.  Because batched results are bit-identical to scalar
+        ones, both backends share the same cache entries — a sweep can warm
+        the cache with one backend and reuse it from the other.
+        """
+        expanded = self.expand_replicates(spec, replicates)
+        if backend == "scalar":
+            return self.run(expanded)
+        if backend != "batched":
+            raise ValueError(
+                f"backend must be 'scalar' or 'batched', got {backend!r}"
+            )
+        total = len(expanded)
+        results: List[Optional[ExperimentResult]] = [None] * total
+        done = 0
+        pending: List[int] = []
+        keys: Dict[int, str] = {}
+        for index, replicate in enumerate(expanded):
+            data = None
+            if self.cache is not None:
+                keys[index] = spec_fingerprint(replicate)
+                data = self.cache.get(keys[index])
+            if data is not None:
+                self.cache_hits += 1
+                results[index] = data.to_result(replicate)
+                done += 1
+                self._emit(done, total, replicate, cached=True, wall_time_s=0.0)
+            else:
+                pending.append(index)
+        batch_size = max(1, batch_size)
+        tasks = []
+        for start in range(0, len(pending), batch_size):
+            chunk = pending[start:start + batch_size]
+            tasks.append((chunk, spec, [expanded[i].seed for i in chunk]))
+        for chunk, payload in self._execute_batches(tasks):
+            for index, data in zip(chunk, payload):
+                replicate = expanded[index]
+                self.simulated += 1
+                if self.cache is not None:
+                    self.cache.put(keys[index], data)
+                results[index] = data.to_result(replicate)
+                done += 1
+                self._emit(done, total, replicate, cached=False,
+                           wall_time_s=data.wall_time_s)
+        return results  # type: ignore[return-value]
+
     # -------------------------------------------------------------- internals
     def _emit(self, done: int, total: int, spec: ExperimentSpec,
               cached: bool, wall_time_s: float) -> None:
@@ -368,6 +451,23 @@ class SweepRunner:
         with ctx.Pool(processes=processes) as pool:
             for indexed_data in pool.imap_unordered(_run_spec_to_data, pending):
                 yield indexed_data
+
+    def _execute_batches(
+        self, tasks: Sequence[Tuple[List[int], ExperimentSpec, List[int]]],
+    ) -> Iterator[Tuple[List[int], List[ExperimentResultData]]]:
+        """Yield ``(indices, wire data)`` per batched chunk as chunks finish."""
+        if not tasks:
+            return
+        if self.workers <= 1 or len(tasks) == 1:
+            for task in tasks:
+                yield _run_batch_chunk(task)
+            return
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        processes = min(self.workers, len(tasks))
+        with ctx.Pool(processes=processes) as pool:
+            for chunk_data in pool.imap_unordered(_run_batch_chunk, tasks):
+                yield chunk_data
 
 
 # ----------------------------------------------------------- env-driven setup
