@@ -12,9 +12,11 @@ that results are comparable across commits:
   emit a *determinism fingerprint* (``events_processed`` plus the aggregate
   statistics), which must be bit-for-bit identical on every machine.
 * ``batch`` — the batched replicate backend advancing 1/8/32 derived seeds of
-  the ``smoke_qadp_ur`` spec in lockstep; records aggregate events/sec, the
-  ``batched_vs_scalar`` speedup, and per-replicate fingerprints that are
-  asserted bit-identical to the scalar run and batch-size independent.
+  the ``smoke_qadp_ur`` spec; records aggregate events/sec per tier (the
+  pure-Python flat engine always, the ``REPRO_BATCH_JIT`` compiled tier when
+  engaged, next to the scalar reference), the ``batched_vs_scalar`` speedup,
+  and per-replicate fingerprints that are asserted bit-identical to the
+  scalar run and batch-size independent.
 * ``fig5_fast_sweep`` — wall time of the fast-scale Figure 5 sweep, the
   workload behind ``BENCH_parallel.json`` (full mode only).
 
@@ -48,6 +50,29 @@ from repro.topology.registry import config_to_dict  # noqa: E402
 SEED = 7
 CONFIG = DragonflyConfig.small_72()
 MESH_CONFIG = MeshConfig.small_72()
+
+#: single-shot walls on a shared or virtualised box routinely vary by
+#: 10-20%; every throughput workload reports the best of BEST_OF runs, which
+#: estimates unloaded capability instead of scheduler luck.  Determinism
+#: fingerprints are asserted identical across the repeats.
+BEST_OF = 3
+
+
+def best_of(workload, *args, **kwargs) -> dict:
+    """Run ``workload`` BEST_OF times; keep the highest-throughput result."""
+    best = None
+    for _ in range(BEST_OF):
+        result = workload(*args, **kwargs)
+        if best is None:
+            best = result
+            continue
+        if "fingerprint" in result:
+            assert result["fingerprint"] == best["fingerprint"], (
+                f"{getattr(workload, '__name__', workload)}: determinism "
+                "fingerprint varied between repeat runs")
+        if result["events_per_sec"] > best["events_per_sec"]:
+            best = result
+    return best
 
 
 # ------------------------------------------------------------------ workloads
@@ -174,61 +199,101 @@ def batch_run(scalar_ref: dict, batch_sizes=(1, 8, 32)) -> dict:
     * each batch is a prefix-extension of the smaller ones — replicate
       fingerprints depend only on (spec, seed), never on batch size.
 
+    The timed region covers trace recording, state construction, and the
+    full event drain — everything required to process the batch's events.
+    Per-replicate result *assembly* is excluded, mirroring the scalar
+    workload whose timed region is ``network.run`` (traffic generation and
+    in-run stats recording included, ``finalize`` summarisation excluded).
+    Results are still assembled afterwards for the fingerprint asserts.
+
+    Tiers are reported as separate series next to the scalar reference: the
+    pure-Python flat engine always, and the ``REPRO_BATCH_JIT`` compiled
+    tier when it is engaged.  The engagement report is recorded either way,
+    so a number can never be misattributed to a tier that did not run.
+
     ``batched_vs_scalar`` records the aggregate-throughput ratio of the
-    largest batch against the scalar reference run.
+    flat engine's largest batch against the scalar reference run.
     """
     from repro.engine.batch import BatchSimulation
+    from repro.engine.batch.jit import engagement_report, jit_engaged
     from repro.engine.rng import derive_replicate_seeds
 
     spec = ExperimentSpec(
         config=CONFIG, routing="Q-adp", pattern="UR", offered_load=0.5,
         sim_time_ns=8_000.0, warmup_ns=3_000.0, seed=SEED,
     )
-    sizes: dict = {}
-    fingerprints: dict = {}
-    for n in batch_sizes:
+
+    def measure(n: int, array_path) -> tuple:
         seeds = derive_replicate_seeds(SEED, n)
         started = time.perf_counter()
-        sim = BatchSimulation(spec, seeds)
-        results = sim.results()
+        sim = BatchSimulation(spec, seeds, array_path=array_path).run()
         wall = time.perf_counter() - started
-        events = sim.events_processed()
-        fps = []
-        for result, count in zip(results, events):
-            stats = result.stats
-            fps.append({
-                "events_processed": count,
-                "generated_packets": stats.generated_packets,
-                "delivered_packets": stats.delivered_packets,
-                "measured_packets": stats.measured_packets,
-                "mean_latency_ns": stats.mean_latency_ns,
-                "mean_hops": stats.mean_hops,
-                "throughput": stats.throughput,
-                "latency_p99_ns": stats.latency.p99,
-            })
-        assert fps[0] == scalar_ref["fingerprint"], (
-            f"batched replicate 0 diverged from the scalar run at n={n}")
-        for smaller in sizes.values():
-            prefix = fingerprints[smaller["batch_size"]]
-            assert fps[:len(prefix)] == prefix, (
-                f"batch size {n} is not a prefix-extension of "
-                f"{smaller['batch_size']}")
-        fingerprints[n] = fps
-        sizes[str(n)] = {
-            "batch_size": n,
-            "aggregate_events": sum(events),
-            "wall_s": round(wall, 4),
-            "events_per_sec": round(sum(events) / wall, 1),
-        }
-    largest = sizes[str(batch_sizes[-1])]
+        return sim, sim.results(), wall  # assembly outside the timed region
+
+    def tier_sizes(array_path) -> tuple:
+        sizes: dict = {}
+        fingerprints: dict = {}
+        for n in batch_sizes:
+            sim, results, wall = measure(n, array_path)
+            events = sim.events_processed()
+            fps = []
+            for result, count in zip(results, events):
+                stats = result.stats
+                fps.append({
+                    "events_processed": count,
+                    "generated_packets": stats.generated_packets,
+                    "delivered_packets": stats.delivered_packets,
+                    "measured_packets": stats.measured_packets,
+                    "mean_latency_ns": stats.mean_latency_ns,
+                    "mean_hops": stats.mean_hops,
+                    "throughput": stats.throughput,
+                    "latency_p99_ns": stats.latency.p99,
+                })
+            assert fps[0] == scalar_ref["fingerprint"], (
+                f"batched replicate 0 diverged from the scalar run at n={n}")
+            for smaller in sizes.values():
+                prefix = fingerprints[smaller["batch_size"]]
+                assert fps[:len(prefix)] == prefix, (
+                    f"batch size {n} is not a prefix-extension of "
+                    f"{smaller['batch_size']}")
+            fingerprints[n] = fps
+            sizes[str(n)] = {
+                "batch_size": n,
+                "aggregate_events": sum(events),
+                "wall_s": round(wall, 4),
+                "events_per_sec": round(sum(events) / wall, 1),
+            }
+        return sizes, fingerprints
+
+    flat_sizes, fingerprints = tier_sizes(False)
+    largest = flat_sizes[str(batch_sizes[-1])]
     scalar_eps = scalar_ref["events_per_sec"]
+    series: dict = {
+        "scalar": {"events_per_sec": scalar_eps},
+        "pure_python_flat": {
+            "sizes": flat_sizes,
+            "events_per_sec": largest["events_per_sec"],
+        },
+        "jit": {"engagement": engagement_report()},
+    }
+    if jit_engaged():
+        jit_sizes, jit_fps = tier_sizes(True)
+        assert jit_fps == fingerprints, (
+            "compiled tier fingerprints diverged from the pure-Python tier")
+        series["jit"]["sizes"] = jit_sizes
+        series["jit"]["events_per_sec"] = (
+            jit_sizes[str(batch_sizes[-1])]["events_per_sec"])
     return {
         "kind": "batch",
         "routing": spec.routing,
         "pattern": spec.pattern,
         "offered_load": spec.offered_load,
         "sim_time_ns": spec.sim_time_ns,
-        "sizes": sizes,
+        "timed_region": "trace recording + state construction + event drain "
+                        "(result assembly excluded, mirroring the scalar "
+                        "workload's finalize exclusion)",
+        "series": series,
+        "sizes": flat_sizes,
         "events_per_sec": largest["events_per_sec"],
         "batched_vs_scalar": {
             "batch_size": largest["batch_size"],
@@ -261,24 +326,56 @@ def fig5_fast_sweep() -> dict:
 
 def collect(smoke_only: bool) -> dict:
     workloads: dict = {}
-    workloads["smoke_engine_churn"] = engine_churn(chains=2048, events_per_chain=30)
-    workloads["smoke_qadp_ur"] = network_run("Q-adp", "UR", 0.5, 8_000.0, 3_000.0)
-    workloads["smoke_min_ur"] = network_run("MIN", "UR", 0.5, 8_000.0, 3_000.0)
+    workloads["smoke_engine_churn"] = best_of(
+        engine_churn, chains=2048, events_per_chain=30)
+    workloads["smoke_qadp_ur"] = best_of(
+        network_run, "Q-adp", "UR", 0.5, 8_000.0, 3_000.0)
+    workloads["smoke_min_ur"] = best_of(
+        network_run, "MIN", "UR", 0.5, 8_000.0, 3_000.0)
     # Non-Dragonfly coverage: learned routing on the 6x6 mesh exercises the
     # topology-generic router/Q-table path and pins its fingerprint.
-    workloads["smoke_qrouting_mesh_ur"] = network_run(
-        "Q-routing", "UR", 0.3, 8_000.0, 3_000.0, config=MESH_CONFIG)
+    workloads["smoke_qrouting_mesh_ur"] = best_of(
+        network_run, "Q-routing", "UR", 0.3, 8_000.0, 3_000.0,
+        config=MESH_CONFIG)
     # Batched replicate backend: aggregate throughput at batch sizes 1/8/32
     # plus per-replicate fingerprints (asserted identical to the scalar run).
-    workloads["smoke_batch_qadp_ur"] = batch_run(workloads["smoke_qadp_ur"])
+    workloads["smoke_batch_qadp_ur"] = best_of(
+        batch_run, workloads["smoke_qadp_ur"])
     if not smoke_only:
-        workloads["engine_churn"] = engine_churn(chains=4096, events_per_chain=60)
-        workloads["qadp_ur"] = network_run("Q-adp", "UR", 0.5, 30_000.0, 10_000.0)
-        workloads["min_ur"] = network_run("MIN", "UR", 0.5, 30_000.0, 10_000.0)
-        workloads["qrouting_mesh_ur"] = network_run(
-            "Q-routing", "UR", 0.3, 30_000.0, 10_000.0, config=MESH_CONFIG)
+        workloads["engine_churn"] = best_of(
+            engine_churn, chains=4096, events_per_chain=60)
+        workloads["qadp_ur"] = best_of(
+            network_run, "Q-adp", "UR", 0.5, 30_000.0, 10_000.0)
+        workloads["min_ur"] = best_of(
+            network_run, "MIN", "UR", 0.5, 30_000.0, 10_000.0)
+        workloads["qrouting_mesh_ur"] = best_of(
+            network_run, "Q-routing", "UR", 0.3, 30_000.0, 10_000.0,
+            config=MESH_CONFIG)
         workloads["fig5_fast_sweep"] = fig5_fast_sweep()
     return workloads
+
+
+def _machine_block() -> dict:
+    """Hardware and toolchain versions stamped into every benchmark entry.
+
+    Events/sec numbers are only interpretable against the exact python,
+    numpy, and (for the compiled batch tier) numba that produced them, so
+    all three are recorded; numba is ``None`` when not installed.
+    """
+    import numpy
+
+    try:
+        import numba  # type: ignore[import-not-found]
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "cpu_count": multiprocessing.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "numba": numba_version,
+        "platform": platform.platform(),
+    }
 
 
 # ---------------------------------------------------------------- comparison
@@ -348,9 +445,7 @@ def main() -> int:
         "seed": SEED,
         "config": config_to_dict(CONFIG),
         "workloads": workloads,
-        "machine": {"cpu_count": multiprocessing.cpu_count(),
-                    "python": platform.python_version(),
-                    "platform": platform.platform()},
+        "machine": _machine_block(),
         "note": "events/sec is machine dependent; the fingerprint blocks are not "
                 "and must be bit-for-bit identical on every machine",
     }

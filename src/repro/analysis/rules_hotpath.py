@@ -59,6 +59,7 @@ HOT_FUNCTIONS: Dict[str, FrozenSet[str]] = {
     "repro.traffic.generator": frozenset({
         "TrafficGenerator._generate", "TrafficGenerator._schedule_next",
     }),
+    "repro.engine.batch.kernel": frozenset({"BatchKernel._advance"}),
 }
 
 #: packages where every ``self._ev_*`` publish must be None-guarded.

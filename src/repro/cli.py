@@ -366,7 +366,8 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     study = _study_from_args(args)
     runner = _runner_from_args(args)
     try:
-        result = study.run(runner, options=RunOptions(store=args.store))
+        result = study.run(runner, options=RunOptions(store=args.store,
+                                                      backend=args.backend))
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     rows = result.rows()
@@ -620,6 +621,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="save the full study result (summary rows + "
                              "telemetry payloads) as a JSON document for "
                              "'repro-sim report'")
+    srun_p.add_argument("--backend", choices=("scalar", "batched"),
+                        default="scalar",
+                        help="replicate execution backend: 'scalar' runs one "
+                             "simulator per point; 'batched' advances the "
+                             "replicates of each scenario point in lockstep "
+                             "with bit-identical results (default: scalar)")
     add_parallel(srun_p)
     add_store(srun_p)
     srun_p.set_defaults(func=_cmd_study_run)

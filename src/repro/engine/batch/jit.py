@@ -1,22 +1,45 @@
-"""Optional numba acceleration of the batched kernel's numeric helpers.
+"""The optional compiled tier of the batched kernel (``REPRO_BATCH_JIT``).
 
-The batched backend is pure Python + numpy and never requires numba.  When
-the environment variable ``REPRO_BATCH_JIT`` is set to a truthy value *and*
-numba is importable, :func:`maybe_jit` compiles the decorated numeric helper
-with ``numba.njit``; in every other case it returns the function unchanged,
-so the pure-Python fallback is always available and is the default.
+The batched backend always works in pure Python + numpy.  Setting the
+``REPRO_BATCH_JIT`` environment variable to a truthy value opts into the
+compiled tier: the kernel switches its Q-table state from per-replicate
+Python lists to numpy arrays, and every numeric inner helper decorated with
+:func:`maybe_jit` (Q-table read-fold-update, route scoring) is compiled with
+``numba.njit``.  Numba is an optional dependency — install it with::
 
-The flag is an experimental performance knob: the committed fingerprints and
-the equivalence test suite are recorded with the flag off (compiled float
-arithmetic may contract expressions differently on some targets).
+    pip install repro-qadaptive[jit]
+
+Engagement is **never silent**:
+
+* :func:`jit_engaged` resolves the tier exactly once per process.  When the
+  flag is set but numba is missing, a :class:`RuntimeWarning` is emitted
+  (once) and the backend falls back to pure Python — the warning plus the
+  ``jit_engaged: bool`` entry the batch runner writes into every result's
+  ``routing_diagnostics`` make it impossible to misattribute benchmark
+  numbers to a tier that never ran.
+* Compiled functions are tracked in :func:`compiled_functions` so tests and
+  benchmarks can assert what actually got compiled.
+
+Bit-identity contract: the compiled helpers run the same IEEE-754 double
+operations in the same order as the pure-Python kernel (``numba.njit`` is
+used without ``fastmath``, so LLVM may not contract or reassociate float
+expressions), and the batched-vs-scalar equivalence suite must pass with the
+flag both off and on.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable
+import warnings
+from typing import Callable, Dict, List, Optional
 
 _TRUTHY = {"1", "true", "yes", "on"}
+
+#: resolved once per process by :func:`jit_engaged` (None = not yet resolved).
+_ENGAGED: Optional[bool] = None
+
+#: names of functions actually compiled with numba, in decoration order.
+_COMPILED: List[str] = []
 
 
 def jit_requested() -> bool:
@@ -24,12 +47,74 @@ def jit_requested() -> bool:
     return os.environ.get("REPRO_BATCH_JIT", "").strip().lower() in _TRUTHY
 
 
-def maybe_jit(func: Callable) -> Callable:
-    """Compile ``func`` with numba when requested and possible, else pass through."""
-    if not jit_requested():
-        return func
+def numba_available() -> bool:
+    """Whether ``numba`` is importable (without importing it when unneeded)."""
     try:  # pragma: no cover - exercised only where numba is installed
-        from numba import njit  # type: ignore[import-not-found]
+        import numba  # noqa: F401  # type: ignore[import-not-found]
     except ImportError:
+        return False
+    return True  # pragma: no cover - see above
+
+
+def jit_engaged() -> bool:
+    """Whether the compiled tier is active (resolved once per process).
+
+    True only when ``REPRO_BATCH_JIT`` is set *and* numba imports.  The
+    requested-but-unavailable case warns once instead of silently falling
+    back, so a benchmark run with a broken environment cannot masquerade as
+    the compiled tier.
+    """
+    global _ENGAGED
+    if _ENGAGED is None:
+        if not jit_requested():
+            _ENGAGED = False
+        elif numba_available():  # pragma: no cover - needs numba installed
+            _ENGAGED = True
+        else:
+            warnings.warn(
+                "REPRO_BATCH_JIT is set but numba is not installed; the "
+                "batched backend falls back to the pure-Python tier "
+                "(install it with: pip install repro-qadaptive[jit])",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _ENGAGED = False
+    return _ENGAGED
+
+
+def _reset_engagement_for_tests() -> None:
+    """Drop the per-process engagement cache (test helper, not public API)."""
+    global _ENGAGED
+    _ENGAGED = None
+
+
+def compiled_functions() -> List[str]:
+    """Names of the helpers numba actually compiled (empty in pure Python)."""
+    return list(_COMPILED)
+
+
+def engagement_report() -> Dict[str, object]:
+    """One JSON-ready block describing the tier, for benchmarks and the CLI."""
+    return {
+        "requested": jit_requested(),
+        "numba_available": numba_available(),
+        "engaged": jit_engaged(),
+        "compiled_functions": compiled_functions(),
+    }
+
+
+def maybe_jit(func: Callable) -> Callable:
+    """Compile ``func`` with ``numba.njit`` when the tier is engaged.
+
+    In every other case the function is returned unchanged, so the decorated
+    helpers double as their own pure-Python reference implementations — the
+    array-path equivalence tests run them interpreted, and the CI
+    optional-deps job runs them compiled.
+    """
+    if not jit_engaged():
         return func
-    return njit(cache=True)(func)  # pragma: no cover - see above
+    from numba import njit  # type: ignore[import-not-found]  # pragma: no cover
+
+    compiled = njit(cache=True)(func)  # pragma: no cover - needs numba
+    _COMPILED.append(func.__name__)  # pragma: no cover - needs numba
+    return compiled  # pragma: no cover - needs numba

@@ -1,22 +1,55 @@
 """The batched replicate kernel: N scalar runs, bit-identical, in lockstep.
 
 One :class:`BatchKernel` advances every replicate of a batch through the same
-simulated-time slices.  Each replicate owns a private event heap of plain
-tuples ``(time, seq, code, a, b, payload)`` — ``(time, seq)`` is unique, so
-tuple comparison never reaches the payload — and a private sequence counter
-incremented at exactly the points the scalar :class:`~repro.engine.simulator.
-Simulator` allocates sequence numbers.  Same times, same tie-breaks, same
-float arithmetic: every replicate's event ordering and statistics are
-bit-identical to the scalar backend's run of the same ``(spec, seed)``.
+simulated-time slices.  Each replicate owns a private **calendar queue** — a
+preallocated array of time buckets holding plain event tuples ``(time, seq,
+code, a, b, payload)`` — and a private sequence counter incremented at exactly
+the points the scalar :class:`~repro.engine.simulator.Simulator` allocates
+sequence numbers.  ``(time, seq)`` is unique, so tuple comparison never
+reaches the payload.  Same times, same tie-breaks, same float arithmetic:
+every replicate's event ordering and statistics are bit-identical to the
+scalar backend's run of the same ``(spec, seed)``.
 
-Q-table state is held as one numpy array indexed ``[replicate, router, row,
-column]``; reads go through ``.item()`` so the learning math runs on the same
-Python floats the scalar per-router tables produce.
+**Calendar dispatch.**  The simulated horizon is split into
+``min(horizon / BUCKET_TARGET_NS, MAX_BUCKETS)`` equal-width buckets; an
+event at time ``t`` lives in bucket ``int(t * inv_width)`` (clamped to the
+last bucket, which therefore also absorbs everything beyond the horizon).
+A bucket is sorted once, on entry of the drain cursor; from then on every
+insertion into the *current* bucket is a ``bisect.insort`` above the cursor
+— safe because a scheduled time is never below the executing event's
+``(time, seq)`` — and every insertion into a future bucket is a plain
+append.  Drained buckets are freed as the cursor advances; the cursor
+``(bucket, offset)`` persists across lockstep slices.  This replaces the
+former per-replicate binary heap: O(1) fetch and append against
+O(log n) tuple-comparing sifts, preserving the exact ``(time, seq)``
+total order the equivalence suite pins.
 
-The kernel's speed comes from *event elision*: a scalar event whose execution
-provably cannot change any observable state is accounted for (it still counts
-towards ``events_processed`` and keeps its reserved sequence number) without
-ever travelling through the heap.  Four elision protocols run:
+**Monolithic drain.**  ``_advance`` inlines the entire per-event path —
+route/forward chain, waiter serve, traffic replay, NIC injection, Q-table
+folds — into one loop with every constant bound as a local, eliminating the
+per-event Python frames the profile showed dominating the old kernel.
+
+**Q-table tiers.**  The default (pure-Python) tier keeps each replicate's
+Q-tables as nested Python lists — scalar float math, no numpy scalar boxing
+on the per-decision path.  The array tier (``REPRO_BATCH_JIT``, or
+``array_path=True``) keeps them as one float64 array per batch indexed
+``[replicate, router, row, column]`` and routes every table read/fold
+through the module-level :func:`maybe_jit` helpers, compiled by numba when
+the JIT tier is engaged (see :mod:`repro.engine.batch.jit`).  Both tiers
+run IEEE-754 binary64 operations in the same order, so both are
+bit-identical to scalar; the equivalence suite passes with the flag off
+and on.
+
+**Payload pool.**  Packet records (plain 13-slot lists) are recycled
+through a per-replicate free list when they leave the network.  A packet
+that ever joined a ``waiting`` queue is marked (``P_WAITED``) and never
+recycled: the serve path's stale-waiter check compares by object identity,
+and a recycled list object could alias a stale entry.
+
+The kernel's other speed source is *event elision*: a scalar event whose
+execution provably cannot change any observable state is accounted for (it
+still counts towards ``events_processed`` and keeps its reserved sequence
+number) without ever travelling through the calendar.  Five protocols run:
 
 * **wake elision** — the post-forward serve-waiting wake is pended while its
   output port has no waiters; a waiter joining the port materializes the
@@ -33,8 +66,9 @@ ever travelling through the heap.  Four elision protocols run:
   NIC whose source queue is empty (the scalar handler is then an increment
   plus an immediately-returning injection attempt);
 * **feedback elision** — a Q-feedback event only writes one table entry of
-  one router, so it is pended per target router and folded in, in scalar
-  event order, before the next read of that router's table;
+  one router, so it is pended per target router (kept sorted by ``(time,
+  seq)``, making maturity a prefix test) and folded in, in scalar event
+  order, before the next read of that router's table;
 * **delivery elision** — the final wire hop into a NIC only appends to the
   delivery log; its timestamp (forward time plus the constant host-link
   delay) is monotone over forwards, so the record is written at forward time
@@ -46,19 +80,20 @@ exactly; the equivalence suite pins that along with every statistic.
 
 from __future__ import annotations
 
+import gc
+from bisect import insort
 from collections import deque
-from heapq import heappop, heappush
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.batch.jit import maybe_jit
-from repro.engine.batch.model import KIND_MIN, KIND_QADP, BatchModel
+from repro.engine.batch.jit import jit_engaged, maybe_jit
+from repro.engine.batch.model import BatchModel
 from repro.engine.batch.trace import TraceEntry, record_traffic_trace
 from repro.engine.rng import RngFactory
 from repro.traffic import make_pattern
 
-# Event codes (dispatch order in `_advance` follows event frequency).
+# Event codes (the drain dispatches by frequency: RECV first).
 EV_RECV = 0  # a=router*k+in_port, b=vc, payload=packet
 EV_CREDIT_R = 1  # a=router*k+out_port, b=vc
 EV_SERVE = 2  # a=router*k+out_port
@@ -79,7 +114,20 @@ P_OVC = 8  # routed out_vc
 P_ARR = 9  # router_arrival_ns
 P_SCRATCH = 10  # Q-adp one-shot intermediate-reroute flag
 P_QFB = 11  # pending feedback (prev_router, row, column, prev_arrival)
+P_WAITED = 12  # joined a waiting queue at least once => never pool-recycled
 
+#: calendar-queue sizing: aim for buckets a couple of link delays wide, but
+#: never preallocate more than MAX_BUCKETS lists per replicate.
+BUCKET_TARGET_NS = 16.0
+MAX_BUCKETS = 4096
+
+
+# --------------------------------------------------------------- jit helpers
+# The array-tier numeric kernels.  Array-in/scalar-out, no Python objects:
+# compiled with numba.njit when the JIT tier is engaged, and their own
+# pure-Python reference implementation otherwise (the equivalence tests run
+# them interpreted; CI's optional-deps job runs them compiled).  All operate
+# on the per-replicate float64 view ``qv[router, row, column]``.
 
 @maybe_jit
 def _hysteretic_fold(current: float, target: float, alpha: float,
@@ -90,25 +138,112 @@ def _hysteretic_fold(current: float, target: float, alpha: float,
     return current + rate * delta
 
 
+@maybe_jit
+def _fold_one(qv: np.ndarray, router: int, row: int, column: int,
+              target: float, alpha: float, beta: float) -> None:
+    """Apply one hysteretic update in place (array tier)."""
+    current = qv[router, row, column]
+    delta = target - current
+    if delta < 0.0:
+        qv[router, row, column] = current + alpha * delta
+    else:
+        qv[router, row, column] = current + beta * delta
+
+
+@maybe_jit
+def _row_min(qv: np.ndarray, router: int, row: int) -> float:
+    """Minimum of one table row (array tier)."""
+    q = qv[router, row, 0]
+    for column in range(1, qv.shape[2]):
+        value = qv[router, row, column]
+        if value < q:
+            q = value
+    return q
+
+
+@maybe_jit
+def _row_argmin(qv: np.ndarray, router: int, row: int) -> int:
+    """First-minimum column of one table row (array tier)."""
+    best = 0
+    q_best = qv[router, row, 0]
+    for column in range(1, qv.shape[2]):
+        value = qv[router, row, column]
+        if value < q_best:
+            q_best = value
+            best = column
+    return best
+
+
+@maybe_jit
+def _qadp_source_choice(qv: np.ndarray, router: int, row: int, min_column: int,
+                        q_thld: float) -> int:
+    """Source-router Q-adp choice: minimal unless the advantage clears q_thld1.
+
+    Returns the chosen *column* (first minimum wins ties, like
+    ``list.index(min(...))`` on the scalar path).
+    """
+    q_min = qv[router, row, min_column]
+    best = 0
+    q_best = qv[router, row, 0]
+    for column in range(1, qv.shape[2]):
+        value = qv[router, row, column]
+        if value < q_best:
+            q_best = value
+            best = column
+    if q_min <= 0.0:
+        advantage = 0.0
+    else:
+        advantage = (q_min - q_best) / q_min
+    if advantage < q_thld:
+        return min_column
+    return best
+
+
+@maybe_jit
+def _qadp_reroute_choice(qv: np.ndarray, router: int, row: int,
+                         min_column: int, rand_column: int,
+                         q_thld: float) -> int:
+    """Intermediate Q-adp choice between the minimal and one random column."""
+    q_min = qv[router, row, min_column]
+    q_best = qv[router, row, rand_column]
+    if q_min <= 0.0:
+        advantage = 0.0
+    else:
+        advantage = (q_min - q_best) / q_min
+    if advantage < q_thld:
+        return min_column
+    return rand_column
+
+
 class ReplicateState:
     """Mutable per-replicate simulation state (see BatchKernel)."""
 
     __slots__ = (
-        "seed", "heap", "seq", "bufs", "out_busy", "waiting", "cred",
+        "seed", "cal", "cal_b", "cal_i", "inv_w", "num_buckets", "seq",
+        "bufs", "out_busy", "waiting", "cred",
         "pend_wakes", "pend_cred", "pend_qfb",
         "nic_busy", "nic_q", "nic_retry", "nic_cred", "pend_nic",
-        "qv", "rng", "trace", "ptr", "executed", "elided",
+        "qv", "qt", "pool", "rng", "trace", "ptr", "executed", "elided",
         "glog", "dlog",
         "c_src_min", "c_src_best", "c_int_min", "c_int_rr",
         "c_fb_sent", "c_fb_app", "c_forced",
     )
 
     def __init__(self, model: BatchModel, seed: int,
-                 qv: Optional[np.ndarray]) -> None:
+                 qv: Optional[np.ndarray],
+                 qt: Optional[List[List[List[float]]]]) -> None:
         size = model.num_routers * model.k
         num_vcs = model.num_vcs
         self.seed = seed
-        self.heap: List[Tuple] = []
+        horizon = float(model.spec.sim_time_ns)
+        num_buckets = int(horizon / BUCKET_TARGET_NS) + 1
+        if num_buckets > MAX_BUCKETS:
+            num_buckets = MAX_BUCKETS
+        self.num_buckets = num_buckets
+        self.inv_w = num_buckets / horizon if horizon > 0.0 else 0.0
+        self.cal: List[List[Tuple]] = [[] for _ in range(num_buckets)]
+        self.cal_b = 0  # drain cursor: current bucket ...
+        self.cal_i = 0  # ... and offset of the next event within it
         self.seq = 0
         self.bufs = [[deque() for _ in range(num_vcs)] for _ in range(size)]
         self.out_busy = [0.0] * size
@@ -126,7 +261,9 @@ class ReplicateState:
         self.nic_retry = [False] * num_nodes
         self.nic_cred = [model.nic_cred_cap] * num_nodes
         self.pend_nic: List[List[Tuple[float, int]]] = [[] for _ in range(num_nodes)]
-        self.qv = qv  # [router, row, col] float64 view of the batch array
+        self.qv = qv  # array tier: [router, row, col] float64 view
+        self.qt = qt  # flat tier: nested per-router Python lists
+        self.pool: List[List] = []  # recycled packet records (never-waited only)
         # The same named stream the scalar routing draws from on attach.
         self.rng = RngFactory(seed).py(f"routing:{model.spec.routing}")
         spec = model.spec
@@ -148,13 +285,20 @@ class ReplicateState:
         self.c_fb_app = 0
         self.c_forced = 0
         # Mirror TrafficGenerator.start(): one initial event per driven node,
-        # sequence numbers allocated in ascending node order.
-        heap = self.heap
+        # sequence numbers allocated in ascending node order.  Plain appends:
+        # bucket 0 is sorted when the drain cursor enters it.
+        cal = self.cal
+        inv_w = self.inv_w
+        last = num_buckets - 1
         for node, entries in enumerate(self.trace):
             if entries:
                 seq = self.seq
                 self.seq = seq + 1
-                heappush(heap, (entries[0][0], seq, EV_GEN, node, 0, None))
+                t = entries[0][0]
+                idx = int(t * inv_w)
+                if idx > last:
+                    idx = last
+                cal[idx].append((t, seq, EV_GEN, node, 0, None))
 
     def events_processed(self) -> int:
         """Scalar-equivalent event count (executed plus elided no-op events)."""
@@ -164,36 +308,65 @@ class ReplicateState:
 class BatchKernel:
     """Advances all replicates of one batch in lockstep time slices."""
 
-    def __init__(self, model: BatchModel, seeds: List[int]) -> None:
+    def __init__(self, model: BatchModel, seeds: List[int], *,
+                 array_path: Optional[bool] = None) -> None:
         self.model = model
         self.seeds = list(seeds)
         self.horizon = float(model.spec.sim_time_ns)
-        if model.init_values is not None:
-            # The tentpole state layout: Q-values of the whole batch in one
+        if array_path is None:
+            array_path = jit_engaged()
+        self.array_path = array_path
+        if model.init_values is not None and array_path:
+            # Array-tier state layout: Q-values of the whole batch in one
             # array indexed [replicate, router, row, column].
             self.qvalues: Optional[np.ndarray] = np.repeat(
                 model.init_values[None, ...], len(self.seeds), axis=0
             )
         else:
             self.qvalues = None
-        self.states = [
-            ReplicateState(
-                model, seed, None if self.qvalues is None else self.qvalues[i]
-            )
-            for i, seed in enumerate(self.seeds)
-        ]
+        if model.init_values is not None and not array_path:
+            states = [
+                ReplicateState(model, seed, None, model.init_values.tolist())
+                for seed in self.seeds
+            ]
+        else:
+            states = [
+                ReplicateState(
+                    model, seed,
+                    None if self.qvalues is None else self.qvalues[i], None,
+                )
+                for i, seed in enumerate(self.seeds)
+            ]
+        self.states = states
         self.now = 0.0
 
     # ------------------------------------------------------------- lockstep
     def run(self, until: float, slices: int = 8) -> None:
-        """Advance every replicate to ``until`` in ``slices`` lockstep steps."""
+        """Advance every replicate to ``until`` in ``slices`` lockstep steps.
+
+        The cyclic garbage collector is suspended for the duration of the
+        drain: the kernel allocates millions of short-lived event tuples
+        against a large live heap (every replicate's calendar, buffers and
+        tables survive every collection), which makes generation-0 scans the
+        single largest cost of the loop.  Nothing the kernel allocates forms
+        reference cycles, so suppression only defers — never leaks — and the
+        collector is restored even if a replicate raises.
+        """
         start = self.now
         span = until - start
-        for step in range(1, slices + 1):
-            bound = until if step == slices else start + span * (step / slices)
-            for state in self.states:
-                self._advance(state, bound)
-            self.now = bound
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            for step in range(1, slices + 1):
+                bound = (until if step == slices
+                         else start + span * (step / slices))
+                for state in self.states:
+                    self._advance(state, bound)
+                self.now = bound
+        finally:
+            if was_enabled:
+                gc.enable()
 
     def finalize(self, until: float) -> None:
         """Account every pended event the scalar run would have executed."""
@@ -216,498 +389,686 @@ class BatchKernel:
                     if entry[0] <= until:
                         elided += 1
                 del pend[:]
+            qt = st.qt
             qv = st.qv
             for router, pend in enumerate(st.pend_qfb):
-                matured = [e for e in pend if e[0] <= until]
-                matured.sort()
-                for _t, _s, row, column, target in matured:
-                    qv[router, row, column] = _hysteretic_fold(
-                        qv.item(router, row, column), target, alpha, beta
-                    )
-                st.c_fb_app += len(matured)
-                elided += len(matured)
+                if not pend:
+                    continue
+                # Pends are kept sorted by (time, seq): maturity is a prefix.
+                applied = 0
+                if qt is not None:
+                    table = qt[router]
+                    for entry in pend:
+                        if entry[0] > until:
+                            break
+                        row = table[entry[2]]
+                        column = entry[3]
+                        current = row[column]
+                        delta = entry[4] - current
+                        rate = alpha if delta < 0.0 else beta
+                        row[column] = current + rate * delta
+                        applied += 1
+                else:
+                    for entry in pend:
+                        if entry[0] > until:
+                            break
+                        _fold_one(qv, router, entry[2], entry[3], entry[4],
+                                  alpha, beta)
+                        applied += 1
+                st.c_fb_app += applied
+                elided += applied
                 del pend[:]
             st.elided += elided
 
     # ------------------------------------------------------------ event loop
     def _advance(self, st: ReplicateState, until: float) -> None:
-        heap = st.heap
-        bufs = st.bufs
-        cred = st.cred
-        waiting = st.waiting
-        nic_cred = st.nic_cred
-        nic_retry = st.nic_retry
-        chain = self._chain
-        serve = self._serve
-        generate = self._generate
-        nic_try = self._nic_try
-        pop = heappop
-        executed = st.executed
-        while heap:
-            ev = heap[0]
-            now = ev[0]
-            if now > until:
-                break
-            pop(heap)
-            executed += 1
-            code = ev[2]
-            a = ev[3]
-            if code == EV_RECV:
-                pkt = ev[5]
-                pkt[9] = now
-                buf = bufs[a][ev[4]]
-                buf.append(pkt)
-                if len(buf) == 1:
-                    chain(st, a, ev[4], now, ev[1], False)
-            elif code == EV_CREDIT_R:
-                cc = cred[a]
-                if cc is not None:
-                    cc[ev[4]] += 1
-                if waiting[a]:
-                    serve(st, a, now, ev[1])
-            elif code == EV_SERVE:
-                if waiting[a]:
-                    serve(st, a, now, ev[1])
-            elif code == EV_GEN:
-                generate(st, a, now, ev[1])
-            elif code == EV_CREDIT_N:
-                nic_cred[a] += 1
-                nic_try(st, a, now)
-            else:  # EV_NIC_RETRY
-                nic_retry[a] = False
-                nic_try(st, a, now)
-        st.executed = executed
+        """Drain one replicate's calendar up to ``until`` (monolithic).
 
-    # -------------------------------------------------------------- traffic
-    def _generate(self, st: ReplicateState, node: int, now: float,
-                  cur_seq: int) -> None:
-        """Replay one generator wake-up (mirrors TrafficGenerator._generate)."""
-        m = self.model
-        entries = st.trace[node]
-        index = st.ptr[node]
-        dst = entries[index][1]
-        if dst >= 0:
-            # The source queue turns non-empty: pended NIC credits that scalar
-            # executed before this event were increment-only no-ops (queue
-            # empty throughout their window); the rest could now trigger an
-            # injection, so they must become real events again.
-            pend = st.pend_nic[node]
-            if pend:
-                heap = st.heap
-                elided = 0
-                for t, s in pend:
-                    if t < now or (t == now and s < cur_seq):
-                        st.nic_cred[node] += 1
-                        elided += 1
-                    else:
-                        heappush(heap, (t, s, EV_CREDIT_N, node, 0, None))
-                del pend[:]
-                st.elided += elided
-            hpr = m.hpr
-            src_router = m.nic_router[node]
-            pkt = [now, dst, dst // hpr, src_router, m.group[src_router],
-                   node % hpr, 0, -1, 0, now, None, None]
-            st.glog.append(now)
-            st.nic_q[node].append(pkt)
-            self._nic_try(st, node, now)
-        index += 1
-        st.ptr[node] = index
-        if index < len(entries):
-            seq = st.seq
-            st.seq = seq + 1
-            heappush(st.heap, (entries[index][0], seq, EV_GEN, node, 0, None))
-
-    def _nic_try(self, st: ReplicateState, node: int, now: float) -> None:
-        """Mirror Nic._try_inject: drain the source queue onto the host link."""
-        queue = st.nic_q[node]
-        m = self.model
-        heap = st.heap
-        while queue:
-            busy_until = st.nic_busy[node]
-            if busy_until > now:
-                if not st.nic_retry[node]:
-                    st.nic_retry[node] = True
-                    seq = st.seq
-                    st.seq = seq + 1
-                    heappush(heap, (busy_until, seq, EV_NIC_RETRY, node, 0, None))
-                return
-            if st.nic_cred[node] <= 0:
-                return  # the router's credit return retries
-            pkt = queue.popleft()
-            st.nic_busy[node] = now + m.ser
-            st.nic_cred[node] -= 1
-            seq = st.seq
-            st.seq = seq + 1
-            heappush(
-                heap, (now + m.nic_hop_delay, seq, EV_RECV, m.nic_fidx[node], 0, pkt)
-            )
-            # clock unchanged: the loop exits through the busy check
-
-    # ----------------------------------------------------------- forwarding
-    def _chain(self, st: ReplicateState, fidx: int, vc: int, now: float,
-               cur_seq: int, forward_first: bool) -> None:
-        """Route-and-forward chain of one input buffer.
-
-        Mirrors the scalar Router's mutually recursive ``_route_head`` /
-        ``_forward`` pair as one loop: route the head, forward while port and
-        credits allow, then route the next head of the same buffer — exactly
-        the scalar control flow, without the recursion.  ``forward_first``
-        enters at the forward step (the serve path re-forwards an
-        already-routed waiter).
+        This is the whole per-event path of the batched backend in one frame:
+        calendar fetch, dispatch, the route-and-forward chain, waiter serve,
+        traffic replay, NIC injection and every elision protocol, with all
+        constants and mutable state bound as locals once per slice.
         """
         m = self.model
+        # --- calendar cursor ---
+        cal = st.cal
+        b = st.cal_b
+        i = st.cal_i
+        inv_w = st.inv_w
+        last_b = st.num_buckets - 1
+        lst = cal[b]
+        if i == 0 and len(lst) > 1:
+            lst.sort()
+        n_lst = len(lst)
+        # --- model constants ---
         k = m.k
-        router = fidx // k
-        in_port = fidx - router * k
-        buf = st.bufs[fidx][vc]
-        heap = st.heap
-        kind = m.kind
-        num_host = m.num_host[router]
-        max_vc = m.max_vc
-        hop_delay = m.hop_delay
         hpr = m.hpr
         ser = m.ser
-        remote_idx = m.remote_idx
-        cred = st.cred
-        out_busy = st.out_busy
-        waiting = st.waiting
-        pend_cred = st.pend_cred
-        pend_wakes = st.pend_wakes
-        min_next = m.min_next[router]
-        base = router * k
+        max_vc = m.max_vc
+        kind = m.kind
         horizon = self.horizon
-        if kind:
-            pend_qfb_r = st.pend_qfb[router]
-            qv = st.qv
-            alpha = m.alpha
-            beta = m.beta
-        while True:
-            pkt = buf[0]
-            if forward_first:
-                forward_first = False
-                out = pkt[P_OUT]
-                out_vc = pkt[P_OVC]
-                fo = base + out
-                cc = cred[fo]
-            else:
-                # --- route the head (Router._route_head + routing.route) ---
-                dst_router = pkt[P_DSTR]
-                if dst_router == router:
-                    # Ejection never reads the Q-table (the feedback target of
-                    # a delivered packet is zero), so no feedback flush here.
-                    out = pkt[P_DST] % hpr
-                elif kind == KIND_MIN:
-                    out = min_next[dst_router]
-                else:
-                    if pend_qfb_r:
-                        # Inlined fast path of _apply_matured_qfb: one pended
-                        # update, already matured — the overwhelmingly common
-                        # case under steady feedback traffic.
-                        if len(pend_qfb_r) == 1:
-                            entry = pend_qfb_r[0]
-                            t = entry[0]
-                            if t < now or (t == now and entry[1] < cur_seq):
-                                del pend_qfb_r[0]
-                                row = entry[2]
-                                column = entry[3]
-                                current = qv.item(router, row, column)
-                                delta = entry[4] - current
-                                rate = alpha if delta < 0.0 else beta
-                                qv[router, row, column] = current + rate * delta
-                                st.c_fb_app += 1
-                                st.elided += 1
-                        else:
-                            self._apply_matured_qfb(st, router, now, cur_seq)
-                    if kind == KIND_QADP:
-                        out = self._decide_qadp(st, router, pkt)
-                    else:
-                        out = self._decide_qrouting(st, router, pkt)
-                if kind and pkt[P_QFB] is not None:
-                    self._feedback(st, router, fidx, pkt, out, now)
-                pkt[P_OUT] = out
-                if out < num_host:
-                    out_vc = 0
-                else:
-                    out_vc = pkt[P_HOPS]
-                    if out_vc > max_vc:
-                        out_vc = max_vc
-                pkt[P_OVC] = out_vc
-                fo = base + out
-                pend = pend_cred[fo]
-                if pend and (pend[0][0] < now
-                             or (pend[0][0] == now and pend[0][1] < cur_seq)):
-                    self._apply_matured_credits(st, fo, now, cur_seq)
-                cc = cred[fo]
-                if out_busy[fo] > now or not (cc is None or cc[out_vc] > 0):
-                    waiting[fo].append((in_port, vc, pkt))
-                    # A waiter joined: pended wakes/credits of this port can
-                    # now serve somebody — restore the unmatured ones to the
-                    # heap with their reserved sequence numbers.
-                    pend = pend_wakes[fo]
-                    if pend:
-                        self._flush_wakes(st, pend, fo, now, cur_seq)
-                    pend = pend_cred[fo]
-                    if pend:
-                        for entry in pend:
-                            heappush(heap, (entry[0], entry[1], EV_CREDIT_R,
-                                            fo, entry[2], None))
-                        del pend[:]
-                    return
-            # --- forward (Router._forward) ---
-            buf.popleft()
-            out_busy[fo] = now + ser
-            if cc is not None:
-                cc[out_vc] -= 1
-            seq = st.seq
-            if in_port < num_host:
-                node = m.node_at[fidx]
-                if st.nic_q[node]:
-                    heappush(heap, (now + hop_delay[fidx], seq, EV_CREDIT_N,
-                                    node, 0, None))
-                else:
-                    st.pend_nic[node].append((now + hop_delay[fidx], seq))
-            else:
-                target = remote_idx[fidx]
-                if waiting[target]:
-                    heappush(heap, (now + hop_delay[fidx], seq, EV_CREDIT_R,
-                                    target, vc, None))
-                else:
-                    pend_cred[target].append((now + hop_delay[fidx], seq, vc))
-            if kind and out >= num_host:
-                # routing.on_forward: tag the hop for the next router's feedback
-                if kind == KIND_QADP:
-                    row = m.group[pkt[P_DSTR]] * m.p + pkt[P_SRCL]
-                else:
-                    row = pkt[P_DSTR]
-                pkt[P_QFB] = (router, row, out - m.first_port, pkt[P_ARR])
-            if out < num_host:
-                # Delivery elision: the final wire hop only appends to the
-                # delivery log, and its timestamp is monotone over forwards.
-                deliver = now + hop_delay[fo]
-                if deliver <= horizon:
-                    st.dlog.append((pkt[P_CREATE], deliver, pkt[P_HOPS]))
-                    st.elided += 1
-            else:
-                pkt[P_HOPS] += 1
-                heappush(heap, (now + hop_delay[fo], seq + 1, EV_RECV,
-                                remote_idx[fo], out_vc, pkt))
-            # Serve-waiting wake: reserve the sequence number, but only put
-            # the event on the heap if a waiter already needs it.
-            if waiting[fo]:
-                heappush(heap, (now + ser, seq + 2, EV_SERVE, fo, 0, None))
-            else:
-                pend_wakes[fo].append((now + ser, seq + 2))
-            st.seq = seq + 3
-            if not buf:
-                return
-
-    # -------------------------------------------------------------- elision
-    def _flush_wakes(self, st: ReplicateState, pend: List[Tuple[float, int]],
-                     fo: int, now: float, cur_seq: int) -> None:
-        """A waiter joined ``fo``: decide the fate of every reserved wake.
-
-        A reserved wake is a scalar event ``(wake_time, wake_seq)``.  If it
-        sorts *before* the currently executing event — ``wake_time < now``,
-        or same time with a smaller sequence number — the scalar run already
-        executed it, necessarily on an empty waiter queue (waiters only join
-        during an executing event, and none joined since the reservation), so
-        it was a no-op: count it as elided.  If it sorts *after* the current
-        event, the scalar run has not executed it yet and it may now find
-        this waiter: materialize it on the heap with its reserved sequence
-        number, restoring exact scalar ordering.
-        """
-        heap = st.heap
-        for wake_time, wake_seq in pend:
-            if wake_time > now or (wake_time == now and wake_seq > cur_seq):
-                heappush(heap, (wake_time, wake_seq, EV_SERVE, fo, 0, None))
-            else:
-                st.elided += 1
-        del pend[:]
-
-    def _apply_matured_credits(self, st: ReplicateState, fo: int, now: float,
-                               cur_seq: int) -> None:
-        """Fold in pended credit returns that scalar already executed.
-
-        A pended return still in the list means no waiter joined ``fo`` since
-        it was pended, so its scalar execution was an increment plus a no-op
-        serve.  Entries are monotone in ``(time, seq)`` — each output port is
-        refilled over exactly one constant-latency link — so maturity is a
-        prefix.
-        """
-        pend = st.pend_cred[fo]
-        cc = st.cred[fo]
-        drop = 0
-        for t, s, vc in pend:
-            if t < now or (t == now and s < cur_seq):
-                if cc is not None:
-                    cc[vc] += 1
-                drop += 1
-            else:
-                break
-        if drop:
-            del pend[:drop]
-            st.elided += drop
-
-    def _apply_matured_qfb(self, st: ReplicateState, router: int, now: float,
-                           cur_seq: int) -> None:
-        """Fold in pended Q-feedback that scalar executed before this event.
-
-        Pended entries are not time-ordered (reverse-link latencies differ per
-        port), so the matured subset is sorted into scalar ``(time, seq)``
-        order before applying.  Unmatured entries stay pended: nothing reads
-        the table before the next flush point.
-        """
-        pend = st.pend_qfb[router]
-        matured = None
-        keep = 0
-        for entry in pend:
-            t = entry[0]
-            if t < now or (t == now and entry[1] < cur_seq):
-                if matured is None:
-                    matured = [entry]
-                else:
-                    matured.append(entry)
-            else:
-                pend[keep] = entry
-                keep += 1
-        if matured is None:
-            return
-        del pend[keep:]
-        if len(matured) > 1:
-            matured.sort()
-        m = self.model
+        hop_delay = m.hop_delay
+        lat = m.lat
+        remote_idx = m.remote_idx
+        node_at = m.node_at
+        min_next = m.min_next
+        num_host = m.num_host
+        group = m.group
+        nic_fidx = m.nic_fidx
+        nic_router = m.nic_router
+        nic_hop_delay = m.nic_hop_delay
+        first_port = m.first_port
+        explore = m.explore
+        onpolicy = m.onpolicy
         alpha = m.alpha
         beta = m.beta
-        qv = st.qv
-        for _t, _s, row, column, target in matured:
-            qv[router, row, column] = _hysteretic_fold(
-                qv.item(router, row, column), target, alpha, beta
-            )
-        st.c_fb_app += len(matured)
-        st.elided += len(matured)
-
-    # ---------------------------------------------------------------- serve
-    def _serve(self, st: ReplicateState, fo: int, now: float,
-               cur_seq: int) -> None:
-        """Mirror Router._serve_waiting: forward one eligible waiter, FIFO."""
-        waiters = st.waiting[fo]
-        if st.out_busy[fo] > now:
-            return
-        k = self.model.k
-        base = (fo // k) * k
-        cc = st.cred[fo]
+        epsilon = m.epsilon
+        p_ = m.p
+        q_thld1 = m.q_thld1
+        q_thld2 = m.q_thld2
+        local_ports = m.local_ports
+        direct = m.direct
+        max_q = m.max_q
+        # --- replicate state ---
         bufs = st.bufs
-        scanned = 0
-        skipped = 0
-        total = len(waiters)
-        while scanned < total and waiters:
-            in_port, vc, pkt = waiters[0]
-            buf = bufs[base + in_port][vc]
-            if not buf or buf[0] is not pkt:
-                # Stale: the packet left through another port's serve already.
-                waiters.popleft()
-                scanned += 1
-                continue
-            if cc is None or cc[pkt[P_OVC]] > 0:
-                waiters.popleft()
-                if skipped:
-                    waiters.rotate(skipped)
-                self._chain(st, base + in_port, vc, now, cur_seq, True)
-                return
-            waiters.rotate(-1)
-            skipped += 1
-            scanned += 1
-        if skipped:
-            waiters.rotate(skipped)
-
-    # ---------------------------------------------------------- Q decisions
-    def _decide_qadp(self, st: ReplicateState, router: int, pkt: List) -> int:
-        """Mirror QAdaptiveRouting.decide (faults-off path), draw for draw."""
-        m = self.model
-        dst_router = pkt[P_DSTR]
-        dst_group = m.group[dst_router]
-        if m.group[router] == dst_group:
-            return m.min_next[router][dst_router]
-        row = dst_group * m.p + pkt[P_SRCL]
-        first_port = m.first_port
+        cred_l = st.cred
+        waiting = st.waiting
+        out_busy = st.out_busy
+        pend_wakes = st.pend_wakes
+        pend_cred = st.pend_cred
+        pend_qfb = st.pend_qfb
+        nic_busy = st.nic_busy
+        nic_q = st.nic_q
+        nic_retry = st.nic_retry
+        nic_cred = st.nic_cred
+        pend_nic = st.pend_nic
+        trace = st.trace
+        ptr = st.ptr
+        pool = st.pool
+        qt = st.qt
         qv = st.qv
-        epsilon = m.epsilon
-        rng = st.rng
-        if router == pkt[P_SRCR] and pkt[P_HOPS] == 0:
-            min_port = m.min_next[router][dst_router]
-            row_values = qv[router, row].tolist()
-            q_min = row_values[min_port - first_port]
-            q_best = min(row_values)
-            best_port = row_values.index(q_best) + first_port
-            advantage = 0.0 if q_min <= 0.0 else (q_min - q_best) / q_min
-            temp_port = min_port if advantage < m.q_thld1 else best_port
-            if temp_port == min_port:
-                st.c_src_min += 1
+        rand = st.rng.random
+        randrange = st.rng.randrange
+        int_ = int
+        len_ = len
+        glog_append = st.glog.append
+        dlog_append = st.dlog.append
+        # --- cached counters (written back on exit) ---
+        nseq = st.seq
+        executed = st.executed
+        elided = st.elided
+        c_src_min = st.c_src_min
+        c_src_best = st.c_src_best
+        c_int_min = st.c_int_min
+        c_int_rr = st.c_int_rr
+        c_fb_sent = st.c_fb_sent
+        c_fb_app = st.c_fb_app
+        c_forced = st.c_forced
+        while True:
+            # ---------------------------------------------- calendar fetch
+            if i < n_lst:
+                now, cur_seq, code, a, bb, pl = lst[i]
+                if now > until:
+                    break
+                i += 1
             else:
-                st.c_src_best += 1
-            candidates = m.explore[router]
-            if epsilon > 0.0 and candidates and rng.random() < epsilon:
-                return candidates[rng.randrange(len(candidates))]
-            return temp_port
-        if pkt[P_SCRATCH] is None and m.group[router] != pkt[P_SRCG]:
-            pkt[P_SCRATCH] = True
-            direct = m.direct[router][dst_group]
-            if direct >= 0:
-                st.c_int_min += 1
-                return direct
-            min_port = m.min_next[router][dst_router]
-            local_ports = m.local_ports
-            best_port = local_ports[rng.randrange(len(local_ports))]
-            q_min = qv.item(router, row, min_port - first_port)
-            q_best = qv.item(router, row, best_port - first_port)
-            advantage = 0.0 if q_min <= 0.0 else (q_min - q_best) / q_min
-            temp_port = min_port if advantage < m.q_thld2 else best_port
-            if temp_port == min_port:
-                st.c_int_min += 1
-            else:
-                st.c_int_rr += 1
-            if epsilon > 0.0 and local_ports and rng.random() < epsilon:
-                return local_ports[rng.randrange(len(local_ports))]
-            return temp_port
-        return m.min_next[router][dst_router]
-
-    def _decide_qrouting(self, st: ReplicateState, router: int,
-                         pkt: List) -> int:
-        """Mirror QRoutingAlgorithm.decide (faults-off path)."""
-        m = self.model
-        if pkt[P_HOPS] >= m.max_q:
-            st.c_forced += 1
-            return m.min_next[router][pkt[P_DSTR]]
-        best_port = int(st.qv[router, pkt[P_DSTR]].argmin()) + m.first_port
-        epsilon = m.epsilon
-        candidates = m.explore[router]
-        rng = st.rng
-        if epsilon > 0.0 and candidates and rng.random() < epsilon:
-            return candidates[rng.randrange(len(candidates))]
-        return best_port
-
-    def _feedback(self, st: ReplicateState, router: int, fidx: int,
-                  pkt: List, out: int, now: float) -> None:
-        """Mirror TabularMarlRouting._send_feedback (learning always on).
-
-        The update is pended towards its target router instead of scheduled
-        (feedback elision); the table of the *current* router read here was
-        brought up to date at the top of the routing step.
-        """
-        m = self.model
-        prev_router, row, column, prev_arrival = pkt[P_QFB]
-        pkt[P_QFB] = None
-        reward = pkt[P_ARR] - prev_arrival
-        if router == pkt[P_DSTR]:
-            q_next = 0.0
-        elif m.onpolicy and out >= m.num_host[router]:
-            q_next = st.qv.item(router, row, out - m.first_port)
-        else:
-            q_next = st.qv[router, row].min().item()
-        target = reward + q_next
-        st.c_fb_sent += 1
-        seq = st.seq
-        st.seq = seq + 1
-        st.pend_qfb[prev_router].append(
-            (now + m.lat[fidx], seq, row, column, target)
-        )
+                if b == last_b:
+                    break
+                del lst[:]  # free the drained bucket
+                b += 1
+                i = 0
+                lst = cal[b]
+                n_lst = len_(lst)
+                if n_lst > 1:
+                    lst.sort()
+                continue
+            executed += 1
+            # -------------------------------------------------- dispatch
+            if code == 0:  # EV_RECV
+                pkt = pl
+                pkt[9] = now
+                vc = bb
+                buf = bufs[a][vc]
+                if buf:
+                    buf.append(pkt)
+                    continue  # head already routed or waiting
+                buf.append(pkt)
+                router = a // k
+                base = router * k
+                in_port = a - base
+                forward_first = False
+            elif code < 3:  # EV_CREDIT_R (1) / EV_SERVE (2)
+                if code == 1:
+                    cc = cred_l[a]
+                    if cc is not None:
+                        cc[bb] += 1
+                waiters = waiting[a]
+                if not waiters or out_busy[a] > now:
+                    continue
+                # Mirror Router._serve_waiting: forward one eligible waiter,
+                # FIFO, rotating credit-starved waiters to the back.
+                router = a // k
+                base = router * k
+                cc = cred_l[a]
+                scanned = 0
+                skipped = 0
+                total = len_(waiters)
+                while scanned < total and waiters:
+                    in_port, vc, wpkt = waiters[0]
+                    wbuf = bufs[base + in_port][vc]
+                    if not wbuf or wbuf[0] is not wpkt:
+                        # Stale: the packet left through another port already.
+                        waiters.popleft()
+                        scanned += 1
+                        continue
+                    if cc is None or cc[wpkt[8]] > 0:
+                        waiters.popleft()
+                        if skipped:
+                            waiters.rotate(skipped)
+                        break
+                    waiters.rotate(-1)
+                    skipped += 1
+                    scanned += 1
+                else:
+                    if skipped:
+                        waiters.rotate(skipped)
+                    continue
+                buf = wbuf
+                forward_first = True  # enter the chain at the forward step
+            else:  # NIC-side events: EV_GEN (3) / EV_CREDIT_N (4) / EV_NIC_RETRY (5)
+                node = a
+                if code == 3:
+                    # Replay one generator wake-up (TrafficGenerator._generate).
+                    entries = trace[node]
+                    index = ptr[node]
+                    dst = entries[index][1]
+                    index += 1
+                    ptr[node] = index
+                    if dst < 0:
+                        if index < len_(entries):
+                            s2 = nseq
+                            nseq = s2 + 1
+                            t2 = entries[index][0]
+                            idx = int_(t2 * inv_w)
+                            if idx > last_b:
+                                idx = last_b
+                            e = (t2, s2, 3, node, 0, None)  # EV_GEN
+                            if idx == b:
+                                insort(lst, e, i)
+                                n_lst += 1
+                            else:
+                                cal[idx].append(e)
+                        continue
+                    # The source queue turns non-empty: pended NIC credits
+                    # that scalar executed before this event were
+                    # increment-only no-ops (queue empty throughout their
+                    # window); the rest could now trigger an injection, so
+                    # they must become real events again.
+                    pendn = pend_nic[node]
+                    if pendn:
+                        for t2, s2 in pendn:
+                            if t2 < now or (t2 == now and s2 < cur_seq):
+                                nic_cred[node] += 1
+                                elided += 1
+                            else:
+                                idx = int_(t2 * inv_w)
+                                if idx > last_b:
+                                    idx = last_b
+                                e = (t2, s2, 4, node, 0, None)  # EV_CREDIT_N
+                                if idx == b:
+                                    insort(lst, e, i)
+                                    n_lst += 1
+                                else:
+                                    cal[idx].append(e)
+                        del pendn[:]
+                    src_router = nic_router[node]
+                    if pool:
+                        pkt = pool.pop()
+                        pkt[0] = now
+                        pkt[1] = dst
+                        pkt[2] = dst // hpr
+                        pkt[3] = src_router
+                        pkt[4] = group[src_router]
+                        pkt[5] = node % hpr
+                        pkt[6] = 0
+                        pkt[7] = -1
+                        pkt[8] = 0
+                        pkt[9] = now
+                        pkt[10] = None
+                        pkt[11] = None
+                    else:
+                        pkt = [now, dst, dst // hpr, src_router,
+                               group[src_router], node % hpr, 0, -1, 0, now,
+                               None, None, None]
+                    glog_append(now)
+                    nic_q[node].append(pkt)
+                elif code == 4:  # EV_CREDIT_N
+                    nic_cred[node] += 1
+                else:  # EV_NIC_RETRY
+                    nic_retry[node] = False
+                # Mirror Nic._try_inject: drain the source queue onto the
+                # host link (shared by all three NIC-side events).
+                queue = nic_q[node]
+                while queue:
+                    busy_until = nic_busy[node]
+                    if busy_until > now:
+                        if not nic_retry[node]:
+                            nic_retry[node] = True
+                            s2 = nseq
+                            nseq = s2 + 1
+                            idx = int_(busy_until * inv_w)
+                            if idx > last_b:
+                                idx = last_b
+                            e = (busy_until, s2, 5, node, 0, None)  # EV_NIC_RETRY
+                            if idx == b:
+                                insort(lst, e, i)
+                                n_lst += 1
+                            else:
+                                cal[idx].append(e)
+                        break
+                    if nic_cred[node] <= 0:
+                        break  # the router's credit return retries
+                    pkt2 = queue.popleft()
+                    nic_busy[node] = now + ser
+                    nic_cred[node] -= 1
+                    s2 = nseq
+                    nseq = s2 + 1
+                    t2 = now + nic_hop_delay
+                    idx = int_(t2 * inv_w)
+                    if idx > last_b:
+                        idx = last_b
+                    e = (t2, s2, 0, nic_fidx[node], 0, pkt2)  # EV_RECV
+                    if idx == b:
+                        insort(lst, e, i)
+                        n_lst += 1
+                    else:
+                        cal[idx].append(e)
+                    # clock unchanged: the loop exits through the busy check
+                if code == 3 and index < len_(entries):
+                    s2 = nseq
+                    nseq = s2 + 1
+                    t2 = entries[index][0]
+                    idx = int_(t2 * inv_w)
+                    if idx > last_b:
+                        idx = last_b
+                    e = (t2, s2, 3, node, 0, None)  # EV_GEN
+                    if idx == b:
+                        insort(lst, e, i)
+                        n_lst += 1
+                    else:
+                        cal[idx].append(e)
+                continue
+            # ------------------------------------ route-and-forward chain
+            # Mirrors the scalar Router's mutually recursive _route_head /
+            # _forward pair as one loop over the input buffer (fidx, vc):
+            # route the head, forward while port and credits allow, then
+            # route the next head — exactly the scalar control flow.
+            # forward_first enters at the forward step (the serve path
+            # re-forwards an already-routed waiter).
+            fidx = base + in_port
+            min_next_r = min_next[router]
+            num_host_r = num_host[router]
+            while True:
+                pkt = buf[0]
+                if forward_first:
+                    forward_first = False
+                    out = pkt[7]
+                    out_vc = pkt[8]
+                    fo = base + out
+                    cc = cred_l[fo]
+                else:
+                    # ---- route the head (Router._route_head + routing.route)
+                    dst_router = pkt[2]
+                    if dst_router == router:
+                        # Ejection never reads the Q-table (the feedback
+                        # target of a delivered packet is zero), so no
+                        # feedback flush here.
+                        out = pkt[1] % hpr
+                    elif kind == 0:  # KIND_MIN
+                        out = min_next_r[dst_router]
+                    else:
+                        # Fold in pended Q-feedback that scalar executed
+                        # before this event.  Pends are sorted by (time,
+                        # seq), so maturity is a prefix and folds apply in
+                        # scalar event order.
+                        pend = pend_qfb[router]
+                        if pend:
+                            e0 = pend[0]
+                            t2 = e0[0]
+                            if t2 < now or (t2 == now and e0[1] < cur_seq):
+                                matured = 0
+                                if qt is not None:
+                                    table = qt[router]
+                                    for entry in pend:
+                                        t2 = entry[0]
+                                        if t2 < now or (t2 == now
+                                                        and entry[1] < cur_seq):
+                                            row_l = table[entry[2]]
+                                            column = entry[3]
+                                            current = row_l[column]
+                                            delta = entry[4] - current
+                                            rate = alpha if delta < 0.0 else beta
+                                            row_l[column] = current + rate * delta
+                                            matured += 1
+                                        else:
+                                            break
+                                else:
+                                    for entry in pend:
+                                        t2 = entry[0]
+                                        if t2 < now or (t2 == now
+                                                        and entry[1] < cur_seq):
+                                            _fold_one(qv, router, entry[2],
+                                                      entry[3], entry[4],
+                                                      alpha, beta)
+                                            matured += 1
+                                        else:
+                                            break
+                                del pend[:matured]
+                                c_fb_app += matured
+                                elided += matured
+                        if kind == 1:  # KIND_QADP
+                            # Mirror QAdaptiveRouting.decide, draw for draw.
+                            dst_group = group[dst_router]
+                            if group[router] == dst_group:
+                                out = min_next_r[dst_router]
+                            elif router == pkt[3] and pkt[6] == 0:
+                                # Source router: minimal vs. global best.
+                                row = dst_group * p_ + pkt[5]
+                                min_port = min_next_r[dst_router]
+                                if qt is not None:
+                                    row_l = qt[router][row]
+                                    q_min = row_l[min_port - first_port]
+                                    q_best = min(row_l)
+                                    best_port = row_l.index(q_best) + first_port
+                                    if q_min <= 0.0:
+                                        advantage = 0.0
+                                    else:
+                                        advantage = (q_min - q_best) / q_min
+                                    temp_port = (min_port
+                                                 if advantage < q_thld1
+                                                 else best_port)
+                                else:
+                                    temp_port = first_port + _qadp_source_choice(
+                                        qv, router, row,
+                                        min_port - first_port, q_thld1,
+                                    )
+                                if temp_port == min_port:
+                                    c_src_min += 1
+                                else:
+                                    c_src_best += 1
+                                candidates = explore[router]
+                                if (epsilon > 0.0 and candidates
+                                        and rand() < epsilon):
+                                    out = candidates[randrange(len_(candidates))]
+                                else:
+                                    out = temp_port
+                            elif pkt[10] is None and group[router] != pkt[4]:
+                                # Intermediate group: one-shot reroute chance.
+                                pkt[10] = True
+                                direct_port = direct[router][dst_group]
+                                if direct_port >= 0:
+                                    c_int_min += 1
+                                    out = direct_port
+                                else:
+                                    row = dst_group * p_ + pkt[5]
+                                    min_port = min_next_r[dst_router]
+                                    rand_port = local_ports[
+                                        randrange(len_(local_ports))
+                                    ]
+                                    if qt is not None:
+                                        row_l = qt[router][row]
+                                        q_min = row_l[min_port - first_port]
+                                        q_best = row_l[rand_port - first_port]
+                                        if q_min <= 0.0:
+                                            advantage = 0.0
+                                        else:
+                                            advantage = (q_min - q_best) / q_min
+                                        temp_port = (min_port
+                                                     if advantage < q_thld2
+                                                     else rand_port)
+                                    else:
+                                        temp_port = (first_port
+                                                     + _qadp_reroute_choice(
+                                                         qv, router, row,
+                                                         min_port - first_port,
+                                                         rand_port - first_port,
+                                                         q_thld2,
+                                                     ))
+                                    if temp_port == min_port:
+                                        c_int_min += 1
+                                    else:
+                                        c_int_rr += 1
+                                    if (epsilon > 0.0 and local_ports
+                                            and rand() < epsilon):
+                                        out = local_ports[
+                                            randrange(len_(local_ports))
+                                        ]
+                                    else:
+                                        out = temp_port
+                            else:
+                                out = min_next_r[dst_router]
+                        else:  # KIND_QROUTING
+                            # Mirror QRoutingAlgorithm.decide.
+                            if pkt[6] >= max_q:
+                                c_forced += 1
+                                out = min_next_r[dst_router]
+                            else:
+                                if qt is not None:
+                                    row_l = qt[router][dst_router]
+                                    best_port = (row_l.index(min(row_l))
+                                                 + first_port)
+                                else:
+                                    best_port = (_row_argmin(qv, router,
+                                                             dst_router)
+                                                 + first_port)
+                                candidates = explore[router]
+                                if (epsilon > 0.0 and candidates
+                                        and rand() < epsilon):
+                                    out = candidates[randrange(len_(candidates))]
+                                else:
+                                    out = best_port
+                    # ---- feedback (TabularMarlRouting._send_feedback):
+                    # pended towards its target router instead of scheduled
+                    # (feedback elision); this router's table was brought up
+                    # to date at the top of the routing step.
+                    if kind != 0:
+                        qfb = pkt[11]
+                        if qfb is not None:
+                            pkt[11] = None
+                            frow = qfb[1]
+                            reward = pkt[9] - qfb[3]
+                            if router == pkt[2]:
+                                q_next = 0.0
+                            elif onpolicy and out >= num_host_r:
+                                if qt is not None:
+                                    q_next = qt[router][frow][out - first_port]
+                                else:
+                                    q_next = qv[router, frow, out - first_port]
+                            else:
+                                if qt is not None:
+                                    q_next = min(qt[router][frow])
+                                else:
+                                    q_next = _row_min(qv, router, frow)
+                            c_fb_sent += 1
+                            s2 = nseq
+                            nseq = s2 + 1
+                            entry = (now + lat[fidx], s2, frow, qfb[2],
+                                     reward + q_next)
+                            pq = pend_qfb[qfb[0]]
+                            if pq and entry < pq[-1]:
+                                insort(pq, entry)
+                            else:
+                                pq.append(entry)
+                    if kind != 0 and out >= num_host_r:
+                        # routing.on_forward: tag the hop for the next
+                        # router's feedback.  Every field is fixed by decide
+                        # time and each routed head forwards exactly once, so
+                        # tagging here (instead of at the forward step) is
+                        # the same tag — and dst_group is already in hand.
+                        if kind == 1:
+                            pkt[11] = (router, dst_group * p_ + pkt[5],
+                                       out - first_port, pkt[9])
+                        else:
+                            pkt[11] = (router, dst_router,
+                                       out - first_port, pkt[9])
+                    pkt[7] = out
+                    if out < num_host_r:
+                        out_vc = 0
+                    else:
+                        out_vc = pkt[6]
+                        if out_vc > max_vc:
+                            out_vc = max_vc
+                    pkt[8] = out_vc
+                    fo = base + out
+                    # Fold in pended credit returns that scalar already
+                    # executed (increment plus no-op serve: no waiter joined
+                    # fo since they were pended).  Entries are monotone in
+                    # (time, seq) — one refilling link — so maturity is a
+                    # prefix.
+                    pendc = pend_cred[fo]
+                    if pendc:
+                        e0 = pendc[0]
+                        t2 = e0[0]
+                        if t2 < now or (t2 == now and e0[1] < cur_seq):
+                            cc = cred_l[fo]
+                            drop = 0
+                            for entry in pendc:
+                                t2 = entry[0]
+                                if t2 < now or (t2 == now
+                                                and entry[1] < cur_seq):
+                                    if cc is not None:
+                                        cc[entry[2]] += 1
+                                    drop += 1
+                                else:
+                                    break
+                            del pendc[:drop]
+                            elided += drop
+                    cc = cred_l[fo]
+                    if out_busy[fo] > now or not (cc is None or cc[out_vc] > 0):
+                        waiting[fo].append((in_port, vc, pkt))
+                        pkt[12] = True  # never pool-recycle a waited packet
+                        # A waiter joined: pended wakes/credits of this port
+                        # can now serve somebody — restore the unmatured ones
+                        # with their reserved sequence numbers (a wake that
+                        # scalar already executed fired on an empty waiter
+                        # queue: count it instead).
+                        pendw = pend_wakes[fo]
+                        if pendw:
+                            for t2, s2 in pendw:
+                                if t2 > now or (t2 == now and s2 > cur_seq):
+                                    idx = int_(t2 * inv_w)
+                                    if idx > last_b:
+                                        idx = last_b
+                                    e = (t2, s2, 2, fo, 0, None)  # EV_SERVE
+                                    if idx == b:
+                                        insort(lst, e, i)
+                                        n_lst += 1
+                                    else:
+                                        cal[idx].append(e)
+                                else:
+                                    elided += 1
+                            del pendw[:]
+                        pendc = pend_cred[fo]
+                        if pendc:
+                            for entry in pendc:
+                                t2 = entry[0]
+                                idx = int_(t2 * inv_w)
+                                if idx > last_b:
+                                    idx = last_b
+                                e = (t2, entry[1], 1, fo, entry[2], None)  # EV_CREDIT_R
+                                if idx == b:
+                                    insort(lst, e, i)
+                                    n_lst += 1
+                                else:
+                                    cal[idx].append(e)
+                            del pendc[:]
+                        break  # chain blocked
+                # ---- forward (Router._forward) ----
+                buf.popleft()
+                out_busy[fo] = now + ser
+                if cc is not None:
+                    cc[out_vc] -= 1
+                seq0 = nseq
+                t2 = now + hop_delay[fidx]
+                if in_port < num_host_r:
+                    node = node_at[fidx]
+                    if nic_q[node]:
+                        idx = int_(t2 * inv_w)
+                        if idx > last_b:
+                            idx = last_b
+                        e = (t2, seq0, 4, node, 0, None)  # EV_CREDIT_N
+                        if idx == b:
+                            insort(lst, e, i)
+                            n_lst += 1
+                        else:
+                            cal[idx].append(e)
+                    else:
+                        pend_nic[node].append((t2, seq0))
+                else:
+                    target = remote_idx[fidx]
+                    if waiting[target]:
+                        idx = int_(t2 * inv_w)
+                        if idx > last_b:
+                            idx = last_b
+                        e = (t2, seq0, 1, target, vc, None)  # EV_CREDIT_R
+                        if idx == b:
+                            insort(lst, e, i)
+                            n_lst += 1
+                        else:
+                            cal[idx].append(e)
+                    else:
+                        pend_cred[target].append((t2, seq0, vc))
+                if out < num_host_r:
+                    # Delivery elision: the final wire hop only appends to
+                    # the delivery log, and its timestamp is monotone over
+                    # forwards.  The record leaves the network here: recycle
+                    # it unless a stale waiting entry may still alias it.
+                    deliver = now + hop_delay[fo]
+                    if deliver <= horizon:
+                        dlog_append((pkt[0], deliver, pkt[6]))
+                        elided += 1
+                    if pkt[12] is None:
+                        pool.append(pkt)
+                else:
+                    pkt[6] += 1
+                    t2 = now + hop_delay[fo]
+                    idx = int_(t2 * inv_w)
+                    if idx > last_b:
+                        idx = last_b
+                    e = (t2, seq0 + 1, 0, remote_idx[fo], out_vc, pkt)  # EV_RECV
+                    if idx == b:
+                        insort(lst, e, i)
+                        n_lst += 1
+                    else:
+                        cal[idx].append(e)
+                # Serve-waiting wake: reserve the sequence number, but only
+                # schedule the event if a waiter already needs it.
+                t2 = now + ser
+                if waiting[fo]:
+                    idx = int_(t2 * inv_w)
+                    if idx > last_b:
+                        idx = last_b
+                    e = (t2, seq0 + 2, 2, fo, 0, None)  # EV_SERVE
+                    if idx == b:
+                        insort(lst, e, i)
+                        n_lst += 1
+                    else:
+                        cal[idx].append(e)
+                else:
+                    pend_wakes[fo].append((t2, seq0 + 2))
+                nseq = seq0 + 3
+                if not buf:
+                    break  # chain done: buffer drained
+        # --- write back the cached cursor, counters and tallies ---
+        st.cal_b = b
+        st.cal_i = i
+        st.seq = nseq
+        st.executed = executed
+        st.elided = elided
+        st.c_src_min = c_src_min
+        st.c_src_best = c_src_best
+        st.c_int_min = c_int_min
+        st.c_int_rr = c_int_rr
+        st.c_fb_sent = c_fb_sent
+        st.c_fb_app = c_fb_app
+        st.c_forced = c_forced

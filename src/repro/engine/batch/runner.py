@@ -12,8 +12,10 @@ benchmarks): simulation packages carry no wall-time dependency, so the
 
 from __future__ import annotations
 
+import gc
 from typing import TYPE_CHECKING, Dict, List, Sequence
 
+from repro.engine.batch.jit import jit_engaged
 from repro.engine.batch.kernel import BatchKernel, ReplicateState
 from repro.engine.batch.model import KIND_QADP, KIND_QROUTING, build_model
 
@@ -21,29 +23,34 @@ if TYPE_CHECKING:  # typing only
     from repro.experiments.harness import ExperimentResult, ExperimentSpec
 
 #: lockstep granularity: each call advances every replicate by one slice of
-#: the simulated horizon before any replicate starts the next slice.
-DEFAULT_SLICES = 8
-
-
-class _ReplayPacket:
-    """Mutable stand-in carrying the three packet fields the collector reads."""
-
-    __slots__ = ("create_time_ns", "size_bytes", "hops")
-
-    def __init__(self, size_bytes: int) -> None:
-        self.create_time_ns = 0.0
-        self.size_bytes = size_bytes
-        self.hops = 0
+#: the simulated horizon before any replicate starts the next slice.  The
+#: default runs each replicate straight through: results are identical for
+#: any slice count (replicates are independent), and one slice keeps a
+#: replicate's working set hot in cache instead of cycling N working sets
+#: through it per slice.  Pass a larger count to interleave progress.
+DEFAULT_SLICES = 1
 
 
 class BatchSimulation:
     """N replicates of one spec advancing in lockstep (see module docstring)."""
 
-    def __init__(self, spec: "ExperimentSpec", seeds: Sequence[int]) -> None:
+    def __init__(self, spec: "ExperimentSpec", seeds: Sequence[int], *,
+                 array_path: "bool | None" = None) -> None:
         self.spec = spec
         self.seeds = list(seeds)
         self.model = build_model(spec)  # raises UnsupportedByBackend early
-        self.kernel = BatchKernel(self.model, self.seeds)
+        # Trace recording and per-replicate state construction allocate
+        # heavily against an already-large live heap; suspend the cyclic
+        # collector like the kernel drain does (nothing here forms cycles).
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            self.kernel = BatchKernel(self.model, self.seeds,
+                                      array_path=array_path)
+        finally:
+            if was_enabled:
+                gc.enable()
         self._ran = False
 
     def run(self, slices: int = DEFAULT_SLICES) -> "BatchSimulation":
@@ -62,7 +69,14 @@ class BatchSimulation:
     def results(self) -> List["ExperimentResult"]:
         """Per-replicate results, ordered like ``seeds`` (runs if needed)."""
         self.run()
-        return [self._assemble(state) for state in self.kernel.states]
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return [self._assemble(state) for state in self.kernel.states]
+        finally:
+            if was_enabled:
+                gc.enable()
 
     # ------------------------------------------------------------- assembly
     def _assemble(self, st: ReplicateState) -> "ExperimentResult":
@@ -81,16 +95,8 @@ class BatchSimulation:
         # Replay the generation/delivery logs chronologically: each stream is
         # recorded in event order, and the two streams touch disjoint
         # collector state, so every float accumulates in scalar order.
-        probe = _ReplayPacket(model.params.packet_bytes)
-        record_generated = collector.record_generated
-        for create_time in st.glog:
-            probe.create_time_ns = create_time
-            record_generated(probe)
-        record_delivery = collector.record_delivery
-        for create_time, deliver_time, hops in st.dlog:
-            probe.create_time_ns = create_time
-            probe.hops = hops
-            record_delivery(probe, deliver_time)
+        collector.replay_generated(st.glog)
+        collector.replay_deliveries(st.dlog, model.params.packet_bytes)
         # The scalar simulator leaves now == until whether or not the heap
         # drained early, so the aggregation window is always the horizon.
         stats = collector.finalize(spec.sim_time_ns)
@@ -100,7 +106,10 @@ class BatchSimulation:
         throughput_times = collector.delivery_series.bin_times() / 1_000.0
         throughput_values = collector.throughput_series()
 
-        diagnostics: Dict = {}
+        # The tier actually used, so benchmark numbers can't be misattributed
+        # to a compiled path that never ran (scalar results lack this key;
+        # equivalence comparisons pop it before comparing).
+        diagnostics: Dict = {"jit_engaged": jit_engaged()}
         kind = model.kind
         if kind == KIND_QADP:
             diagnostics.update({

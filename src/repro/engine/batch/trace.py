@@ -17,11 +17,10 @@ same-time events would tie-break differently.
 
 from __future__ import annotations
 
-from heapq import heappop
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.engine.rng import RngFactory
-from repro.engine.simulator import Simulator
 from repro.traffic.generator import LoadSchedule, TrafficGenerator
 
 if TYPE_CHECKING:  # typing only
@@ -54,6 +53,44 @@ class _SinkNics:
         return True
 
 
+class _TraceQueue:
+    """Tuple-heap stand-in for the scalar EventQueue, push-order sequencing.
+
+    The generator's callback execution order is fully determined by push
+    order and ``(time, seq)`` heap ordering — both identical to the real
+    :class:`~repro.engine.events.EventQueue` — so recording through this
+    costs no Event objects and no watchdog machinery.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple] = []
+        self._seq = 0
+
+    def push(self, time_ns: float, callback, args: Tuple) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time_ns, seq, callback, args))
+
+
+class _TraceSim:
+    """The slice of the Simulator surface a :class:`TrafficGenerator` drives."""
+
+    __slots__ = ("_now", "_queue")
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue = _TraceQueue()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def at(self, time_ns: float, callback, *args) -> None:
+        self._queue.push(time_ns, callback, args)
+
+
 class _TraceNetwork:
     """Just enough network surface for a :class:`TrafficGenerator` to drive.
 
@@ -68,7 +105,7 @@ class _TraceNetwork:
         self.topo = topo
         self.params = params
         self.rng = RngFactory(seed)
-        self.sim = Simulator()
+        self.sim = _TraceSim()
         self.collector = _NullCollector()
         self.nics = _SinkNics()
         self.created: List[Tuple[int, int]] = []
@@ -106,9 +143,6 @@ def record_traffic_trace(
     created = network.created
     while heap:
         entry = heap[0]
-        if entry[2] is None:  # pragma: no cover - the generator never cancels
-            heappop(heap)
-            continue
         time_ns = entry[0]
         if time_ns > until:
             break
@@ -122,7 +156,5 @@ def record_traffic_trace(
     # Push-only leftovers: scheduled (seq allocated) but never executed.
     while heap:
         entry = heappop(heap)
-        if entry[2] is None:  # pragma: no cover - see above
-            continue
         entries[entry[3][0]].append((entry[0], -1))
     return entries

@@ -393,37 +393,67 @@ class SweepRunner:
             raise ValueError(
                 f"backend must be 'scalar' or 'batched', got {backend!r}"
             )
-        total = len(expanded)
+        return self.run_batched(expanded, batch_size=batch_size)
+
+    def run_batched(
+        self,
+        specs: Sequence[ExperimentSpec],
+        *,
+        batch_size: int = BATCH_CHUNK,
+    ) -> List[ExperimentResult]:
+        """Run arbitrary specs through the batched kernel, in spec order.
+
+        Specs that are identical except for their ``seed`` (a study's
+        replicates of one scenario point) advance in lockstep chunks of up to
+        ``batch_size``; each distinct parameter combination gets its own
+        chunks.  Chunks fan out over the worker pool when ``workers > 1``.
+        Because batched results are bit-identical to scalar ones, cache
+        entries are shared with :meth:`run` — a sweep can warm the cache with
+        one backend and reuse it from the other.
+
+        Specs unsupported by the batched kernel raise
+        :class:`~repro.engine.batch.errors.UnsupportedByBackend`.
+        """
+        specs = list(specs)
+        total = len(specs)
         results: List[Optional[ExperimentResult]] = [None] * total
         done = 0
         pending: List[int] = []
         keys: Dict[int, str] = {}
-        for index, replicate in enumerate(expanded):
+        for index, spec in enumerate(specs):
             data = None
             if self.cache is not None:
-                keys[index] = spec_fingerprint(replicate)
+                keys[index] = spec_fingerprint(spec)
                 data = self.cache.get(keys[index])
             if data is not None:
                 self.cache_hits += 1
-                results[index] = data.to_result(replicate)
+                results[index] = data.to_result(spec)
                 done += 1
-                self._emit(done, total, replicate, cached=True, wall_time_s=0.0)
+                self._emit(done, total, spec, cached=True, wall_time_s=0.0)
             else:
                 pending.append(index)
+        # Seed-mates join one lockstep group: the grouping key is the spec
+        # fingerprint with the seed canonicalised away.
+        groups: Dict[str, List[int]] = {}
+        for index in pending:
+            group_key = spec_fingerprint(specs[index].with_overrides(seed=0))
+            groups.setdefault(group_key, []).append(index)
         batch_size = max(1, batch_size)
         tasks = []
-        for start in range(0, len(pending), batch_size):
-            chunk = pending[start:start + batch_size]
-            tasks.append((chunk, spec, [expanded[i].seed for i in chunk]))
+        for members in groups.values():
+            for start in range(0, len(members), batch_size):
+                chunk = members[start:start + batch_size]
+                tasks.append((chunk, specs[chunk[0]],
+                              [specs[i].seed for i in chunk]))
         for chunk, payload in self._execute_batches(tasks):
             for index, data in zip(chunk, payload):
-                replicate = expanded[index]
+                spec = specs[index]
                 self.simulated += 1
                 if self.cache is not None:
                     self.cache.put(keys[index], data)
-                results[index] = data.to_result(replicate)
+                results[index] = data.to_result(spec)
                 done += 1
-                self._emit(done, total, replicate, cached=False,
+                self._emit(done, total, spec, cached=False,
                            wall_time_s=data.wall_time_s)
         return results  # type: ignore[return-value]
 

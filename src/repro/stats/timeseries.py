@@ -35,6 +35,15 @@ class TimeSeries:
         self._sums[idx] = self._sums.get(idx, 0.0) + value
         self._counts[idx] = self._counts.get(idx, 0) + 1
 
+    def accumulators(self) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """The live ``(sums, counts)`` bin dictionaries, for bulk recorders.
+
+        Mutating these is equivalent to a sequence of :meth:`add_to_bin`
+        calls; the batched backend's log replay uses them to accumulate three
+        series per packet without three method calls per packet.
+        """
+        return self._sums, self._counts
+
     def __len__(self) -> int:
         return len(self._counts)
 

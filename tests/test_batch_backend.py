@@ -38,6 +38,13 @@ def _spec(routing: str, pattern: str = "UR", load: float = 0.4,
     )
 
 
+def _diag_without_tier(result) -> dict:
+    """Diagnostics minus the batch-only ``jit_engaged`` tier marker."""
+    diag = dict(result.routing_diagnostics)
+    diag.pop("jit_engaged", None)
+    return diag
+
+
 def _assert_identical(scalar_result, scalar_events, batched_result,
                       batched_events) -> None:
     s = scalar_result.stats.to_dict()
@@ -47,7 +54,8 @@ def _assert_identical(scalar_result, scalar_events, batched_result,
     assert scalar_events == batched_events
     assert np.array_equal(scalar_result.latencies_ns, batched_result.latencies_ns)
     assert np.array_equal(scalar_result.hops, batched_result.hops)
-    assert scalar_result.routing_diagnostics == batched_result.routing_diagnostics
+    assert "jit_engaged" in batched_result.routing_diagnostics
+    assert _diag_without_tier(scalar_result) == _diag_without_tier(batched_result)
     for idx in (0, 1):
         assert np.array_equal(scalar_result.latency_timeline_us[idx],
                               batched_result.latency_timeline_us[idx])
@@ -147,7 +155,7 @@ def test_run_replicates_backends_agree():
     for s, b in zip(scalar, batched):
         assert s.stats.to_dict() == b.stats.to_dict()
         assert np.array_equal(s.latencies_ns, b.latencies_ns)
-        assert s.routing_diagnostics == b.routing_diagnostics
+        assert _diag_without_tier(s) == _diag_without_tier(b)
     # The harness stamps the batch's shared wall time onto every replicate.
     assert all(b.wall_time_s > 0.0 for b in batched)
 
@@ -209,3 +217,58 @@ def test_cli_refuses_unsupported_batched_spec():
             "run", "--routing", "Q-adp", "--time-us", "3",
             "--backend", "batched", "--telemetry", "link-util",
         ])
+
+
+def test_run_batched_groups_mixed_specs():
+    """Interleaved seed-mates of two parameter points regroup correctly."""
+    runner = SweepRunner(workers=1)
+    low = _spec("MIN", load=0.2, sim=3_000.0, warm=1_000.0, seed=5)
+    high = _spec("MIN", load=0.5, sim=3_000.0, warm=1_000.0, seed=5)
+    specs = []
+    for seed in derive_replicate_seeds(5, 2):
+        specs.append(low.with_overrides(seed=seed))
+        specs.append(high.with_overrides(seed=seed))
+    batched = runner.run_batched(specs)
+    assert runner.simulated == 4
+    scalar = SweepRunner(workers=1).run(specs)
+    for b, s in zip(batched, scalar):
+        assert b.spec == s.spec
+        assert b.stats.to_dict() == s.stats.to_dict()
+
+
+def test_study_backend_option_matches_scalar():
+    from repro.scenarios import Scenario, Study
+    from repro.topology.config import DragonflyConfig
+
+    study = Study(
+        name="backend-demo", config=DragonflyConfig.tiny(),
+        sim_time_ns=3_000.0, warmup_ns=1_000.0,
+        scenarios=[Scenario(name="mini", routing=("Q-adp",), pattern=("UR",),
+                            loads=(0.2, 0.4), replicates=2)],
+    )
+    scalar = study.run(SweepRunner(workers=1))
+    batched = study.run(SweepRunner(workers=1),
+                        options=RunOptions(backend="batched"))
+    assert scalar.rows() == batched.rows()
+
+
+def test_cli_study_run_batched(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+    from repro.scenarios import Scenario, Study
+    from repro.topology.config import DragonflyConfig
+
+    study = Study(
+        name="cli-batched", config=DragonflyConfig.tiny(),
+        sim_time_ns=3_000.0, warmup_ns=1_000.0,
+        scenarios=[Scenario(name="mini", routing=("MIN",), pattern=("UR",),
+                            loads=(0.3,), replicates=2)],
+    )
+    path = study.save(tmp_path / "demo.json")
+    assert main(["study", "run", str(path)]) == 0
+    scalar_payload = json.loads(capsys.readouterr().out)
+    assert main(["study", "run", str(path), "--backend", "batched"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"] == 2 and payload["simulated"] == 2
+    assert payload["rows"] == scalar_payload["rows"]
